@@ -1,0 +1,435 @@
+// Package cloudhpc's root benchmark harness regenerates every table and
+// figure of the paper's evaluation section. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the headline quantities of its artifact as custom
+// metrics (b.ReportMetric), so `go test -bench` output doubles as a
+// compact reproduction log; cmd/figures prints the full artifacts.
+package cloudhpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/network"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+	"cloudhpc/internal/usability"
+)
+
+// The full study is shared across benchmarks; regenerating artifacts from
+// the cached dataset is what each bench times (plus one bench that times
+// the full study itself).
+var (
+	benchOnce sync.Once
+	benchRes  *core.Results
+)
+
+func studyResults(b *testing.B) *core.Results {
+	b.Helper()
+	benchOnce.Do(func() {
+		st, err := core.New(2025)
+		if err != nil {
+			panic(err)
+		}
+		benchRes, err = st.RunFull()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchRes
+}
+
+// BenchmarkFullStudy times the entire 13-environment, 11-application,
+// 5-iteration study — the producer of every artifact below.
+func BenchmarkFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := core.New(uint64(2025 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := st.RunFull()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Runs)), "runs")
+	}
+}
+
+// --- Tables ---
+
+// BenchmarkTable1EnvironmentCharacteristics regenerates Table 1.
+func BenchmarkTable1EnvironmentCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		envs, err := apps.StudyEnvironments()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(envs)), "environments")
+		b.ReportMetric(float64(len(apps.Deployable(envs))), "deployable")
+	}
+}
+
+// BenchmarkTable2NodesAndNetwork regenerates Table 2.
+func BenchmarkTable2NodesAndNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cat := cloud.NewCatalog()
+		all := cat.All()
+		var maxCores int
+		for _, it := range all {
+			if it.Cores > maxCores {
+				maxCores = it.Cores
+			}
+		}
+		b.ReportMetric(float64(len(all)), "SKUs")
+		b.ReportMetric(float64(maxCores), "max-cores/node")
+	}
+}
+
+// BenchmarkTable3Usability regenerates the usability assessment.
+func BenchmarkTable3Usability(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as := res.Table3()
+		sum := usability.Summary(as)
+		b.ReportMetric(float64(len(as)), "rows")
+		b.ReportMetric(float64(sum[usability.High]), "high-scores")
+		b.ReportMetric(float64(sum[usability.Low]), "low-scores")
+	}
+}
+
+// BenchmarkTable4AMGCosts regenerates the AMG2023 cost table.
+func BenchmarkTable4AMGCosts(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := res.Table4()
+		if len(rows) == 0 {
+			b.Fatal("empty Table 4")
+		}
+		b.ReportMetric(rows[0].TotalUSD, "cheapest-$")
+		b.ReportMetric(rows[len(rows)-1].TotalUSD, "dearest-$")
+	}
+}
+
+// --- Figures ---
+
+// figBench regenerates one figure and reports the best series at x.
+func figBench(b *testing.B, app string, acc cloud.Accelerator, atX float64) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := res.FigureFor(app, acc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best, err := fig.BestAt(atX); err == nil {
+			bs, _ := fig.Get(best).At(atX)
+			b.ReportMetric(bs.Mean, "best-FOM@"+fig.XLabel)
+		}
+		b.ReportMetric(float64(len(fig.Series)), "series")
+	}
+}
+
+// BenchmarkFigure1KripkeGrindTime regenerates Figure 1 (CPU grind time).
+func BenchmarkFigure1KripkeGrindTime(b *testing.B) { figBench(b, "kripke", cloud.CPU, 256) }
+
+// BenchmarkFigure2AMG2023FOM regenerates Figure 2 (CPU and GPU panels).
+func BenchmarkFigure2AMG2023FOM(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := res.FigureFor("amg2023", cloud.CPU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpu, err := res.FigureFor("amg2023", cloud.GPU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(cpu.Series)+len(gpu.Series)), "series")
+	}
+}
+
+// BenchmarkFigure3LaghosFOM regenerates Figure 3.
+func BenchmarkFigure3LaghosFOM(b *testing.B) { figBench(b, "laghos", cloud.CPU, 64) }
+
+// BenchmarkFigure4LAMMPS regenerates Figure 4 (CPU panel; GPU shares code).
+func BenchmarkFigure4LAMMPS(b *testing.B) { figBench(b, "lammps", cloud.CPU, 256) }
+
+// BenchmarkFigure5OSU regenerates the OSU sweeps at the largest CPU size.
+func BenchmarkFigure5OSU(b *testing.B) {
+	envs, err := apps.StudyEnvironments()
+	if err != nil {
+		b.Fatal(err)
+	}
+	osu := apps.NewOSU()
+	rng := sim.NewStream(2025, "bench/osu")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var points int
+		for _, spec := range apps.Deployable(envs) {
+			if spec.Acc != cloud.CPU {
+				continue
+			}
+			points += len(osu.LatencySeries(spec.Env, rng))
+			points += len(osu.BandwidthSeries(spec.Env, rng))
+			points += len(osu.AllReduceSeries(spec.Env, 256, rng))
+		}
+		b.ReportMetric(float64(points), "points")
+	}
+}
+
+// BenchmarkFigure6MiniFE regenerates Figure 6.
+func BenchmarkFigure6MiniFE(b *testing.B) { figBench(b, "minife", cloud.CPU, 32) }
+
+// BenchmarkFigure7MTGEMM regenerates Figure 7 (GPU GFLOP/s).
+func BenchmarkFigure7MTGEMM(b *testing.B) { figBench(b, "mt-gemm", cloud.GPU, 128) }
+
+// BenchmarkFigure8Quicksilver regenerates Figure 8 (CPU).
+func BenchmarkFigure8Quicksilver(b *testing.B) { figBench(b, "quicksilver", cloud.CPU, 256) }
+
+// --- Section 3 findings ---
+
+// BenchmarkHookupTimes regenerates the §3.2 hookup-time measurements.
+func BenchmarkHookupTimes(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, aks := res.HookupSeries("azure-aks-cpu")
+		_, gke := res.HookupSeries("google-gke-cpu")
+		if len(aks) == 0 || len(gke) == 0 {
+			b.Fatal("missing hookup series")
+		}
+		b.ReportMetric(aks[len(aks)-1].Seconds(), "aks-256-hookup-s")
+		b.ReportMetric(gke[len(gke)-1].Seconds(), "gke-256-hookup-s")
+	}
+}
+
+// BenchmarkStreamTriad regenerates the §3.3 STREAM Triad numbers.
+func BenchmarkStreamTriad(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := res.FigureFor("stream", cloud.CPU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpu, err := res.FigureFor("stream", cloud.GPU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := cpu.Get("google-gke-cpu").At(64); ok {
+			b.ReportMetric(s.Mean, "gke-cpu-64-GBps")
+		}
+		if s, ok := gpu.Get("google-gke-gpu").At(256); ok {
+			b.ReportMetric(s.Mean, "gke-gpu-triad-GBps")
+		}
+	}
+}
+
+// BenchmarkMixbenchECC regenerates the ECC survey.
+func BenchmarkMixbenchECC(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var azureOn float64
+		var others int
+		for env, on := range res.ECCOn {
+			spec, err := apps.EnvByKey(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if spec.Provider == cloud.Azure {
+				azureOn = on
+			} else if on == 1.0 {
+				others++
+			}
+		}
+		b.ReportMetric(azureOn*100, "azure-ecc-on-%")
+		b.ReportMetric(float64(others), "clean-clouds")
+	}
+}
+
+// BenchmarkSingleNodeAudit regenerates the supermarket-fish audit.
+func BenchmarkSingleNodeAudit(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(len(res.Findings)), "anomalous-nodes")
+	}
+}
+
+// BenchmarkStudyCosts regenerates the §3.4 per-cloud spend.
+func BenchmarkStudyCosts(b *testing.B) {
+	res := studyResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costs := res.StudyCosts()
+		b.ReportMetric(costs[cloud.AWS], "aws-$")
+		b.ReportMetric(costs[cloud.Azure], "azure-$")
+		b.ReportMetric(costs[cloud.Google], "google-$")
+	}
+}
+
+// BenchmarkEKSStuckProvisioning reproduces the §4.1 finding: recreating
+// the 256-node EKS cluster never fully provisions and burns ~$2.2k.
+func BenchmarkEKSStuckProvisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(uint64(i + 1))
+		log := trace.NewLog()
+		meter := cloud.NewMeter(s, log)
+		quota := cloud.NewQuotaManager(s, log)
+		prov := cloud.NewProvisioner(s, log, meter, quota, cloud.NewPlacementService(s, log))
+		quota.Request(cloud.AWS, cloud.CPU, 256)
+		it, err := cloud.NewCatalog().Lookup(cloud.AWS, "Hpc6a")
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := cloud.ProvisionRequest{Env: "aws-eks-cpu", Type: it, Nodes: 256, Kubernetes: true}
+		if _, err := prov.Provision(req); err != nil {
+			b.Fatal(err)
+		}
+		before := meter.Spend(cloud.AWS)
+		if _, err := prov.Provision(req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meter.Spend(cloud.AWS)-before, "wasted-$")
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationAMGTopology quantifies the -P 8 4 2 vs -P 4 4 4 gain.
+func BenchmarkAblationAMGTopology(b *testing.B) {
+	spec, err := apps.EnvByKey("google-gke-gpu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	amg := apps.NewAMG2023()
+	rng := sim.NewStream(2025, "bench/topology")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var k8s, vm float64
+		for j := 0; j < 50; j++ {
+			k8s += amg.RunWithTopology(spec.Env, 8, apps.TopologyK8s, rng).FOM
+			vm += amg.RunWithTopology(spec.Env, 8, apps.TopologyVM, rng).FOM
+		}
+		b.ReportMetric((k8s/vm-1)*100, "topology-gain-%")
+	}
+}
+
+// BenchmarkAblationFabricSensitivity swaps the fabric under LAMMPS at 256
+// nodes to isolate how much of the environment ordering is network.
+func BenchmarkAblationFabricSensitivity(b *testing.B) {
+	spec, err := apps.EnvByKey("azure-cyclecloud-cpu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lammps := apps.NewLAMMPS()
+	rng := sim.NewStream(2025, "bench/fabric")
+	fabrics := []cloud.Fabric{cloud.InfiniBandHDR, cloud.EFAGen15, cloud.GooglePremium}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var base float64
+		for _, f := range fabrics {
+			e := spec.Env
+			m, err := network.Lookup(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Net = m
+			fom := lammps.Run(e, 256, rng).FOM
+			if f == cloud.InfiniBandHDR {
+				base = fom
+			} else if f == cloud.GooglePremium {
+				b.ReportMetric(base/fom, "IB-vs-premium-speedup")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationQuicksilverPinningFix shows what the GPU runs would
+// have produced had the processes been pinned correctly.
+func BenchmarkAblationQuicksilverPinningFix(b *testing.B) {
+	spec, err := apps.EnvByKey("azure-aks-gpu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewStream(2025, "bench/pinning")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		broken := apps.NewQuicksilver()
+		fixed := apps.NewQuicksilver()
+		fixed.GPUPinningBug = false
+		if r := broken.Run(spec.Env, 4, rng); r.Err == nil {
+			b.Fatal("the pinning bug should prevent completion")
+		}
+		r := fixed.Run(spec.Env, 4, rng)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.ReportMetric(r.FOM, "fixed-FOM")
+	}
+}
+
+// BenchmarkAutoscalerDynamics runs the event-driven autoscaler through a
+// bursty day and reports scaling operations and spend — the §4.1 metric
+// ("minimizing scaling operations and total time of nodes going up and
+// down relative to the work").
+func BenchmarkAutoscalerDynamics(b *testing.B) {
+	it, err := cloud.NewCatalog().Lookup(cloud.AWS, "Hpc6a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s := sim.New(uint64(i + 1))
+		log := trace.NewLog()
+		meter := cloud.NewMeter(s, log)
+		as := cloud.NewAutoscaler(s, log, meter, "aws-autoscale", it)
+		as.MinWorkers = 1 // the persistent head
+		for batch := 0; batch < 6; batch++ {
+			if err := as.SetDemand(32); err != nil {
+				b.Fatal(err)
+			}
+			s.Run()
+			if err := as.RunBusy(as.Workers(), 45*time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			s.Clock.Advance(45 * time.Minute)
+			as.SetDemand(0)
+			s.Run()
+			s.Clock.Advance(3 * time.Hour) // idle gap between batches
+		}
+		up, down := as.Ops()
+		b.ReportMetric(float64(up+down), "scaling-ops")
+		b.ReportMetric(meter.Spend(cloud.AWS), "spend-$")
+	}
+}
+
+// BenchmarkAutoscalingTradeoff prices the §4.1 provisioning strategies.
+func BenchmarkAutoscalingTradeoff(b *testing.B) {
+	it, err := cloud.NewCatalog().Lookup(cloud.AWS, "Hpc6a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bursty := []cloud.WorkloadPhase{
+		{Width: 64, Busy: time.Hour, Idle: 10 * time.Hour},
+		{Width: 64, Busy: time.Hour, Idle: 10 * time.Hour},
+	}
+	cfg := cloud.AutoscaleConfig{HeadNodes: 1, ScaleUpDelay: 10 * time.Minute, ScaleDownLag: 5 * time.Minute}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		static := cloud.StaticClusterCost(it, bursty)
+		auto := cloud.AutoscaleCost(it, cfg, bursty)
+		exact := cloud.ExactStaticCost(it, bursty)
+		b.ReportMetric(static/auto, "autoscale-advantage")
+		b.ReportMetric(exact, "exact-static-$")
+	}
+}

@@ -1,0 +1,78 @@
+// Command cloudbench runs the full cross-cloud study — every deployable
+// environment, every application, every scale, five iterations — and
+// prints the dataset summary: run counts, failures, per-cloud spend, and
+// the usability assessment.
+//
+// Usage:
+//
+//	cloudbench [-seed N] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/report"
+	"cloudhpc/internal/usability"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2025, "simulation seed")
+	showTrace := flag.Bool("trace", false, "dump the full event trace")
+	pause := flag.Duration("pause", 0, "pause between cluster sizes for cost reporting to catch up (§4.2)")
+	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first (§4.2)")
+	abortOverBudget := flag.Bool("abort-over-budget", false, "stop an environment when provider spend exceeds its budget")
+	flag.Parse()
+
+	st, err := core.New(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudbench:", err)
+		os.Exit(1)
+	}
+	st.Opts.PauseBetweenScales = *pause
+	st.Opts.TestClusters = *testClusters
+	st.Opts.AbortOverBudget = *abortOverBudget
+	res, err := st.RunFull()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("study complete: %d runs across %d environments (seed %d)\n\n",
+		len(res.Runs), len(res.Envs)-1, *seed)
+
+	fmt.Println("== Per-cloud spend (paper §3.4) ==")
+	fmt.Print(report.Costs(res.StudyCosts()))
+
+	fmt.Println("\n== Usability (paper Table 3) ==")
+	fmt.Print(usability.Table(res.Table3()))
+
+	fmt.Println("\n== AMG2023 costs (paper Table 4) ==")
+	fmt.Print(report.Table4(res.Table4()))
+
+	funnel := st.Builder.Funnel()
+	fmt.Printf("\n== Container builds (paper: 220 built, 97 intended, 74 used) ==\n")
+	fmt.Printf("attempted %d, built %d, usable %d, failed %d\n",
+		funnel.Attempted, funnel.Built, funnel.Usable, funnel.Failed)
+
+	fmt.Println("\n== Failures ==")
+	for env, byApp := range res.FailureSummary() {
+		for app, n := range byApp {
+			fmt.Printf("%-26s %-12s %d failed runs\n", env, app, n)
+		}
+	}
+
+	if len(res.Findings) > 0 {
+		fmt.Println("\n== Single-node audit ==")
+		for _, f := range res.Findings {
+			fmt.Printf("%s: %s\n", f.NodeID, f.Detail)
+		}
+	}
+
+	if *showTrace {
+		fmt.Println("\n== Event trace ==")
+		fmt.Print(res.Log.Render())
+	}
+}

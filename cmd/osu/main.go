@@ -1,0 +1,57 @@
+// Command osu runs the OSU micro-benchmark sweeps (osu_latency, osu_bw,
+// osu_allreduce) against any study environment's fabric — the standalone
+// version of Figure 5.
+//
+// Usage:
+//
+//	osu [-env aws-eks-cpu] [-nodes 256] [-bench latency|bw|allreduce|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/report"
+	"cloudhpc/internal/sim"
+)
+
+func main() {
+	envKey := flag.String("env", "aws-eks-cpu", "environment key (see cmd/figures -only table1)")
+	nodes := flag.Int("nodes", 256, "cluster size for the allreduce sweep")
+	bench := flag.String("bench", "all", "latency | bw | allreduce | all")
+	seed := flag.Uint64("seed", 2025, "random seed")
+	flag.Parse()
+
+	spec, err := apps.EnvByKey(*envKey)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		fmt.Fprintln(os.Stderr, "available environments:")
+		if envs, err := apps.StudyEnvironments(); err == nil {
+			for _, e := range envs {
+				fmt.Fprintf(os.Stderr, "  %s\n", e.Key)
+			}
+		}
+		os.Exit(1)
+	}
+
+	osu := apps.NewOSU()
+	rng := sim.NewStream(*seed, "osu/"+*envKey)
+	fmt.Printf("fabric: %s (sampling %d nodes, ≤%d pairs)\n\n",
+		spec.Instance.Fabric, osu.SampleNodes, osu.MaxPairs)
+
+	if *bench == "latency" || *bench == "all" {
+		fmt.Print(report.OSUSeries("osu_latency "+*envKey, "µs", osu.LatencySeries(spec.Env, rng)))
+		fmt.Println()
+	}
+	if *bench == "bw" || *bench == "all" {
+		fmt.Print(report.OSUSeries("osu_bw "+*envKey, "MB/s", osu.BandwidthSeries(spec.Env, rng)))
+		fmt.Println()
+	}
+	if *bench == "allreduce" || *bench == "all" {
+		fmt.Print(report.OSUSeries(
+			fmt.Sprintf("osu_allreduce %s (%d nodes, %d ranks)", *envKey, *nodes, spec.Env.Units(*nodes)),
+			"µs", osu.AllReduceSeries(spec.Env, *nodes, rng)))
+	}
+}

@@ -1,0 +1,52 @@
+// Command report runs the study and writes the complete results report as
+// markdown — every table, figure, audit, and failure in one document.
+//
+// Usage:
+//
+//	report [-seed N] [-o report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2025, "simulation seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	pause := flag.Duration("pause", 0, "pause between scales for cost reporting (e.g. 26h)")
+	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first")
+	flag.Parse()
+
+	st, err := core.New(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	st.Opts.PauseBetweenScales = *pause
+	st.Opts.TestClusters = *testClusters
+	res, err := st.RunFull()
+	if err != nil {
+		fatal(err)
+	}
+	md, err := report.Markdown(res)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(md)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(md))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

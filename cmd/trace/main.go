@@ -1,0 +1,75 @@
+// Command trace runs the study and queries its event log — the audit
+// trail behind every usability score.
+//
+// Usage:
+//
+//	trace [-seed N] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2025, "simulation seed")
+	env := flag.String("env", "", "filter by environment key")
+	severity := flag.String("severity", "", "minimum severity: routine | unexpected | blocking")
+	category := flag.String("category", "", "filter by category")
+	asJSON := flag.Bool("json", false, "emit JSONL instead of text")
+	flag.Parse()
+
+	minSev := trace.Routine
+	switch *severity {
+	case "", "routine":
+	case "unexpected":
+		minSev = trace.Unexpected
+	case "blocking":
+		minSev = trace.Blocking
+	default:
+		fatal(fmt.Errorf("unknown severity %q", *severity))
+	}
+
+	st, err := core.New(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := st.RunFull()
+	if err != nil {
+		fatal(err)
+	}
+
+	filtered := trace.NewLog()
+	for _, e := range res.Log.Events() {
+		if *env != "" && e.Env != *env {
+			continue
+		}
+		if e.Severity < minSev {
+			continue
+		}
+		if *category != "" && string(e.Category) != *category {
+			continue
+		}
+		filtered.Add(e)
+	}
+
+	if *asJSON {
+		data, err := filtered.MarshalJSONL()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	fmt.Printf("%d of %d events match\n", filtered.Len(), res.Log.Len())
+	fmt.Print(filtered.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

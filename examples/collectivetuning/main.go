@@ -1,0 +1,45 @@
+// Collectivetuning: the anatomy of the AWS allreduce spike (paper Fig. 5
+// and §3.3) — sweep the message sizes through the buggy and the fixed
+// OpenMPI tuning tables on an EFA-shaped fabric, and show why the same
+// tables are harmless on InfiniBand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudhpc/internal/mpi"
+)
+
+func main() {
+	const ranks = 256
+	efa := mpi.NetParams{AlphaUs: 16, BytesPerSec: 11e9}   // EFA Gen1.5
+	ib := mpi.NetParams{AlphaUs: 1.8, BytesPerSec: 23.5e9} // InfiniBand HDR
+
+	fmt.Printf("MPI_Allreduce across %d ranks (µs)\n\n", ranks)
+	fmt.Printf("%-10s %-14s %-14s %-14s\n", "bytes", "EFA buggy", "EFA fixed", "IB buggy")
+	for bytes := 1024.0; bytes <= 1<<20; bytes *= 4 {
+		buggy, err := mpi.TableCost(mpi.BuggyAWSTable(), ranks, bytes, efa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fixed, err := mpi.TableCost(mpi.FixedAWSTable(), ranks, bytes, efa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ibBuggy, err := mpi.TableCost(mpi.BuggyAWSTable(), ranks, bytes, ib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if buggy > 3*fixed {
+			marker = "  <- the Figure 5 spike"
+		}
+		fmt.Printf("%-10.0f %-14.0f %-14.0f %-14.0f%s\n", bytes, buggy, fixed, ibBuggy, marker)
+	}
+
+	fmt.Println("\nThe defective table picks a segmented binomial tree in the")
+	fmt.Println("16–64 KiB band. Each 4 KiB segment pays full per-message latency:")
+	fmt.Println("harmless at InfiniBand's 1.8 µs, catastrophic at EFA's 16 µs.")
+	fmt.Println("AWS's OpenMPI change (paper ref. [82]) amounts to the fixed table.")
+}

@@ -1,0 +1,64 @@
+// Hookupstudy: measure hookup time the way the paper did (§3.2) —
+// subtract the application's self-reported wall time from the workload
+// manager's wrapper time, per environment and scale.
+//
+// The study discovered that Azure's InfiniBand bring-up inside the job
+// produces hookups that *fall* with scale on GPU but *double per size* on
+// AKS CPU — this example reproduces the full matrix from job records.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/network"
+	"cloudhpc/internal/sched"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func main() {
+	envs, err := apps.StudyEnvironments()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lammps := apps.NewLAMMPS()
+	hookup := network.NewHookupModel()
+	s := sim.New(7)
+	logbook := trace.NewLog()
+
+	fmt.Printf("%-28s %-8s %-12s %-12s %-12s\n", "environment", "nodes", "wrapper", "app wall", "derived hookup")
+	for _, spec := range apps.Deployable(envs) {
+		for _, nodes := range spec.Scales {
+			if nodes > apps.MaxNodesFor(spec) {
+				continue
+			}
+			rng := s.Stream("hookup/" + spec.Key)
+			r := lammps.Run(spec.Env, nodes, rng)
+			if r.Err != nil {
+				continue
+			}
+			h := hookup.Hookup(spec.Provider, spec.Acc, spec.Kubernetes, nodes, rng)
+
+			// Run it through a scheduler to get the wrapper time the way
+			// the study read it off the workload manager.
+			flux := sched.NewFlux(s, logbook, spec.Key, nodes)
+			var wrapper time.Duration
+			flux.Submit(&sched.Job{Name: "lammps", Nodes: nodes, Duration: r.Wall, Hookup: h,
+				OnFinish: func(j *sched.Job) { wrapper = j.FinishedAt - j.StartedAt }})
+			s.Run()
+
+			derived := wrapper - r.Wall // the paper's subtraction
+			flag := ""
+			if spec.Provider == cloud.Azure && derived > 40*time.Second {
+				flag = "  <- Azure InfiniBand bring-up"
+			}
+			fmt.Printf("%-28s %-8d %-12v %-12v %-12v%s\n",
+				spec.Key, nodes, wrapper.Round(100*time.Millisecond),
+				r.Wall.Round(100*time.Millisecond), derived.Round(100*time.Millisecond), flag)
+		}
+	}
+}

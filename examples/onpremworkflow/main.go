@@ -1,0 +1,97 @@
+// Onpremworkflow: the full on-premises path of the study on cluster A —
+// concretize and install AMG2023 with Spack (minding the hypre integer
+// flags), load the module, submit the scaling sweep through Slurm with a
+// wall limit, and archive every run's output to an OCI registry via ORAS.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/oras"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/slurm"
+	"cloudhpc/internal/spack"
+	"cloudhpc/internal/trace"
+)
+
+func main() {
+	s := sim.New(5)
+	logbook := trace.NewLog()
+
+	// 1. Build: spack install amg2023 ^hypre +bigint (the CPU-safe spec —
+	// without +bigint the large systems segfault, as the study found).
+	repo := spack.StudyRepo()
+	builder := spack.NewBuilder(s, logbook, "onprem-a-cpu")
+
+	wrong, _ := spack.Parse("amg2023")
+	cWrong, _ := repo.Concretize(wrong)
+	if _, defect, _ := builder.Install(cWrong); defect != "" {
+		fmt.Printf("naive build rejected: %s\n", defect)
+	}
+	right, _ := spack.Parse("amg2023 ^hypre +bigint ^openmpi@4.1.2")
+	cRight, err := repo.Concretize(right)
+	if err != nil {
+		log.Fatal(err)
+	}
+	order, defect, _ := builder.Install(cRight)
+	fmt.Printf("spack installed %d new packages; defect=%q\n", len(order), defect)
+
+	loaded, err := builder.ModuleLoad(cRight.Hash())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("module load pulls in: %v\n\n", loaded)
+
+	// 2. Run: the 32–256 node weak-scaling sweep through Slurm on A.
+	spec, err := apps.EnvByKey("onprem-a-cpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	amg := apps.NewAMG2023()
+	ctl := slurm.NewController(s, logbook, spec.Key, slurm.Partition{Name: "pbatch", Nodes: 1544})
+	rng := s.Stream("onpremworkflow")
+
+	reg := oras.NewRegistry()
+	type rowT struct {
+		nodes int
+		fom   float64
+		state slurm.JobState
+	}
+	var rows []rowT
+	for _, nodes := range spec.Scales {
+		r := amg.Run(spec.Env, nodes, rng)
+		script := fmt.Sprintf(`#SBATCH --job-name=amg-%d
+#SBATCH --nodes=%d
+#SBATCH --ntasks-per-node=112
+#SBATCH --time=00:20:00
+#SBATCH --partition=pbatch`, nodes, nodes)
+		nodesCopy, fom := nodes, r.FOM
+		if _, err := ctl.Sbatch(script, r.Wall, func(j *slurm.Job) {
+			rows = append(rows, rowT{nodesCopy, fom, j.State})
+			// 3. Archive: push the run output via ORAS.
+			out := fmt.Sprintf("FOM %.4g nnz_AP/s\nnodes %d\nstate %s\n", fom, nodesCopy, j.State)
+			if _, err := reg.Push(
+				fmt.Sprintf("results/onprem-a-cpu/amg2023-%d", nodesCopy),
+				"application/vnd.cloudhpc.run.v1",
+				map[string][]byte{"amg.out": []byte(out)},
+				map[string]string{"nodes": fmt.Sprint(nodesCopy)},
+			); err != nil {
+				log.Fatal(err)
+			}
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s.Run()
+
+	fmt.Printf("%-8s %-14s %s\n", "nodes", "FOM (nnz/s)", "state")
+	for _, row := range rows {
+		fmt.Printf("%-8d %-14.4g %s\n", row.nodes, row.fom, row.state)
+	}
+	fmt.Printf("\narchived artifacts: %v\n", reg.Tags())
+	fmt.Printf("simulated wall clock (incl. builds + %v queue waits): %v\n",
+		time.Duration(20)*time.Minute, s.Now().Round(time.Minute))
+}

@@ -1,0 +1,47 @@
+// Quickstart: evaluate one application on one cloud environment.
+//
+// This is the smallest useful cloudhpc program: look up a study
+// environment, run LAMMPS across the study's scales, and print the figure
+// of merit — no provisioning, billing, or scheduling involved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/sim"
+)
+
+func main() {
+	// Pick an environment from the study matrix (paper Table 1).
+	spec, err := apps.EnvByKey("google-gke-cpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick an application model (paper §2.8).
+	lammps := apps.NewLAMMPS()
+	rng := sim.NewStream(42, "quickstart")
+
+	fmt.Printf("LAMMPS ReaxFF on %s (%d cores/node, %s)\n",
+		spec.Label, spec.Instance.Cores, spec.Instance.Fabric)
+	fmt.Printf("%-8s %-16s %s\n", "nodes", lammps.Unit(), "wall")
+	for _, nodes := range spec.Scales {
+		r := lammps.Run(spec.Env, nodes, rng)
+		if r.Err != nil {
+			fmt.Printf("%-8d failed: %v\n", nodes, r.Err)
+			continue
+		}
+		fmt.Printf("%-8d %-16.2f %v\n", nodes, r.FOM, r.Wall.Round(1e9))
+	}
+
+	// The same call against the on-premises cluster shows the gap the
+	// paper reports in Figure 4.
+	onprem, err := apps.EnvByKey("onprem-a-cpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := lammps.Run(onprem.Env, 256, rng)
+	fmt.Printf("\non-premises A at 256 nodes: %.2f %s\n", r.FOM, r.Unit)
+}

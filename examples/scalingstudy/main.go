@@ -1,0 +1,70 @@
+// Scalingstudy: compare how one application scales across fabrics.
+//
+// The paper's core performance question is "which environments can strong-
+// scale tightly coupled applications?" This example sweeps LAMMPS and
+// Kripke across three CPU environments with very different interconnects
+// (EFA, InfiniBand HDR, Google premium networking) and prints speedups and
+// parallel efficiencies — reproducing the reasoning behind Figures 1 and 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/metrics"
+	"cloudhpc/internal/sim"
+)
+
+func main() {
+	envKeys := []string{"aws-parallelcluster-cpu", "azure-cyclecloud-cpu", "google-gke-cpu"}
+	scales := []int{32, 64, 128, 256}
+
+	for _, model := range []apps.Model{apps.NewLAMMPS(), apps.NewKripke()} {
+		fmt.Printf("== %s (%s; higher-is-better=%v) ==\n", model.Name(), model.Unit(), model.HigherIsBetter())
+		for _, key := range envKeys {
+			spec, err := apps.EnvByKey(key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rng := sim.NewStream(7, "scalingstudy/"+key+"/"+model.Name())
+
+			var series metrics.Series
+			series.Label = key
+			for _, nodes := range scales {
+				var samples []float64
+				for i := 0; i < 5; i++ {
+					r := model.Run(spec.Env, nodes, rng)
+					if r.Err != nil {
+						continue
+					}
+					samples = append(samples, r.FOM)
+				}
+				if len(samples) > 0 {
+					series.Add(float64(nodes), metrics.Summarize(samples))
+				}
+			}
+
+			fmt.Printf("%-26s", key)
+			for _, nodes := range scales {
+				if y, ok := series.At(float64(nodes)); ok {
+					fmt.Printf(" %12.4g", y.Mean)
+				} else {
+					fmt.Printf(" %12s", "–")
+				}
+			}
+			if sp, err := series.Speedup(32, 256); err == nil {
+				if !model.HigherIsBetter() {
+					sp = 1 / sp
+				}
+				eff, _ := series.ParallelEfficiency(32, 256)
+				if !model.HigherIsBetter() {
+					eff = sp / 8
+				}
+				fmt.Printf("   speedup(32→256)=%.2f eff=%.0f%%", sp, eff*100)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// AMG2023 models the algebraic multigrid solver proxy (hypre), run weak
+// scaled on problem 2 with a 256×256×128 per-rank grid (paper §2.8).
+//
+//	FOM = nnz_AP / (SetupPhaseTime + 3·SolvePhaseTime)
+//
+// Calibrated behaviours from Figure 2:
+//   - CPU: the on-premises cluster A produced the largest FOMs.
+//   - GPU: cloud environments excelled; cluster B produced some of the
+//     lowest FOMs across sizes.
+//   - Process topology: -P 8 4 2 (used in Kubernetes environments) gives
+//     about 10% higher FOM than -P 4 4 4 (used in VM environments).
+type AMG2023 struct {
+	// TopologyGain is the multiplier of -P 8 4 2 over -P 4 4 4.
+	TopologyGain float64
+}
+
+// NewAMG2023 returns the calibrated model.
+func NewAMG2023() *AMG2023 { return &AMG2023{TopologyGain: 1.10} }
+
+func (a *AMG2023) Name() string         { return "amg2023" }
+func (a *AMG2023) Unit() string         { return "nnz_AP/s" }
+func (a *AMG2023) HigherIsBetter() bool { return true }
+func (a *AMG2023) Scaling() Scaling     { return Weak }
+
+// Topology names an AMG process decomposition.
+type Topology string
+
+const (
+	TopologyVM  Topology = "-P 4 4 4" // used in VM environments
+	TopologyK8s Topology = "-P 8 4 2" // used in Kubernetes environments
+)
+
+// Run uses the environment's default topology (Kubernetes → -P 8 4 2).
+func (a *AMG2023) Run(env Env, nodes int, rng *sim.Stream) Result {
+	topo := TopologyVM
+	if env.Kubernetes {
+		topo = TopologyK8s
+	}
+	return a.RunWithTopology(env, nodes, topo, rng)
+}
+
+// RunWithTopology runs with an explicit process topology — the knob behind
+// the paper's size-64 GKE comparison and our ablation bench.
+func (a *AMG2023) RunWithTopology(env Env, nodes int, topo Topology, rng *sim.Stream) Result {
+	units := env.Units(nodes)
+
+	// Per-unit non-zeros of the assembled AP operator (weak scaled: total
+	// grows linearly with units).
+	var nnzPerUnit, computeSec float64
+	if env.Acc == cloud.GPU {
+		nnzPerUnit = 8.4e7
+		computeSec = 9.0 / a.gpuSpeed(env) // setup + 3·solve on one V100
+	} else {
+		nnzPerUnit = 1.2e7
+		computeSec = 110.0 / a.cpuSpeed(env) // CPU solves run minutes, not seconds
+	}
+
+	// Multigrid V-cycles exchange many small messages; the level hierarchy
+	// deepens with scale, so collective cost grows with rank count.
+	const cyclesPerSolve = 40
+	commUs := env.Net.AllReduce(units, 4096, env.PathAt(nodes), nil) * cyclesPerSolve
+	totalSec := rng.Jitter(computeSec+commUs/1e6, 0.05)
+	if topo == TopologyVM {
+		// -P 4 4 4 maps the process grid less favourably: ~10% more time.
+		totalSec *= a.TopologyGain
+	}
+
+	fom := nnzPerUnit * float64(units) / totalSec
+	return Result{FOM: fom, Unit: a.Unit(), Wall: wallFromRate(1, 1/totalSec)}
+}
+
+// cpuSpeed is relative per-core CPU capability. Cluster A's Xeon 8480+
+// cores at 3.8 GHz outrun the cloud EPYCs, which is why A tops Figure 2.
+func (a *AMG2023) cpuSpeed(env Env) float64 {
+	base := env.Instance.ClockGHz / 3.5
+	if env.OnPrem() {
+		base *= 1.35 // DDR5 + Omni-Path locality on the 2023 Dell system
+	}
+	return base
+}
+
+// gpuSpeed is relative per-GPU capability. The 16 GB V100 hosts (Google,
+// cluster B) run slightly behind the 32 GB variants; B's POWER9 host and
+// doubled node count for the same GPU total cost it the most.
+func (a *AMG2023) gpuSpeed(env Env) float64 {
+	switch {
+	case env.OnPrem():
+		return 0.72
+	case env.Provider == cloud.Google:
+		return 0.90
+	default:
+		return 1.0
+	}
+}

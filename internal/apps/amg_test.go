@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"testing"
+
+	"cloudhpc/internal/sim"
+)
+
+func rngFor(name string) *sim.Stream { return sim.NewStream(42, name) }
+
+func TestAMGWeakScalingGrows(t *testing.T) {
+	m := NewAMG2023()
+	e := env(t, "aws-eks-cpu")
+	rng := rngFor("amg")
+	prev := 0.0
+	for _, nodes := range []int{32, 64, 128, 256} {
+		r := m.Run(e, nodes, rng)
+		if r.Err != nil {
+			t.Fatalf("AMG failed at %d nodes: %v", nodes, r.Err)
+		}
+		if r.FOM <= prev {
+			t.Fatalf("weak-scaled FOM should grow with nodes: %f at %d (prev %f)", r.FOM, nodes, prev)
+		}
+		prev = r.FOM
+	}
+}
+
+func TestAMGCPUOnPremHighest(t *testing.T) {
+	// Figure 2: cluster A produced the largest CPU FOMs.
+	m := NewAMG2023()
+	rng := rngFor("amg-cpu")
+	onprem := m.Run(env(t, "onprem-a-cpu"), 256, rng).FOM
+	for _, key := range []string{"aws-parallelcluster-cpu", "aws-eks-cpu", "google-gke-cpu", "azure-aks-cpu", "azure-cyclecloud-cpu", "google-computeengine-cpu"} {
+		if cloudFOM := m.Run(env(t, key), 256, rng).FOM; cloudFOM >= onprem {
+			t.Fatalf("on-prem A (%e) must beat %s (%e) on CPU", onprem, key, cloudFOM)
+		}
+	}
+}
+
+func TestAMGGPUCloudExcels(t *testing.T) {
+	// Figure 2: cloud environments excelled for GPU; B produced some of
+	// the lowest FOMs. Compare at equal GPU counts (B runs 2× the nodes).
+	m := NewAMG2023()
+	rng := rngFor("amg-gpu")
+	b := m.Run(env(t, "onprem-b-gpu"), 8, rng).FOM // 32 GPUs
+	for _, key := range []string{"aws-eks-gpu", "azure-aks-gpu", "google-gke-gpu", "azure-cyclecloud-gpu"} {
+		if cloudFOM := m.Run(env(t, key), 4, rng).FOM; cloudFOM <= b {
+			t.Fatalf("cloud %s (%e) must beat on-prem B (%e) on GPU", key, cloudFOM, b)
+		}
+	}
+}
+
+func TestAMGTopologyGainAboutTenPercent(t *testing.T) {
+	// §3.3: -P 8 4 2 gives ~10% higher FOM than -P 4 4 4 (size-64 GKE GPU).
+	m := NewAMG2023()
+	e := env(t, "google-gke-gpu")
+	var k8s, vm float64
+	const iters = 50
+	rngA, rngB := rngFor("topo-a"), rngFor("topo-b")
+	for i := 0; i < iters; i++ {
+		k8s += m.RunWithTopology(e, 8, TopologyK8s, rngA).FOM
+		vm += m.RunWithTopology(e, 8, TopologyVM, rngB).FOM
+	}
+	ratio := k8s / vm
+	if ratio < 1.05 || ratio > 1.15 {
+		t.Fatalf("topology gain = %f, want ~1.10", ratio)
+	}
+}
+
+func TestAMGDefaultTopologyByEnvironment(t *testing.T) {
+	m := NewAMG2023()
+	rng := rngFor("amg-default")
+	// Kubernetes environments default to the faster topology; with the
+	// same instance/fabric, GKE should edge out Compute Engine (the
+	// "discrepancy" the paper noted — CE also lacks COMPACT placement).
+	gke := m.Run(env(t, "google-gke-gpu"), 8, rng).FOM
+	ce := m.Run(env(t, "google-computeengine-gpu"), 8, rng).FOM
+	if gke <= ce {
+		t.Fatalf("GKE (%e) should beat Compute Engine (%e)", gke, ce)
+	}
+}
+
+func TestAMGMetadata(t *testing.T) {
+	m := NewAMG2023()
+	if m.Name() != "amg2023" || m.Scaling() != Weak || !m.HigherIsBetter() {
+		t.Fatalf("metadata wrong: %s %s %v", m.Name(), m.Scaling(), m.HigherIsBetter())
+	}
+}

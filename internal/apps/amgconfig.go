@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"cloudhpc/internal/cloud"
+)
+
+// AMGConfig captures the run configuration of §2.8: problem 2 with a
+// 256×256×128 per-rank grid, weak scaled. The study chose that size so
+// one rank's hierarchy fits the 16 GB V100 variant (Google Cloud and
+// cluster B), and so the global problem stays indexable — the origin of
+// the HYPRE_BigInt / HYPRE_Int build-flag requirements.
+type AMGConfig struct {
+	Problem    int // AMG2023 -problem flag (the study ran 2)
+	Nx, Ny, Nz int // per-rank grid
+}
+
+// StudyAMGConfig is the configuration used for every AMG run in the study.
+func StudyAMGConfig() AMGConfig {
+	return AMGConfig{Problem: 2, Nx: 256, Ny: 256, Nz: 128}
+}
+
+// Validate rejects impossible configurations.
+func (c AMGConfig) Validate() error {
+	if c.Problem != 1 && c.Problem != 2 {
+		return fmt.Errorf("apps: AMG2023 problem must be 1 or 2, got %d", c.Problem)
+	}
+	if c.Nx <= 0 || c.Ny <= 0 || c.Nz <= 0 {
+		return fmt.Errorf("apps: AMG2023 grid %d×%d×%d invalid", c.Nx, c.Ny, c.Nz)
+	}
+	return nil
+}
+
+// PointsPerRank is the per-rank grid size (8,388,608 for the study).
+func (c AMGConfig) PointsPerRank() int64 {
+	return int64(c.Nx) * int64(c.Ny) * int64(c.Nz)
+}
+
+// GlobalPoints is the weak-scaled global grid across ranks.
+func (c AMGConfig) GlobalPoints(ranks int) int64 {
+	return c.PointsPerRank() * int64(ranks)
+}
+
+// amgBytesPerPoint approximates the hypre multigrid hierarchy's memory
+// footprint per fine-grid point: matrices across levels, vectors, and
+// communication buffers. ~1.7 kB/point puts the study grid at ~13.6 GB —
+// inside a 16 GB V100 with headroom, which is exactly how the study chose
+// it.
+const amgBytesPerPoint = 1700
+
+// MemoryPerRankGB estimates one rank's working set.
+func (c AMGConfig) MemoryPerRankGB() float64 {
+	return float64(c.PointsPerRank()) * amgBytesPerPoint / 1e9
+}
+
+// FitsGPU reports whether a rank's hierarchy fits one GPU of the
+// environment. The study's grid fits the 16 GB parts; doubling any
+// dimension would not.
+func (c AMGConfig) FitsGPU(env Env) bool {
+	if env.Acc != cloud.GPU || env.Instance.GPUMemGB == 0 {
+		return true
+	}
+	return c.MemoryPerRankGB() <= float64(env.Instance.GPUMemGB)
+}
+
+// RequiresBigInt reports whether the global problem exceeds 32-bit
+// indexing at a rank count — the condition that forces HYPRE_BigInt (and,
+// for CPU builds solving even larger systems, HYPRE_Int) to long long int
+// (paper §2.8).
+func (c AMGConfig) RequiresBigInt(ranks int) bool {
+	return c.GlobalPoints(ranks) > math.MaxInt32
+}
+
+// MaxIndexableRanks is the largest weak-scaled rank count whose global
+// grid a 32-bit integer can still index.
+func (c AMGConfig) MaxIndexableRanks() int {
+	return int(math.MaxInt32 / c.PointsPerRank())
+}

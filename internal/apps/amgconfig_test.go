@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestStudyAMGConfigShape(t *testing.T) {
+	c := StudyAMGConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Problem != 2 {
+		t.Fatalf("study ran problem 2, got %d", c.Problem)
+	}
+	if got := c.PointsPerRank(); got != 256*256*128 {
+		t.Fatalf("points/rank = %d", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	for _, bad := range []AMGConfig{
+		{Problem: 3, Nx: 1, Ny: 1, Nz: 1},
+		{Problem: 2, Nx: 0, Ny: 256, Nz: 128},
+		{Problem: 2, Nx: 256, Ny: -1, Nz: 128},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestStudyGridFits16GBV100(t *testing.T) {
+	// §2.8: "We chose a per-GPU problem size that would fit into 16GB GPU
+	// memory to be compatible with the NVIDIA V100 variant offered by
+	// Google Cloud and cluster B."
+	c := StudyAMGConfig()
+	google := env(t, "google-gke-gpu") // 16 GB V100
+	if !c.FitsGPU(google) {
+		t.Fatalf("study grid (%.1f GB) must fit a 16 GB V100", c.MemoryPerRankGB())
+	}
+	// Headroom is finite: doubling one dimension overflows the 16 GB part
+	// but still fits the 32 GB AWS/Azure parts.
+	double := AMGConfig{Problem: 2, Nx: 512, Ny: 256, Nz: 128}
+	if double.FitsGPU(google) {
+		t.Fatalf("doubled grid (%.1f GB) should not fit 16 GB", double.MemoryPerRankGB())
+	}
+	aws := env(t, "aws-eks-gpu") // 32 GB V100
+	if !double.FitsGPU(aws) {
+		t.Fatalf("doubled grid should fit a 32 GB V100")
+	}
+	// CPU environments have no GPU-memory constraint.
+	if !double.FitsGPU(env(t, "aws-eks-cpu")) {
+		t.Fatalf("CPU environments are unconstrained")
+	}
+}
+
+func TestGlobalIndexabilityAtStudyScale(t *testing.T) {
+	// §2.8: "Our choice also ensured the global problem size was small
+	// enough to be indexed by an integer" — at the study's maximum of 256
+	// GPUs the global grid sits exactly at the 2^31 boundary.
+	c := StudyAMGConfig()
+	if c.RequiresBigInt(255) {
+		t.Fatalf("255 ranks (%d points) should still index with int32", c.GlobalPoints(255))
+	}
+	if !c.RequiresBigInt(256) {
+		t.Fatalf("256 ranks (%d points) exceeds int32 by exactly one", c.GlobalPoints(256))
+	}
+	if got := c.MaxIndexableRanks(); got != 255 {
+		t.Fatalf("MaxIndexableRanks = %d, want 255", got)
+	}
+}
+
+func TestBigIntTiesToContainerFlags(t *testing.T) {
+	// The CPU runs go far beyond 256 ranks (28,672 cores at the largest
+	// size), which is why CPU builds needed both HYPRE_Int and
+	// HYPRE_BigInt widened (the containers package encodes the matching
+	// build defect).
+	c := StudyAMGConfig()
+	a := env(t, "onprem-a-cpu")
+	if !c.RequiresBigInt(a.Units(256)) {
+		t.Fatalf("the 28,672-core runs must require 64-bit indexing")
+	}
+}

@@ -1,0 +1,150 @@
+// Package apps implements analytic performance models of the study's 11
+// proxy applications and benchmarks (paper §2.8). Each model maps an
+// environment (instance type, fabric, orchestration) and a node count to a
+// figure of merit with deterministic seeded noise, via an explicit
+// compute/communication split: compute scales with node capability, and
+// communication is priced by the environment's network model. That split
+// is what lets fabric substitution reorder environments the way the
+// paper's figures show.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/network"
+	"cloudhpc/internal/sim"
+)
+
+// Env describes an execution environment as the application models see it.
+type Env struct {
+	Key        string // canonical key, e.g. "aws-parallelcluster-cpu"
+	Label      string // display label, e.g. "AWS ParallelCluster"
+	Provider   cloud.Provider
+	Acc        cloud.Accelerator
+	Kubernetes bool
+	Instance   cloud.InstanceType
+	Net        *network.Model
+	Path       network.Path
+}
+
+// OnPrem reports whether this is one of the institutional clusters.
+func (e Env) OnPrem() bool { return e.Provider == cloud.OnPrem }
+
+// RanksPerNode is cores for CPU environments and GPUs for GPU environments.
+func (e Env) RanksPerNode() int {
+	if e.Acc == cloud.GPU {
+		return e.Instance.GPUs
+	}
+	return e.Instance.Cores
+}
+
+// Units returns total parallel units (cores or GPUs) at a node count.
+func (e Env) Units(nodes int) int { return nodes * e.RanksPerNode() }
+
+// PathAt returns the network path conditions at a cluster size. Placement
+// breaks down at scale exactly where the study saw it (§3.2): GKE COMPACT
+// placement was capped at 150 nodes, and AKS proximity placement groups
+// would not complete at 100 nodes or more — beyond those sizes traffic
+// crosses rack domains.
+func (e Env) PathAt(nodes int) network.Path {
+	p := e.Path
+	if e.Kubernetes {
+		switch e.Provider {
+		case cloud.Google:
+			if nodes > 150 {
+				p.Colocated = false
+			}
+		case cloud.Azure:
+			if nodes >= 100 {
+				p.Colocated = false
+			}
+		}
+	}
+	return p
+}
+
+// Run errors shared by the models.
+var (
+	// ErrTimeout marks runs that exceeded the study's budget-imposed wall
+	// limit (Laghos beyond 64 cloud nodes, Quicksilver GPU).
+	ErrTimeout = errors.New("apps: run exceeded wall-time limit")
+	// ErrSegfault marks crashes (Laghos on cluster A at 128/256 nodes).
+	ErrSegfault = errors.New("apps: segmentation fault")
+	// ErrNotSupported marks configurations the study could not run at all
+	// (Kripke GPU process mapping, Laghos GPU containers).
+	ErrNotSupported = errors.New("apps: configuration not supported")
+	// ErrOutputLost marks runs whose output could not be recovered
+	// (MiniFE on-premises).
+	ErrOutputLost = errors.New("apps: partial output, result unrecoverable")
+)
+
+// Scaling is the study's per-application scaling mode (paper §2.8).
+type Scaling string
+
+const (
+	Strong Scaling = "strong"
+	Weak   Scaling = "weak"
+	Single Scaling = "single-node"
+)
+
+// Result is the outcome of one application run.
+type Result struct {
+	FOM  float64
+	Unit string
+	Wall time.Duration // application wall time (excludes hookup)
+	Err  error
+}
+
+// Model is one application's performance model.
+type Model interface {
+	// Name is the lowercase application name used in container tags.
+	Name() string
+	// Unit names the figure of merit.
+	Unit() string
+	// HigherIsBetter reports the FOM direction.
+	HigherIsBetter() bool
+	// Scaling returns the study's scaling mode for the app.
+	Scaling() Scaling
+	// Run produces one iteration's result for the environment at a node
+	// count. rng supplies run-to-run noise; it must not be nil.
+	Run(env Env, nodes int, rng *sim.Stream) Result
+}
+
+// All returns the 11 models of the study in the paper's §2.8 order.
+func All() []Model {
+	return []Model{
+		NewAMG2023(),
+		NewLaghos(),
+		NewLAMMPS(),
+		NewKripke(),
+		NewMiniFE(),
+		NewMTGEMM(),
+		NewMixbench(),
+		NewOSU(),
+		NewSingleNode(),
+		NewStream(),
+		NewQuicksilver(),
+	}
+}
+
+// ByName returns the named model.
+func ByName(name string) (Model, error) {
+	for _, m := range All() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// wallFromRate converts an amount of work and a rate into a wall duration,
+// guarding against division by zero.
+func wallFromRate(work, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration(work / rate * float64(time.Second))
+}

@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"fmt"
+
+	"cloudhpc/internal/cloud"
+)
+
+// Run configurations for the remaining parameterized applications
+// (paper §2.8). Like AMGConfig, these capture the sizing decisions the
+// study made and the constraints that forced them.
+
+// LAMMPSConfig is the ReaxFF benchmark box: x×y×z replications of the
+// hexane cell.
+type LAMMPSConfig struct {
+	X, Y, Z int
+}
+
+// StudyLAMMPSConfig returns the study's problem for an accelerator class:
+// 64×64×32 on CPU and 64×32×32 on GPU — the GPU box was halved to fit
+// the 16 GB V100s on Google Cloud and cluster B.
+func StudyLAMMPSConfig(acc cloud.Accelerator) LAMMPSConfig {
+	if acc == cloud.GPU {
+		return LAMMPSConfig{X: 64, Y: 32, Z: 32}
+	}
+	return LAMMPSConfig{X: 64, Y: 64, Z: 32}
+}
+
+// Validate rejects non-positive boxes.
+func (c LAMMPSConfig) Validate() error {
+	if c.X <= 0 || c.Y <= 0 || c.Z <= 0 {
+		return fmt.Errorf("apps: LAMMPS box %d×%d×%d invalid", c.X, c.Y, c.Z)
+	}
+	return nil
+}
+
+// Cells returns the number of replicated cells.
+func (c LAMMPSConfig) Cells() int64 { return int64(c.X) * int64(c.Y) * int64(c.Z) }
+
+// hnsAtomsPerCell is the atom count of the replicated HNS unit cell in
+// the ReaxFF benchmark.
+const hnsAtomsPerCell = 304
+
+// Atoms returns the total atom count of the replicated box.
+func (c LAMMPSConfig) Atoms() int64 { return c.Cells() * hnsAtomsPerCell }
+
+// lammpsBytesPerAtom approximates ReaxFF's per-atom GPU working set:
+// charge-equilibration matrices, bond tables, and oversized "safezone"
+// neighbor allocations run to ~16 kB/atom.
+const lammpsBytesPerAtom = 16384
+
+// MemoryPerGPU estimates the per-GPU working set at a GPU count.
+func (c LAMMPSConfig) MemoryPerGPU(gpus int) float64 {
+	if gpus <= 0 {
+		return 0
+	}
+	return float64(c.Atoms()) * lammpsBytesPerAtom / float64(gpus) / 1e9
+}
+
+// FitsGPU reports whether the per-GPU share fits the environment's GPU at
+// the given total GPU count.
+func (c LAMMPSConfig) FitsGPU(env Env, gpus int) bool {
+	if env.Acc != cloud.GPU || env.Instance.GPUMemGB == 0 {
+		return true
+	}
+	return c.MemoryPerGPU(gpus) <= float64(env.Instance.GPUMemGB)
+}
+
+// KripkeConfig is the deterministic transport configuration: energy
+// groups, directions, zones per rank, and the data layout nesting.
+type KripkeConfig struct {
+	Groups     int
+	Directions int
+	ZonesX     int
+	ZonesY     int
+	ZonesZ     int
+	Layout     string // e.g. "DGZ": directions-groups-zones nesting
+}
+
+// StudyKripkeConfig is a CORAL-2-style configuration.
+func StudyKripkeConfig() KripkeConfig {
+	return KripkeConfig{Groups: 32, Directions: 96, ZonesX: 16, ZonesY: 16, ZonesZ: 16, Layout: "DGZ"}
+}
+
+// validLayouts are Kripke's six nesting orders.
+var validLayouts = map[string]bool{
+	"DGZ": true, "DZG": true, "GDZ": true, "GZD": true, "ZDG": true, "ZGD": true,
+}
+
+// Validate checks counts and layout.
+func (c KripkeConfig) Validate() error {
+	if c.Groups <= 0 || c.Directions <= 0 {
+		return fmt.Errorf("apps: Kripke needs positive groups/directions, got %d/%d", c.Groups, c.Directions)
+	}
+	if c.ZonesX <= 0 || c.ZonesY <= 0 || c.ZonesZ <= 0 {
+		return fmt.Errorf("apps: Kripke zones %d×%d×%d invalid", c.ZonesX, c.ZonesY, c.ZonesZ)
+	}
+	if !validLayouts[c.Layout] {
+		return fmt.Errorf("apps: Kripke layout %q not one of DGZ/DZG/GDZ/GZD/ZDG/ZGD", c.Layout)
+	}
+	return nil
+}
+
+// UnknownsPerRank is the per-rank phase-space size: zones × directions ×
+// groups — the unit of work grind time is measured against.
+func (c KripkeConfig) UnknownsPerRank() int64 {
+	return int64(c.ZonesX) * int64(c.ZonesY) * int64(c.ZonesZ) *
+		int64(c.Directions) * int64(c.Groups)
+}

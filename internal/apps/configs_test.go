@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"testing"
+
+	"cloudhpc/internal/cloud"
+)
+
+func TestStudyLAMMPSConfigs(t *testing.T) {
+	cpu := StudyLAMMPSConfig(cloud.CPU)
+	gpu := StudyLAMMPSConfig(cloud.GPU)
+	if cpu != (LAMMPSConfig{64, 64, 32}) {
+		t.Fatalf("CPU box = %+v", cpu)
+	}
+	if gpu != (LAMMPSConfig{64, 32, 32}) {
+		t.Fatalf("GPU box = %+v", gpu)
+	}
+	// §2.8: "The GPU problem size was chosen to be smaller to fit on the
+	// GPUs on Google Cloud and B" — half the CPU box.
+	if gpu.Cells()*2 != cpu.Cells() {
+		t.Fatalf("GPU box should be half the CPU box: %d vs %d", gpu.Cells(), cpu.Cells())
+	}
+}
+
+func TestLAMMPSGPUMemorySizing(t *testing.T) {
+	gpu := StudyLAMMPSConfig(cloud.GPU)
+	google := env(t, "google-gke-gpu") // 16 GB V100
+	// At the smallest GPU scale (32 GPUs) the study box must fit the
+	// 16 GB parts.
+	if !gpu.FitsGPU(google, 32) {
+		t.Fatalf("study GPU box (%.1f GB/GPU at 32 GPUs) must fit 16 GB", gpu.MemoryPerGPU(32))
+	}
+	// The CPU box would not have fit at that scale — the reason the study
+	// shrank it.
+	cpu := StudyLAMMPSConfig(cloud.CPU)
+	if cpu.FitsGPU(google, 32) {
+		t.Fatalf("CPU box (%.1f GB/GPU) should overflow a 16 GB V100 at 32 GPUs", cpu.MemoryPerGPU(32))
+	}
+	// The 32 GB AWS parts could have taken it.
+	aws := env(t, "aws-eks-gpu")
+	if !cpu.FitsGPU(aws, 32) {
+		t.Fatalf("CPU box should fit 32 GB V100s")
+	}
+}
+
+func TestLAMMPSConfigValidate(t *testing.T) {
+	if err := (LAMMPSConfig{0, 1, 1}).Validate(); err == nil {
+		t.Fatalf("zero box accepted")
+	}
+	if err := StudyLAMMPSConfig(cloud.CPU).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (LAMMPSConfig{2, 2, 2}).MemoryPerGPU(0) != 0 {
+		t.Fatalf("zero GPUs should report zero memory")
+	}
+}
+
+func TestKripkeConfig(t *testing.T) {
+	c := StudyKripkeConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(16*16*16) * 96 * 32
+	if c.UnknownsPerRank() != want {
+		t.Fatalf("unknowns = %d, want %d", c.UnknownsPerRank(), want)
+	}
+	for _, layout := range []string{"DGZ", "ZGD", "GDZ"} {
+		c.Layout = layout
+		if err := c.Validate(); err != nil {
+			t.Fatalf("layout %s rejected: %v", layout, err)
+		}
+	}
+	c.Layout = "XYZ"
+	if err := c.Validate(); err == nil {
+		t.Fatalf("bogus layout accepted")
+	}
+	c = StudyKripkeConfig()
+	c.Groups = 0
+	if err := c.Validate(); err == nil {
+		t.Fatalf("zero groups accepted")
+	}
+	c = StudyKripkeConfig()
+	c.ZonesY = -1
+	if err := c.Validate(); err == nil {
+		t.Fatalf("negative zones accepted")
+	}
+}

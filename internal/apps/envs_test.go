@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"testing"
+
+	"cloudhpc/internal/cloud"
+)
+
+// env fetches a study environment for model tests.
+func env(t *testing.T, key string) Env {
+	t.Helper()
+	spec, err := EnvByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Env
+}
+
+func TestStudyEnvironmentMatrix(t *testing.T) {
+	envs, err := StudyEnvironments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 14 {
+		t.Fatalf("matrix has %d environments, want 14 (Table 1)", len(envs))
+	}
+	dep := Deployable(envs)
+	if len(dep) != 13 {
+		t.Fatalf("deployable = %d, want 13 (AWS ParallelCluster GPU excluded)", len(dep))
+	}
+	var cpu, gpu int
+	for _, e := range dep {
+		if e.Acc == cloud.CPU {
+			cpu++
+		} else {
+			gpu++
+		}
+	}
+	if cpu != 7 || gpu != 6 {
+		t.Fatalf("deployable split = %d CPU / %d GPU, want 7/6", cpu, gpu)
+	}
+}
+
+func TestSchedulersMatchTable1(t *testing.T) {
+	want := map[string]string{
+		"onprem-a-cpu":             "Slurm",
+		"aws-parallelcluster-cpu":  "Slurm",
+		"aws-eks-cpu":              "Flux",
+		"google-computeengine-cpu": "Flux",
+		"google-gke-cpu":           "Flux",
+		"azure-cyclecloud-cpu":     "Slurm",
+		"azure-aks-cpu":            "Flux",
+		"onprem-b-gpu":             "LSF",
+	}
+	for key, sched := range want {
+		spec, err := EnvByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Scheduler != sched {
+			t.Errorf("%s scheduler = %s, want %s", key, spec.Scheduler, sched)
+		}
+	}
+}
+
+func TestContainerRuntimes(t *testing.T) {
+	// Table 1: Kubernetes → containerd (cd), VM clusters → Singularity (s),
+	// on-prem → no containers.
+	envs, _ := StudyEnvironments()
+	for _, e := range envs {
+		switch {
+		case e.Kubernetes && e.ContainerRuntime != "containerd":
+			t.Errorf("%s: runtime = %q, want containerd", e.Key, e.ContainerRuntime)
+		case !e.Kubernetes && !e.OnPrem() && e.ContainerRuntime != "singularity":
+			t.Errorf("%s: runtime = %q, want singularity", e.Key, e.ContainerRuntime)
+		case e.OnPrem() && e.ContainerRuntime != "":
+			t.Errorf("%s: on-prem should not use containers", e.Key)
+		}
+	}
+}
+
+func TestClusterBScalesDoubled(t *testing.T) {
+	b, err := EnvByKey("onprem-b-gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B has 4 GPUs/node vs 8 in cloud, so it runs 8/16/32/64 nodes where
+	// cloud runs 4/8/16/32 — equal GPU counts at each step.
+	if got, want := b.Scales[0], 8; got != want {
+		t.Fatalf("B smallest scale = %d nodes, want %d", got, want)
+	}
+	cloudEnv, _ := EnvByKey("aws-eks-gpu")
+	for i := range b.Scales {
+		if b.Env.Units(b.Scales[i]) != cloudEnv.Env.Units(cloudEnv.Scales[i]) {
+			t.Fatalf("GPU totals differ at step %d: B=%d cloud=%d",
+				i, b.Env.Units(b.Scales[i]), cloudEnv.Env.Units(cloudEnv.Scales[i]))
+		}
+	}
+}
+
+func TestMaxNodesForEKSGPU(t *testing.T) {
+	eks, _ := EnvByKey("aws-eks-gpu")
+	if MaxNodesFor(eks) != 16 {
+		t.Fatalf("EKS GPU max nodes = %d, want 16 (256 GPUs unobtainable)", MaxNodesFor(eks))
+	}
+	gke, _ := EnvByKey("google-gke-gpu")
+	if MaxNodesFor(gke) != 32 {
+		t.Fatalf("GKE GPU max nodes = %d, want 32", MaxNodesFor(gke))
+	}
+}
+
+func TestComputeEngineNotColocated(t *testing.T) {
+	// No study size obtained COMPACT placement on Compute Engine.
+	ce := env(t, "google-computeengine-cpu")
+	if ce.Path.Colocated {
+		t.Fatalf("Compute Engine paths should not be colocated")
+	}
+	gke := env(t, "google-gke-cpu")
+	if !gke.Path.Colocated {
+		t.Fatalf("GKE got COMPACT placement at study sizes")
+	}
+}
+
+func TestEnvUnits(t *testing.T) {
+	cpu := env(t, "aws-eks-cpu")
+	if cpu.Units(32) != 32*96 {
+		t.Fatalf("CPU units = %d", cpu.Units(32))
+	}
+	gpu := env(t, "aws-eks-gpu")
+	if gpu.Units(4) != 32 {
+		t.Fatalf("GPU units = %d", gpu.Units(4))
+	}
+}
+
+func TestEnvByKeyUnknown(t *testing.T) {
+	if _, err := EnvByKey("nope"); err == nil {
+		t.Fatalf("unknown key must error")
+	}
+}
+
+func TestMaxCPUScaleMatchesAbstract(t *testing.T) {
+	// Abstract: scaling up to 28,672 CPUs = 256 nodes × 112 cores (A).
+	a := env(t, "onprem-a-cpu")
+	if a.Units(256) != 28672 {
+		t.Fatalf("A at 256 nodes = %d CPUs, want 28672", a.Units(256))
+	}
+	// And 256 GPUs = 32 cloud nodes × 8.
+	g := env(t, "google-gke-gpu")
+	if g.Units(32) != 256 {
+		t.Fatalf("GKE at 32 nodes = %d GPUs, want 256", g.Units(32))
+	}
+}

@@ -1,0 +1,59 @@
+package apps_test
+
+import (
+	"fmt"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// Running one application model against a study environment.
+func Example() {
+	spec, err := apps.EnvByKey("azure-cyclecloud-cpu")
+	if err != nil {
+		panic(err)
+	}
+	lammps := apps.NewLAMMPS()
+	rng := sim.NewStream(1, "example")
+	r := lammps.Run(spec.Env, 64, rng)
+	fmt.Printf("%s on %s at 64 nodes: %.0f %s\n", lammps.Name(), spec.Label, r.FOM, r.Unit)
+	// Output:
+	// lammps on Azure CycleCloud at 64 nodes: 65 M-atom steps/s
+}
+
+// The environment matrix is the paper's Table 1.
+func ExampleStudyEnvironments() {
+	envs, _ := apps.StudyEnvironments()
+	deployable := apps.Deployable(envs)
+	fmt.Printf("%d environments, %d deployable\n", len(envs), len(deployable))
+	// Output:
+	// 14 environments, 13 deployable
+}
+
+// AMG2023's problem sizing encodes the paper's GPU-memory and integer-
+// indexing constraints.
+func ExampleAMGConfig() {
+	cfg := apps.StudyAMGConfig()
+	fmt.Printf("grid %d×%d×%d: %.1f GB per rank, 32-bit safe up to %d ranks\n",
+		cfg.Nx, cfg.Ny, cfg.Nz, cfg.MemoryPerRankGB(), cfg.MaxIndexableRanks())
+	// Output:
+	// grid 256×256×128: 14.3 GB per rank, 32-bit safe up to 255 ranks
+}
+
+// Failure modes are first-class results, not panics.
+func ExampleModel_failureModes() {
+	laghos := apps.NewLaghos()
+	spec, _ := apps.EnvByKey("google-gke-cpu")
+	rng := sim.NewStream(1, "fail")
+	r := laghos.Run(spec.Env, 256, rng)
+	fmt.Println(r.Err)
+
+	qs := apps.NewQuicksilver()
+	gpu, _ := apps.EnvByKey("azure-aks-gpu")
+	fmt.Println(qs.Run(gpu.Env, 4, rng).Err)
+	_ = cloud.GPU
+	// Output:
+	// apps: run exceeded wall-time limit
+	// apps: run exceeded wall-time limit
+}

@@ -1,0 +1,67 @@
+package apps
+
+import (
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// Kripke models the deterministic particle-transport proxy, run strong
+// scaled on CPU. FOM is grind time — the time to complete a unit of work —
+// so lower is better (paper §2.8).
+//
+// Calibrated behaviours from Figure 1 / §3.3:
+//   - AWS ParallelCluster had the lowest grind time at the largest three
+//     sizes, followed by EKS and CycleCloud.
+//   - The paper attributes the ordering primarily to the network
+//     interconnect; sweep pipelines are sensitive to injection overheads,
+//     and Kubernetes adds a small scheduling overhead on top of the VM
+//     variants of the same fabric.
+//   - GPU runs are not reported: processes could not be mapped to GPUs
+//     correctly.
+type Kripke struct{}
+
+// NewKripke returns the calibrated model.
+func NewKripke() *Kripke { return &Kripke{} }
+
+func (k *Kripke) Name() string         { return "kripke" }
+func (k *Kripke) Unit() string         { return "grind time (ns)" }
+func (k *Kripke) HigherIsBetter() bool { return false }
+func (k *Kripke) Scaling() Scaling     { return Strong }
+
+// Run evaluates one Kripke execution.
+func (k *Kripke) Run(env Env, nodes int, rng *sim.Stream) Result {
+	if env.Acc == cloud.GPU {
+		return Result{Unit: k.Unit(), Err: ErrNotSupported} // process→GPU mapping
+	}
+	units := env.Units(nodes)
+
+	// Grind time: per-unknown compute cost shrinks with parallel units;
+	// each KBA sweep stage pays a modest neighbour-exchange cost priced by
+	// the fabric (the pipeline amortizes most of it, hence the 1/10).
+	computeNs := 9.0e5 / float64(units) * k.platform(env)
+	sweepStages := float64(nodes)
+	commNs := env.Net.Latency(16384, env.PathAt(nodes), nil) * 1e3 * sweepStages / float64(units) / 10
+	grind := computeNs + commNs
+	if env.Kubernetes {
+		grind *= 1.06 // containerd/kubelet jitter on the sweep pipeline
+	}
+	grind = rng.Jitter(grind, 0.05)
+	return Result{FOM: grind, Unit: k.Unit(), Wall: wallFromRate(1e3, 1e9/grind)}
+}
+
+// platform folds in per-core sweep throughput: AWS's 3.6 GHz EPYCs lead;
+// CycleCloud's HB96rs parts clock down to 1.9 GHz under sustained sweeps
+// and pay UCX ud/shm/rc software overheads; cluster A's dense 112-core
+// nodes starve the sweep kernel of memory bandwidth per core.
+func (k *Kripke) platform(env Env) float64 {
+	switch env.Provider {
+	case cloud.Azure:
+		return 2.3
+	case cloud.Google:
+		return 1.12 // per-core fine; fewer cores/node already hurt via units
+	case cloud.OnPrem:
+		return 1.95
+	default: // AWS
+		return 1.0
+	}
+}

@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLaghosCloudCompletesOnlySmallSizes(t *testing.T) {
+	m := NewLaghos()
+	rng := rngFor("laghos")
+	for _, key := range []string{"aws-eks-cpu", "google-gke-cpu", "azure-aks-cpu", "google-computeengine-cpu", "azure-cyclecloud-cpu"} {
+		e := env(t, key)
+		for _, nodes := range []int{32, 64} {
+			if r := m.Run(e, nodes, rng); r.Err != nil {
+				t.Fatalf("%s at %d nodes should complete: %v", key, nodes, r.Err)
+			}
+		}
+		for _, nodes := range []int{128, 256} {
+			if r := m.Run(e, nodes, rng); !errors.Is(r.Err, ErrTimeout) {
+				t.Fatalf("%s at %d nodes should time out, got %v", key, nodes, r.Err)
+			}
+		}
+	}
+}
+
+func TestLaghosParallelClusterNeverCompletes(t *testing.T) {
+	m := NewLaghos()
+	e := env(t, "aws-parallelcluster-cpu")
+	for _, nodes := range []int{32, 64} {
+		if r := m.Run(e, nodes, rngFor("laghos-pc")); !errors.Is(r.Err, ErrTimeout) {
+			t.Fatalf("ParallelCluster at %d nodes must not complete, got %v", nodes, r.Err)
+		}
+	}
+}
+
+func TestLaghosOnPremOrderOfMagnitudeFaster(t *testing.T) {
+	m := NewLaghos()
+	rng := rngFor("laghos-op")
+	op := m.Run(env(t, "onprem-a-cpu"), 32, rng)
+	if op.Err != nil {
+		t.Fatalf("on-prem 32 nodes: %v", op.Err)
+	}
+	cl := m.Run(env(t, "azure-aks-cpu"), 32, rng)
+	if cl.Err != nil {
+		t.Fatalf("cloud 32 nodes: %v", cl.Err)
+	}
+	if op.FOM < 7*cl.FOM {
+		t.Fatalf("on-prem FOM (%f) should be ~an order of magnitude above cloud (%f)", op.FOM, cl.FOM)
+	}
+}
+
+func TestLaghosOnPremSpeedupNear1_6(t *testing.T) {
+	m := NewLaghos()
+	e := env(t, "onprem-a-cpu")
+	var f32, f64 float64
+	rngA, rngB := rngFor("l32"), rngFor("l64")
+	for i := 0; i < 40; i++ {
+		f32 += m.Run(e, 32, rngA).FOM
+		f64 += m.Run(e, 64, rngB).FOM
+	}
+	sp := f64 / f32
+	if sp < 1.45 || sp < 1.0 || sp > 1.75 {
+		t.Fatalf("on-prem 32→64 speedup = %f, want ≈1.6", sp)
+	}
+}
+
+func TestLaghosOnPremSegfaultsAtLargeSizes(t *testing.T) {
+	m := NewLaghos()
+	e := env(t, "onprem-a-cpu")
+	for _, nodes := range []int{128, 256} {
+		if r := m.Run(e, nodes, rngFor("lseg")); !errors.Is(r.Err, ErrSegfault) {
+			t.Fatalf("cluster A at %d nodes should segfault, got %v", nodes, r.Err)
+		}
+	}
+}
+
+func TestLaghosGPUUnsupported(t *testing.T) {
+	m := NewLaghos()
+	if r := m.Run(env(t, "google-gke-gpu"), 4, rngFor("lgpu")); !errors.Is(r.Err, ErrNotSupported) {
+		t.Fatalf("GPU Laghos must be unsupported (CUDA conflict), got %v", r.Err)
+	}
+}

@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// MiniFE models the unstructured implicit finite-element proxy (similar to
+// HPCG). FOM is total conjugate-gradient MFLOP/s — higher is better
+// (paper §2.8).
+//
+// Calibrated behaviours from Figure 6 / §3.3:
+//   - Results across CPU and GPU show inconsistent and *inverse* scaling:
+//     every CG iteration ends in latency-bound dot-product allreduces, so
+//     adding nodes raises time faster than it spreads the fixed problem.
+//   - AKS exhibited the best GPU performance, and the best size-32 CPU
+//     performance — its InfiniBand fabric pays the smallest latency bill.
+//   - On-premises results were lost (partial output) and are not
+//     reportable.
+type MiniFE struct{}
+
+// NewMiniFE returns the calibrated model.
+func NewMiniFE() *MiniFE { return &MiniFE{} }
+
+func (m *MiniFE) Name() string         { return "minife" }
+func (m *MiniFE) Unit() string         { return "Total CG MFLOP/s" }
+func (m *MiniFE) HigherIsBetter() bool { return true }
+func (m *MiniFE) Scaling() Scaling     { return Strong }
+
+// Run evaluates one MiniFE execution.
+func (m *MiniFE) Run(env Env, nodes int, rng *sim.Stream) Result {
+	if env.OnPrem() {
+		return Result{Unit: m.Unit(), Err: ErrOutputLost}
+	}
+	units := env.Units(nodes)
+
+	// Fixed problem: W MFLOP of CG work over `iters` iterations, each with
+	// two latency-bound allreduces (dot products).
+	const (
+		workMF = 2.4e6
+		iters  = 8000.0
+	)
+	var perUnitMF float64
+	if env.Acc == cloud.GPU {
+		perUnitMF = 9.0e3
+	} else {
+		perUnitMF = 2.1e2
+	}
+	computeSec := workMF / (perUnitMF * float64(units))
+	commSec := 2 * iters * env.Net.AllReduce(units, 8, env.PathAt(nodes), nil) / 1e6
+	fom := workMF / (computeSec + commSec)
+	// "Inconsistent" scaling: heavy run-to-run noise on top of the model.
+	fom = rng.Jitter(fom, 0.22)
+	return Result{FOM: fom, Unit: m.Unit(), Wall: wallFromRate(workMF, fom)}
+}

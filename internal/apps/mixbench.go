@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// Mixbench models the single-node mixed-operational-intensity benchmark
+// the study used to collect basic GPU attributes. FOM is peak measured
+// GFLOP/s on the mixed kernel — higher is better.
+//
+// The headline finding it surfaced (paper §3.3) is about Error Correction
+// Code state, not speed: every cloud GPU environment except Azure had ECC
+// On everywhere; Azure had a mixture, 12.5–25% Off depending on the
+// environment. ECC Off buys up to ~15% performance at the price of data
+// integrity, so the inconsistency is a correctness hazard for scientific
+// codes.
+type Mixbench struct {
+	// ECCPenalty is the performance cost of ECC On relative to Off.
+	ECCPenalty float64
+	// AzureECCOffProb is the chance an Azure GPU comes up with ECC Off.
+	AzureECCOffProb float64
+}
+
+// NewMixbench returns the calibrated model.
+func NewMixbench() *Mixbench { return &Mixbench{ECCPenalty: 0.13, AzureECCOffProb: 0.2} }
+
+func (m *Mixbench) Name() string         { return "mixbench" }
+func (m *Mixbench) Unit() string         { return "GFLOP/s" }
+func (m *Mixbench) HigherIsBetter() bool { return true }
+func (m *Mixbench) Scaling() Scaling     { return Single }
+
+// Run benchmarks one node. For GPU environments the ECC roll follows the
+// environment's provider; CPU environments measure the host.
+func (m *Mixbench) Run(env Env, nodes int, rng *sim.Stream) Result {
+	if env.Acc == cloud.GPU {
+		const eccOffPeak = 7300.0 // V100 mixed-kernel peak with ECC Off
+		fom := eccOffPeak * (1 - m.ECCPenalty)
+		if env.Provider == cloud.Azure && rng.Bernoulli(m.AzureECCOffProb) {
+			fom = eccOffPeak
+		}
+		fom = rng.Jitter(fom, 0.02)
+		return Result{FOM: fom, Unit: m.Unit(), Wall: wallFromRate(1e4, fom)}
+	}
+	fom := rng.Jitter(float64(env.Instance.Cores)*env.Instance.ClockGHz*14, 0.03)
+	return Result{FOM: fom, Unit: m.Unit(), Wall: wallFromRate(1e4, fom)}
+}
+
+// ECCAudit surveys a fleet's ECC state the way the study's per-node
+// collection did, returning the fraction of GPUs with ECC enabled.
+// Non-Azure clouds always return 1.0.
+func (m *Mixbench) ECCAudit(env Env, fleet int, rng *sim.Stream) float64 {
+	if env.Acc != cloud.GPU || fleet <= 0 {
+		return 1.0
+	}
+	if env.Provider != cloud.Azure {
+		return 1.0
+	}
+	on := 0
+	for i := 0; i < fleet; i++ {
+		if !rng.Bernoulli(m.AzureECCOffProb) {
+			on++
+		}
+	}
+	return float64(on) / float64(fleet)
+}

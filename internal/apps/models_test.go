@@ -1,0 +1,313 @@
+package apps
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cloudhpc/internal/sim"
+)
+
+// --- LAMMPS ---
+
+func TestLAMMPSOnPremBeatsCloud(t *testing.T) {
+	m := NewLAMMPS()
+	rng := rngFor("lammps")
+	opCPU := m.Run(env(t, "onprem-a-cpu"), 64, rng).FOM
+	for _, key := range []string{"aws-eks-cpu", "google-gke-cpu", "azure-aks-cpu"} {
+		if f := m.Run(env(t, key), 64, rng).FOM; f >= opCPU {
+			t.Fatalf("on-prem A (%f) must beat %s (%f)", opCPU, key, f)
+		}
+	}
+	opGPU := m.Run(env(t, "onprem-b-gpu"), 16, rng).FOM // 64 GPUs
+	for _, key := range []string{"aws-eks-gpu", "google-gke-gpu", "azure-aks-gpu"} {
+		if f := m.Run(env(t, key), 8, rng).FOM; f >= opGPU {
+			t.Fatalf("on-prem B (%f) must beat %s (%f) at 64 GPUs", opGPU, key, f)
+		}
+	}
+}
+
+func TestLAMMPSGKEInflectionBetween128And256(t *testing.T) {
+	// Figure 4: GKE CPU stops strong scaling between 128 and 256 nodes.
+	m := NewLAMMPS()
+	e := env(t, "google-gke-cpu")
+	rng := rngFor("lmp-gke")
+	mean := func(nodes int) float64 {
+		var s float64
+		for i := 0; i < 30; i++ {
+			s += m.Run(e, nodes, rng).FOM
+		}
+		return s / 30
+	}
+	f64, f128, f256 := mean(64), mean(128), mean(256)
+	if f128 <= f64 {
+		t.Fatalf("GKE should still scale 64→128: %f vs %f", f128, f64)
+	}
+	if f256 > f128*1.05 {
+		t.Fatalf("GKE strong scaling should stop by 256 nodes: %f vs %f", f256, f128)
+	}
+	// InfiniBand environments keep scaling to 256.
+	az := env(t, "azure-cyclecloud-cpu")
+	var a128, a256 float64
+	rngAz := rngFor("lmp-az")
+	for i := 0; i < 30; i++ {
+		a128 += m.Run(az, 128, rngAz).FOM
+		a256 += m.Run(az, 256, rngAz).FOM
+	}
+	if a256 <= a128 {
+		t.Fatalf("CycleCloud should keep scaling: %f vs %f", a256, a128)
+	}
+}
+
+// --- Kripke ---
+
+func TestKripkeOrderingAtLargeSizes(t *testing.T) {
+	// Figure 1: ParallelCluster lowest grind, then EKS, then CycleCloud.
+	m := NewKripke()
+	streams := map[string]*sim.Stream{}
+	mean := func(key string, nodes int) float64 {
+		e := env(t, key)
+		rng, ok := streams[key]
+		if !ok {
+			rng = rngFor("kripke-" + key)
+			streams[key] = rng
+		}
+		var s float64
+		for i := 0; i < 30; i++ {
+			s += m.Run(e, nodes, rng).FOM
+		}
+		return s / 30
+	}
+	for _, nodes := range []int{64, 128, 256} {
+		pc := mean("aws-parallelcluster-cpu", nodes)
+		eks := mean("aws-eks-cpu", nodes)
+		cc := mean("azure-cyclecloud-cpu", nodes)
+		if !(pc < eks && eks < cc) {
+			t.Fatalf("at %d nodes want PC < EKS < CycleCloud, got %f %f %f", nodes, pc, eks, cc)
+		}
+	}
+}
+
+func TestKripkeGrindFallsWithScale(t *testing.T) {
+	m := NewKripke()
+	e := env(t, "aws-parallelcluster-cpu")
+	prev := math.Inf(1)
+	for _, nodes := range []int{32, 64, 128, 256} {
+		g := m.Run(e, nodes, rngFor("kripke-scale")).FOM
+		if g >= prev {
+			t.Fatalf("grind time should fall with nodes: %f at %d", g, nodes)
+		}
+		prev = g
+	}
+}
+
+func TestKripkeGPUNotReported(t *testing.T) {
+	m := NewKripke()
+	if r := m.Run(env(t, "aws-eks-gpu"), 4, rngFor("kripke-gpu")); !errors.Is(r.Err, ErrNotSupported) {
+		t.Fatalf("GPU Kripke should be unsupported, got %v", r.Err)
+	}
+}
+
+// --- MiniFE ---
+
+func TestMiniFEInverseScaling(t *testing.T) {
+	m := NewMiniFE()
+	rng := rngFor("minife")
+	mean := func(key string, nodes int) float64 {
+		e := env(t, key)
+		var s float64
+		for i := 0; i < 40; i++ {
+			s += m.Run(e, nodes, rng).FOM
+		}
+		return s / 40
+	}
+	// Figure 6: inverse scaling — larger clusters do not help and
+	// eventually hurt.
+	small := mean("google-gke-cpu", 32)
+	large := mean("google-gke-cpu", 256)
+	if large >= small {
+		t.Fatalf("MiniFE should inverse-scale on GKE: 32→%f, 256→%f", small, large)
+	}
+}
+
+func TestMiniFEAKSBest(t *testing.T) {
+	m := NewMiniFE()
+	rng := rngFor("minife-best")
+	mean := func(key string, nodes int) float64 {
+		e := env(t, key)
+		var s float64
+		for i := 0; i < 40; i++ {
+			s += m.Run(e, nodes, rng).FOM
+		}
+		return s / 40
+	}
+	// AKS best for GPU, and for size-32 CPU.
+	aksGPU := mean("azure-aks-gpu", 4)
+	for _, key := range []string{"aws-eks-gpu", "google-gke-gpu", "google-computeengine-gpu"} {
+		if f := mean(key, 4); f >= aksGPU {
+			t.Fatalf("AKS GPU (%f) should beat %s (%f)", aksGPU, key, f)
+		}
+	}
+	aksCPU := mean("azure-aks-cpu", 32)
+	for _, key := range []string{"aws-eks-cpu", "google-gke-cpu", "google-computeengine-cpu"} {
+		if f := mean(key, 32); f >= aksCPU {
+			t.Fatalf("AKS CPU-32 (%f) should beat %s (%f)", aksCPU, key, f)
+		}
+	}
+}
+
+func TestMiniFEOnPremOutputLost(t *testing.T) {
+	m := NewMiniFE()
+	if r := m.Run(env(t, "onprem-a-cpu"), 32, rngFor("minife-op")); !errors.Is(r.Err, ErrOutputLost) {
+		t.Fatalf("on-prem MiniFE output was lost, got %v", r.Err)
+	}
+}
+
+// --- MT-GEMM ---
+
+func TestMTGEMMGPUStrongScalability(t *testing.T) {
+	m := NewMTGEMM()
+	e := env(t, "google-computeengine-gpu")
+	prev := 0.0
+	for _, nodes := range []int{4, 8, 16, 32} {
+		f := m.Run(e, nodes, rngFor("gemm")).FOM
+		if f <= prev {
+			t.Fatalf("GPU GEMM should scale: %f at %d nodes", f, nodes)
+		}
+		if prev > 0 && f < 1.7*prev {
+			t.Fatalf("GPU GEMM efficiency collapsed: %f -> %f", prev, f)
+		}
+		prev = f
+	}
+}
+
+func TestMTGEMMSimilarAcrossCEAKSGKE(t *testing.T) {
+	m := NewMTGEMM()
+	rng := rngFor("gemm-sim")
+	mean := func(key string) float64 {
+		var s float64
+		for i := 0; i < 30; i++ {
+			s += m.Run(env(t, key), 16, rng).FOM
+		}
+		return s / 30
+	}
+	ce, aks, gke := mean("google-computeengine-gpu"), mean("azure-aks-gpu"), mean("google-gke-gpu")
+	for _, pair := range [][2]float64{{ce, aks}, {aks, gke}, {ce, gke}} {
+		if ratio := pair[0] / pair[1]; ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("CE/AKS/GKE should be similar: %f %f %f", ce, aks, gke)
+		}
+	}
+}
+
+func TestMTGEMMCPUCommunicationBound(t *testing.T) {
+	// §3.3: GFLOP/s decreased at each larger node count, from the start.
+	m := NewMTGEMM()
+	e := env(t, "aws-eks-cpu")
+	prev := math.Inf(1)
+	for _, nodes := range []int{32, 64, 128, 256} {
+		f := m.Run(e, nodes, rngFor("gemm-cpu")).FOM
+		if f >= prev {
+			t.Fatalf("CPU GEMM should decrease with scale: %f at %d nodes", f, nodes)
+		}
+		prev = f
+	}
+}
+
+// --- Quicksilver ---
+
+func TestQuicksilverCPURanking(t *testing.T) {
+	m := NewQuicksilver()
+	rng := rngFor("qs")
+	mean := func(key string) float64 {
+		var s float64
+		for i := 0; i < 30; i++ {
+			s += m.Run(env(t, key), 64, rng).FOM
+		}
+		return s / 30
+	}
+	aws := mean("aws-parallelcluster-cpu")
+	awsEKS := mean("aws-eks-cpu")
+	azure := mean("azure-cyclecloud-cpu")
+	google := mean("google-gke-cpu")
+	if !(aws > azure && awsEKS > azure) {
+		t.Fatalf("AWS setups should lead: pc=%e eks=%e azure=%e", aws, awsEKS, azure)
+	}
+	if azure <= google {
+		t.Fatalf("Azure should beat Google: %e vs %e", azure, google)
+	}
+}
+
+func TestQuicksilverGPUNeverFinishes(t *testing.T) {
+	m := NewQuicksilver()
+	if r := m.Run(env(t, "azure-aks-gpu"), 4, rngFor("qs-gpu")); !errors.Is(r.Err, ErrTimeout) {
+		t.Fatalf("GPU Quicksilver must time out (pinning bug), got %v", r.Err)
+	}
+	// Ablation: with the bug fixed, runs complete.
+	m.GPUPinningBug = false
+	if r := m.Run(env(t, "azure-aks-gpu"), 4, rngFor("qs-gpu2")); r.Err != nil {
+		t.Fatalf("without the bug the run should finish: %v", r.Err)
+	}
+}
+
+// --- registry ---
+
+func TestModelMetadataTable(t *testing.T) {
+	// Paper §2.8: scaling mode and FOM direction per application.
+	want := map[string]struct {
+		scaling Scaling
+		higher  bool
+		unit    string
+	}{
+		"amg2023":     {Weak, true, "nnz_AP/s"},
+		"laghos":      {Strong, true, "megadofs·steps/s"},
+		"lammps":      {Strong, true, "M-atom steps/s"},
+		"kripke":      {Strong, false, "grind time (ns)"},
+		"minife":      {Strong, true, "Total CG MFLOP/s"},
+		"mt-gemm":     {Strong, true, "GFLOP/s"},
+		"mixbench":    {Single, true, "GFLOP/s"},
+		"osu":         {Strong, false, "8B latency (µs)"},
+		"single-node": {Single, true, "sysbench events/s"},
+		"stream":      {Single, true, "Triad GB/s"},
+		"quicksilver": {Weak, true, "segments/cycle-tracking-s"},
+	}
+	for _, m := range All() {
+		w, ok := want[m.Name()]
+		if !ok {
+			t.Fatalf("unexpected model %q", m.Name())
+		}
+		if m.Scaling() != w.scaling {
+			t.Errorf("%s scaling = %s, want %s", m.Name(), m.Scaling(), w.scaling)
+		}
+		if m.HigherIsBetter() != w.higher {
+			t.Errorf("%s HigherIsBetter = %v, want %v", m.Name(), m.HigherIsBetter(), w.higher)
+		}
+		if m.Unit() != w.unit {
+			t.Errorf("%s unit = %q, want %q", m.Name(), m.Unit(), w.unit)
+		}
+	}
+}
+
+func TestAllElevenModels(t *testing.T) {
+	ms := All()
+	if len(ms) != 11 {
+		t.Fatalf("All() = %d models, want 11", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name()] {
+			t.Fatalf("duplicate model %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	for _, name := range []string{"amg2023", "laghos", "lammps", "kripke", "minife", "mt-gemm", "mixbench", "osu", "single-node", "stream", "quicksilver"} {
+		if !seen[name] {
+			t.Fatalf("missing model %q", name)
+		}
+	}
+	if _, err := ByName("lammps"); err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := ByName("hpl"); err == nil {
+		t.Fatalf("ByName must reject unknown apps")
+	}
+}

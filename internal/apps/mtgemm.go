@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"math"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// MTGEMM models the NERSC MT-xGEMM matrix-multiplication kernel (GPU) and
+// the PRACE MPI dense-linear-algebra variant (CPU). FOM is GFLOP/s —
+// higher is better (paper §2.8).
+//
+// Calibrated behaviours from Figure 7 / §3.3:
+//   - GPU: strong scalability across GPU counts, with Compute Engine,
+//     AKS, and GKE exhibiting similar performance.
+//   - CPU: the global problem size is hard-coded in the source, so the
+//     per-rank share is tiny even at the smallest node count — all CPU
+//     environments are communication-bound from the start and GFLOP/s
+//     *decreases* with every larger size. The paper omits these results;
+//     the model reproduces why.
+type MTGEMM struct{}
+
+// NewMTGEMM returns the calibrated model.
+func NewMTGEMM() *MTGEMM { return &MTGEMM{} }
+
+func (g *MTGEMM) Name() string         { return "mt-gemm" }
+func (g *MTGEMM) Unit() string         { return "GFLOP/s" }
+func (g *MTGEMM) HigherIsBetter() bool { return true }
+func (g *MTGEMM) Scaling() Scaling     { return Strong }
+
+// Run evaluates one MT-GEMM execution.
+func (g *MTGEMM) Run(env Env, nodes int, rng *sim.Stream) Result {
+	units := env.Units(nodes)
+	if env.Acc == cloud.GPU {
+		// GEMM is compute-dense; efficiency decays only gently with scale.
+		const perGPU = 5600.0 // fp64 GFLOP/s sustained on a V100 GEMM
+		eff := math.Pow(0.97, math.Log2(float64(units)/8))
+		fom := rng.Jitter(perGPU*float64(units)*eff, 0.04)
+		return Result{FOM: fom, Unit: g.Unit(), Wall: wallFromRate(1e5, fom)}
+	}
+
+	// CPU: fixed global problem. Every iteration allgathers each rank's
+	// tile, so total bytes on the wire grow with the rank count — adding
+	// nodes adds communication to a problem that gained no work.
+	const (
+		workGF = 4.0e4
+		tileMB = 0.262144 // 256 KiB per-rank tile
+		rounds = 50.0
+	)
+	computeSec := workGF / (float64(units) * 18.0)
+	bwMBs := env.Net.Bandwidth(262144, env.PathAt(nodes), nil)
+	commSec := float64(units) * tileMB / bwMBs * rounds
+	fom := rng.Jitter(workGF/(computeSec+commSec), 0.07)
+	return Result{FOM: fom, Unit: g.Unit(), Wall: wallFromRate(workGF, fom)}
+}

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"cloudhpc/internal/network"
+	"cloudhpc/internal/sim"
+)
+
+// OSU wraps the OSU micro-benchmarks (paper §2.8): point-to-point latency
+// (osu_latency), bandwidth (osu_bw), and the allreduce collective
+// (osu_allreduce). As a Model its scalar FOM is the 8-byte point-to-point
+// latency in microseconds (lower is better); the full per-message-size
+// series behind Figure 5 come from the Series methods.
+//
+// GPU runs used host-to-host mode (only InfiniBand fabrics support GPU
+// Direct), so GPU and CPU results were comparable and the paper reports
+// CPU at the largest cluster size.
+type OSU struct {
+	// SampleNodes and MaxPairs implement the paper's pair-sampling
+	// strategy: 8 random nodes, at most 28 pair combinations.
+	SampleNodes int
+	MaxPairs    int
+}
+
+// NewOSU returns the study-configured benchmark.
+func NewOSU() *OSU { return &OSU{SampleNodes: 8, MaxPairs: 28} }
+
+func (o *OSU) Name() string         { return "osu" }
+func (o *OSU) Unit() string         { return "8B latency (µs)" }
+func (o *OSU) HigherIsBetter() bool { return false }
+func (o *OSU) Scaling() Scaling     { return Strong }
+
+// Run measures mean 8-byte latency over the sampled pairs.
+func (o *OSU) Run(env Env, nodes int, rng *sim.Stream) Result {
+	pairs := network.SamplePairs(nodes, o.SampleNodes, o.MaxPairs, rng)
+	var sum float64
+	for range pairs {
+		sum += env.Net.Latency(8, o.path(env), rng)
+	}
+	lat := sum / float64(len(pairs))
+	return Result{FOM: lat, Unit: o.Unit(), Wall: wallFromRate(1, 1)}
+}
+
+// path applies the study's measurement condition: on EKS and AKS the
+// latency and bandwidth tests ran simultaneously on the same nodes, likely
+// hurting both.
+func (o *OSU) path(env Env) network.Path {
+	p := env.Path
+	if env.Kubernetes && (env.Provider == "aws" || env.Provider == "azure") {
+		p.Interference = true
+	}
+	return p
+}
+
+// LatencySeries returns the osu_latency sweep for Figure 5.
+func (o *OSU) LatencySeries(env Env, rng *sim.Stream) []network.OSUSample {
+	return network.RunLatency(env.Net, o.path(env), o.MaxPairs, rng)
+}
+
+// BandwidthSeries returns the osu_bw sweep for Figure 5.
+func (o *OSU) BandwidthSeries(env Env, rng *sim.Stream) []network.OSUSample {
+	return network.RunBandwidth(env.Net, o.path(env), o.MaxPairs, rng)
+}
+
+// AllReduceSeries returns the osu_allreduce sweep across all ranks of a
+// cluster of the given node count.
+func (o *OSU) AllReduceSeries(env Env, nodes int, rng *sim.Stream) []network.OSUSample {
+	return network.RunAllReduce(env.Net, env.Units(nodes), env.Path, 5, rng)
+}

@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"time"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// Quicksilver models the simplified Monte Carlo particle-transport proxy
+// (for the production code Mercury), run weak scaled. FOM is the number of
+// segments over cycle tracking time — larger is better (paper §2.8).
+//
+// Calibrated behaviours from Figure 8 / §3.3:
+//   - CPU: the AWS setups had the highest FOM, followed by Azure.
+//   - GPU: runs never finished within the budgeted time; half of the
+//     processes were pinned to GPU 0 (an erroneous build or runtime
+//     misconfiguration), collapsing utilization.
+type Quicksilver struct {
+	// GPUPinningBug keeps the observed misconfiguration on (ablate off to
+	// see what the runs would have produced).
+	GPUPinningBug bool
+}
+
+// NewQuicksilver returns the calibrated model.
+func NewQuicksilver() *Quicksilver { return &Quicksilver{GPUPinningBug: true} }
+
+func (q *Quicksilver) Name() string         { return "quicksilver" }
+func (q *Quicksilver) Unit() string         { return "segments/cycle-tracking-s" }
+func (q *Quicksilver) HigherIsBetter() bool { return true }
+func (q *Quicksilver) Scaling() Scaling     { return Weak }
+
+// Run evaluates one Quicksilver execution.
+func (q *Quicksilver) Run(env Env, nodes int, rng *sim.Stream) Result {
+	if env.Acc == cloud.GPU && q.GPUPinningBug {
+		// Half the ranks contend on GPU 0; the run blows the wall limit.
+		return Result{Unit: q.Unit(), Wall: time.Hour, Err: ErrTimeout}
+	}
+	units := env.Units(nodes)
+
+	// Weak scaled: segments grow with units; tracking time grows with the
+	// collective facet-exchange cost. Branchy Monte Carlo tracking rewards
+	// high clocks and low-latency fabrics.
+	perUnit := 5.5e5 * q.platform(env)
+	commSec := env.Net.AllReduce(units, 1024, env.PathAt(nodes), nil) / 1e6 * 100
+	const cycleSec = 12.0
+	fom := perUnit * float64(units) / (cycleSec + commSec)
+	fom = rng.Jitter(fom, 0.07)
+	return Result{FOM: fom, Unit: q.Unit(), Wall: wallFromRate(float64(units)*perUnit, fom)}
+}
+
+// platform encodes the CPU ordering of Figure 8: AWS first, Azure second.
+func (q *Quicksilver) platform(env Env) float64 {
+	switch env.Provider {
+	case cloud.AWS:
+		return 1.0
+	case cloud.Azure:
+		return 0.82
+	case cloud.Google:
+		return 0.74
+	default:
+		return 0.68 // on-prem A: older memory subsystem per-core on this kernel
+	}
+}

@@ -1,0 +1,64 @@
+package cloud
+
+import "time"
+
+// The paper's §4.1 recommends auto-scaling only for infrequent batches of
+// work, and static clusters of exactly the sizes needed when experiments
+// are well defined. This file provides the two cost models the
+// BenchmarkAutoscalingTradeoff ablation compares.
+
+// WorkloadPhase is one burst of work in a plan: Width nodes busy for Busy,
+// followed by Idle of no work before the next phase.
+type WorkloadPhase struct {
+	Width int
+	Busy  time.Duration
+	Idle  time.Duration
+}
+
+// AutoscaleConfig describes an autoscaler: a persistent head node plus
+// scale-up latency paid at every phase boundary (nodes bill while booting).
+type AutoscaleConfig struct {
+	HeadNodes    int
+	ScaleUpDelay time.Duration // per scale-up operation
+	ScaleDownLag time.Duration // nodes linger after work completes
+}
+
+// StaticClusterCost prices running the whole plan on a fixed cluster sized
+// to the widest phase, held up for the entire plan duration.
+func StaticClusterCost(it InstanceType, plan []WorkloadPhase) float64 {
+	width := 0
+	var total time.Duration
+	for _, ph := range plan {
+		if ph.Width > width {
+			width = ph.Width
+		}
+		total += ph.Busy + ph.Idle
+	}
+	return float64(width) * total.Hours() * it.HourlyUSD
+}
+
+// AutoscaleCost prices the same plan with an autoscaler: the head stays up
+// for the whole plan; workers bill for busy time plus scale-up delay plus
+// scale-down lag of each phase.
+func AutoscaleCost(it InstanceType, cfg AutoscaleConfig, plan []WorkloadPhase) float64 {
+	var total time.Duration
+	var workerCost float64
+	for _, ph := range plan {
+		total += ph.Busy + ph.Idle
+		up := ph.Busy + cfg.ScaleUpDelay + cfg.ScaleDownLag
+		workerCost += float64(ph.Width-cfg.HeadNodes) * up.Hours() * it.HourlyUSD
+	}
+	headCost := float64(cfg.HeadNodes) * total.Hours() * it.HourlyUSD
+	return headCost + workerCost
+}
+
+// ExactStaticCost prices the paper's preferred strategy for well-defined
+// experiments: bring up a static cluster of exactly each phase's size for
+// exactly its busy time (no idle, no autoscaler churn).
+func ExactStaticCost(it InstanceType, plan []WorkloadPhase) float64 {
+	var cost float64
+	for _, ph := range plan {
+		cost += float64(ph.Width) * ph.Busy.Hours() * it.HourlyUSD
+	}
+	return cost
+}

@@ -1,0 +1,149 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// Meter accrues instance-hour charges per environment and models the
+// per-provider cost-reporting lag the paper warns about (§4.2: usage data
+// may not appear until the next day, so overspending is hard to catch).
+type Meter struct {
+	sim *sim.Simulation
+	log *trace.Log
+
+	// ReportingLag is how stale each provider's billing view is.
+	ReportingLag map[Provider]time.Duration
+
+	charges []charge
+	budgets map[Provider]float64
+}
+
+type charge struct {
+	at     time.Duration
+	prov   Provider
+	env    string
+	amount float64
+	note   string
+}
+
+// NewMeter returns a meter with the study's reporting lags: roughly a day
+// for the clouds, zero for on-prem (no billing at all).
+func NewMeter(s *sim.Simulation, log *trace.Log) *Meter {
+	return &Meter{
+		sim: s,
+		log: log,
+		ReportingLag: map[Provider]time.Duration{
+			AWS:    24 * time.Hour,
+			Azure:  24 * time.Hour,
+			Google: 12 * time.Hour,
+			OnPrem: 0,
+		},
+		budgets: make(map[Provider]float64),
+	}
+}
+
+// SetBudget sets the per-cloud budget ($49,000 per cloud in the study).
+func (m *Meter) SetBudget(p Provider, usd float64) { m.budgets[p] = usd }
+
+// Budget returns the configured budget for a provider (0 if unset).
+func (m *Meter) Budget(p Provider) float64 { return m.budgets[p] }
+
+// ChargeNodeHours bills a cluster: nodes × duration × hourly rate.
+// It returns the charged amount.
+func (m *Meter) ChargeNodeHours(env string, it InstanceType, nodes int, d time.Duration, note string) float64 {
+	amount := float64(nodes) * d.Hours() * it.HourlyUSD
+	if amount == 0 {
+		return 0
+	}
+	m.charges = append(m.charges, charge{at: m.sim.Now(), prov: it.Provider, env: env, amount: amount, note: note})
+	m.log.Add(trace.Event{
+		At: m.sim.Now(), Env: env, Category: trace.Billing, Severity: trace.Routine,
+		Msg:  fmt.Sprintf("charge: %d × %s × %.2fh (%s)", nodes, it.Name, d.Hours(), note),
+		Cost: amount,
+	})
+	return amount
+}
+
+// Charge records an arbitrary amount (e.g. wasted spend while waiting for
+// nodes that never provisioned).
+func (m *Meter) Charge(p Provider, env string, usd float64, note string) {
+	m.charges = append(m.charges, charge{at: m.sim.Now(), prov: p, env: env, amount: usd, note: note})
+	m.log.Add(trace.Event{
+		At: m.sim.Now(), Env: env, Category: trace.Billing, Severity: trace.Unexpected,
+		Msg: note, Cost: usd,
+	})
+}
+
+// Spend returns total actual spend for a provider ("" sums all providers).
+func (m *Meter) Spend(p Provider) float64 {
+	var sum float64
+	for _, c := range m.charges {
+		if p == "" || c.prov == p {
+			sum += c.amount
+		}
+	}
+	return sum
+}
+
+// SpendByEnv returns total spend keyed by environment.
+func (m *Meter) SpendByEnv() map[string]float64 {
+	out := make(map[string]float64)
+	for _, c := range m.charges {
+		out[c.env] += c.amount
+	}
+	return out
+}
+
+// ReportedSpend returns the spend *visible* to the user right now given the
+// provider's reporting lag — charges newer than the lag are invisible.
+func (m *Meter) ReportedSpend(p Provider) float64 {
+	lag := m.ReportingLag[p]
+	horizon := m.sim.Now() - lag
+	var sum float64
+	for _, c := range m.charges {
+		if c.prov == p && c.at <= horizon {
+			sum += c.amount
+		}
+	}
+	return sum
+}
+
+// UnreportedSpend is actual minus reported — the blind spot that makes
+// retroactive overspend impossible to fix.
+func (m *Meter) UnreportedSpend(p Provider) float64 {
+	return m.Spend(p) - m.ReportedSpend(p)
+}
+
+// OverBudget reports whether actual spend exceeds the budget (if set).
+func (m *Meter) OverBudget(p Provider) bool {
+	b, ok := m.budgets[p]
+	return ok && m.Spend(p) > b
+}
+
+// Statement renders a per-environment cost summary sorted by total cost
+// ascending, mirroring the layout of the paper's Table 4.
+func (m *Meter) Statement() []EnvCost {
+	byEnv := m.SpendByEnv()
+	out := make([]EnvCost, 0, len(byEnv))
+	for env, usd := range byEnv {
+		out = append(out, EnvCost{Env: env, TotalUSD: usd})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUSD != out[j].TotalUSD {
+			return out[i].TotalUSD < out[j].TotalUSD
+		}
+		return out[i].Env < out[j].Env
+	})
+	return out
+}
+
+// EnvCost is one row of a cost statement.
+type EnvCost struct {
+	Env      string
+	TotalUSD float64
+}

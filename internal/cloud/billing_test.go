@@ -1,0 +1,115 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func TestChargeNodeHours(t *testing.T) {
+	s := sim.New(1)
+	m := NewMeter(s, trace.NewLog())
+	it := InstanceType{Name: "Hpc6a", Provider: AWS, HourlyUSD: 2.88}
+	got := m.ChargeNodeHours("aws-pc-cpu", it, 32, 2*time.Hour, "run")
+	want := 32 * 2 * 2.88
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("charge = %v, want %v", got, want)
+	}
+	if m.Spend(AWS) != got {
+		t.Fatalf("Spend(AWS) = %v, want %v", m.Spend(AWS), got)
+	}
+}
+
+func TestOnPremIsFree(t *testing.T) {
+	s := sim.New(1)
+	m := NewMeter(s, trace.NewLog())
+	it := InstanceType{Name: "dell", Provider: OnPrem, HourlyUSD: 0}
+	if got := m.ChargeNodeHours("onprem-cpu", it, 256, 10*time.Hour, "run"); got != 0 {
+		t.Fatalf("on-prem charge = %v, want 0", got)
+	}
+}
+
+func TestReportingLagHidesRecentCharges(t *testing.T) {
+	s := sim.New(1)
+	m := NewMeter(s, trace.NewLog())
+	it := InstanceType{Name: "Hpc6a", Provider: AWS, HourlyUSD: 2.88}
+	m.ChargeNodeHours("e", it, 10, time.Hour, "early")
+	if m.ReportedSpend(AWS) != 0 {
+		t.Fatalf("charge should be invisible inside the 24h lag")
+	}
+	if m.UnreportedSpend(AWS) != m.Spend(AWS) {
+		t.Fatalf("everything should be unreported initially")
+	}
+	s.Clock.Advance(25 * time.Hour)
+	if m.ReportedSpend(AWS) != m.Spend(AWS) {
+		t.Fatalf("after the lag, reported should equal actual")
+	}
+}
+
+func TestBudgetTracking(t *testing.T) {
+	s := sim.New(1)
+	m := NewMeter(s, trace.NewLog())
+	m.SetBudget(Azure, 49000)
+	if m.OverBudget(Azure) {
+		t.Fatalf("no spend yet")
+	}
+	it := InstanceType{Name: "ND40rs v2", Provider: Azure, HourlyUSD: 22.03}
+	m.ChargeNodeHours("az", it, 32, 100*time.Hour, "big")
+	if !m.OverBudget(Azure) {
+		t.Fatalf("$%.0f should exceed $49k", m.Spend(Azure))
+	}
+	if m.OverBudget(Google) {
+		t.Fatalf("unbudgeted provider is never over budget")
+	}
+}
+
+func TestStatementSortedAscending(t *testing.T) {
+	s := sim.New(1)
+	m := NewMeter(s, trace.NewLog())
+	m.Charge(AWS, "expensive", 100, "x")
+	m.Charge(AWS, "cheap", 1, "y")
+	m.Charge(Azure, "middle", 50, "z")
+	st := m.Statement()
+	if len(st) != 3 {
+		t.Fatalf("statement rows = %d, want 3", len(st))
+	}
+	for i := 1; i < len(st); i++ {
+		if st[i].TotalUSD < st[i-1].TotalUSD {
+			t.Fatalf("statement not ascending: %v", st)
+		}
+	}
+}
+
+func TestAutoscaleVsStaticCosts(t *testing.T) {
+	it := InstanceType{HourlyUSD: 3.0}
+	// Infrequent bursts with long idle: autoscaling should win.
+	bursty := []WorkloadPhase{
+		{Width: 64, Busy: time.Hour, Idle: 10 * time.Hour},
+		{Width: 64, Busy: time.Hour, Idle: 10 * time.Hour},
+	}
+	cfg := AutoscaleConfig{HeadNodes: 1, ScaleUpDelay: 10 * time.Minute, ScaleDownLag: 5 * time.Minute}
+	if AutoscaleCost(it, cfg, bursty) >= StaticClusterCost(it, bursty) {
+		t.Fatalf("autoscaling should beat a static cluster for bursty work")
+	}
+	// Back-to-back dense work: exact static clusters (the paper's advice
+	// for well-defined experiments) beat the autoscaler's churn.
+	dense := []WorkloadPhase{
+		{Width: 64, Busy: 30 * time.Minute},
+		{Width: 64, Busy: 30 * time.Minute},
+		{Width: 64, Busy: 30 * time.Minute},
+	}
+	if ExactStaticCost(it, dense) >= AutoscaleCost(it, cfg, dense) {
+		t.Fatalf("exact static clusters should beat autoscaling churn for dense plans")
+	}
+}
+
+func TestExactStaticIgnoresIdle(t *testing.T) {
+	it := InstanceType{HourlyUSD: 2.0}
+	plan := []WorkloadPhase{{Width: 10, Busy: time.Hour, Idle: 100 * time.Hour}}
+	if got, want := ExactStaticCost(it, plan), 20.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExactStaticCost = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,97 @@
+package cloud
+
+import "fmt"
+
+// Catalog is the instance-type inventory of the study — a faithful
+// transcription of the paper's Table 2 ("Nodes and Network").
+type Catalog struct {
+	types map[string]InstanceType
+	order []string
+}
+
+// NewCatalog returns the study catalog.
+func NewCatalog() *Catalog {
+	c := &Catalog{types: make(map[string]InstanceType)}
+	for _, it := range studyInstanceTypes {
+		c.add(it)
+	}
+	return c
+}
+
+func (c *Catalog) add(it InstanceType) {
+	key := it.String()
+	if _, dup := c.types[key]; dup {
+		panic(fmt.Sprintf("cloud: duplicate catalog entry %s", key))
+	}
+	c.types[key] = it
+	c.order = append(c.order, key)
+}
+
+// Lookup returns the instance type with the given provider and name.
+func (c *Catalog) Lookup(p Provider, name string) (InstanceType, error) {
+	it, ok := c.types[fmt.Sprintf("%s/%s", p, name)]
+	if !ok {
+		return InstanceType{}, fmt.Errorf("cloud: unknown instance type %s/%s", p, name)
+	}
+	return it, nil
+}
+
+// All returns every instance type in Table 2 order.
+func (c *Catalog) All() []InstanceType {
+	out := make([]InstanceType, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, c.types[k])
+	}
+	return out
+}
+
+// studyInstanceTypes transcribes Table 2. On-premises rows carry no cost
+// (the center does not bill per instance-hour).
+var studyInstanceTypes = []InstanceType{
+	// --- CPU rows ---
+	{
+		Name: "dell-xeon-8480", Provider: OnPrem,
+		Processor: "Intel Xeon Platinum 8480+", Cores: 112, ClockGHz: 3.8,
+		MemoryGB: 256, Fabric: OmniPath100,
+	},
+	{
+		Name: "Hpc6a", Provider: AWS,
+		Processor: "AMD EPYC 7R13/7003", Cores: 96, ClockGHz: 3.6,
+		MemoryGB: 384, Fabric: EFAGen15, HourlyUSD: 2.88,
+	},
+	{
+		Name: "c2d-standard-112", Provider: Google,
+		Processor: "AMD EPYC 7B13", Cores: 56, ClockGHz: 3.5,
+		MemoryGB: 448, Fabric: GooglePremium, HourlyUSD: 5.06,
+	},
+	{
+		Name: "HB96rs v3", Provider: Azure,
+		Processor: "AMD EPYC 7003", Cores: 96, ClockGHz: 3.5,
+		MemoryGB: 448, Fabric: InfiniBandHDR, HourlyUSD: 3.60,
+	},
+	// --- GPU rows ---
+	{
+		Name: "ibm-power9-v100", Provider: OnPrem,
+		Processor: "IBM Power9", Cores: 44, ClockGHz: 3.5,
+		MemoryGB: 256, GPUs: 4, GPUModel: "V100 16GB", GPUMemGB: 16,
+		Fabric: InfiniBandEDR,
+	},
+	{
+		Name: "p3dn.24xlarge", Provider: AWS,
+		Processor: "Xeon Platinum 8175", Cores: 48, ClockGHz: 2.5,
+		MemoryGB: 768, GPUs: 8, GPUModel: "V100 32GB", GPUMemGB: 32,
+		Fabric: EFAGen1, HourlyUSD: 34.33,
+	},
+	{
+		Name: "n1-standard-32", Provider: Google,
+		Processor: "Xeon Haswell E5 v3", Cores: 16, ClockGHz: 2.3,
+		MemoryGB: 120, GPUs: 8, GPUModel: "V100 16GB", GPUMemGB: 16,
+		Fabric: GooglePremium, HourlyUSD: 23.36,
+	},
+	{
+		Name: "ND40rs v2", Provider: Azure,
+		Processor: "Xeon Platinum 8168", Cores: 48, ClockGHz: 2.7,
+		MemoryGB: 672, GPUs: 8, GPUModel: "V100 32GB", GPUMemGB: 32,
+		Fabric: InfiniBandEDR, HourlyUSD: 22.03,
+	},
+}

@@ -1,0 +1,111 @@
+package cloud
+
+import (
+	"fmt"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// PlacementKind names a provider's co-location mechanism (paper §2.6).
+type PlacementKind string
+
+const (
+	// AWSClusterPlacement packs nodes closely in one availability zone.
+	AWSClusterPlacement PlacementKind = "aws-cluster-placement-group"
+	// AzureProximity creates instances in a single datacenter; in the study
+	// it would not complete for 100 nodes or more on AKS.
+	AzureProximity PlacementKind = "azure-proximity-placement-group"
+	// GCPCompact places nodes in the same zone; at study time it was
+	// available up to 150 nodes on GKE and unavailable on Compute Engine.
+	GCPCompact PlacementKind = "gcp-compact-placement"
+	// NoPlacement means no co-location was requested or possible.
+	NoPlacement PlacementKind = "none"
+)
+
+// PlacementResult describes what a placement request actually achieved.
+type PlacementResult struct {
+	Kind      PlacementKind
+	Requested int
+	// Colocated is how many nodes ended up genuinely co-located. On AKS
+	// beyond 100 nodes the interface reported "Colocation status is
+	// currently unknown" and only a subset were included.
+	Colocated int
+	// StatusUnknown mirrors the AKS portal message for large groups.
+	StatusUnknown bool
+}
+
+// Full reports whether every requested node is co-located.
+func (r PlacementResult) Full() bool { return r.Colocated >= r.Requested && r.Requested > 0 }
+
+// PlacementService models per-provider placement behaviour.
+type PlacementService struct {
+	sim *sim.Simulation
+	log *trace.Log
+
+	// GKECompactLimit is the maximum COMPACT size on GKE (150 at study
+	// time; the paper notes it was later raised to 1500).
+	GKECompactLimit int
+	// AzureProximityLimit is the node count at and beyond which AKS
+	// proximity placement stopped completing (100 in the study).
+	AzureProximityLimit int
+}
+
+// NewPlacementService returns placement behaviour as observed in the study.
+func NewPlacementService(s *sim.Simulation, log *trace.Log) *PlacementService {
+	return &PlacementService{sim: s, log: log, GKECompactLimit: 150, AzureProximityLimit: 100}
+}
+
+// Request asks for co-location of n nodes in the named environment.
+// kubernetes distinguishes GKE (COMPACT supported) from Compute Engine
+// (COMPACT unavailable at study time).
+func (ps *PlacementService) Request(p Provider, env string, n int, kubernetes bool) PlacementResult {
+	switch p {
+	case AWS:
+		// A cluster placement group packs nodes in one AZ. (A separate
+		// bug — the erroneously created placement group during EKS GPU
+		// acquisition — is modelled in the provisioner, not here.)
+		return ps.record(env, PlacementResult{Kind: AWSClusterPlacement, Requested: n, Colocated: n})
+	case Azure:
+		if n >= ps.AzureProximityLimit {
+			// The operation does not complete; a manually scaled cluster
+			// reports unknown colocation status with a strict subset
+			// actually co-located.
+			res := PlacementResult{
+				Kind: AzureProximity, Requested: n,
+				Colocated:     ps.AzureProximityLimit / 2,
+				StatusUnknown: true,
+			}
+			ps.log.Addf(ps.sim.Now(), env, trace.Manual, trace.Blocking,
+				"proximity placement group did not complete for %d nodes; colocation status unknown", n)
+			return res
+		}
+		return ps.record(env, PlacementResult{Kind: AzureProximity, Requested: n, Colocated: n})
+	case Google:
+		if !kubernetes {
+			// Compute Engine: no study size obtained COMPACT placement.
+			ps.log.Addf(ps.sim.Now(), env, trace.Setup, trace.Unexpected,
+				"COMPACT placement unavailable for Compute Engine at size %d", n)
+			return PlacementResult{Kind: NoPlacement, Requested: n}
+		}
+		if n > ps.GKECompactLimit {
+			// A documented product limit, not a debugging surprise — the
+			// study simply got COMPACT up to the cap.
+			ps.log.Addf(ps.sim.Now(), env, trace.Setup, trace.Routine,
+				"COMPACT placement capped at %d nodes (requested %d)", ps.GKECompactLimit, n)
+			return PlacementResult{Kind: GCPCompact, Requested: n, Colocated: ps.GKECompactLimit}
+		}
+		return ps.record(env, PlacementResult{Kind: GCPCompact, Requested: n, Colocated: n})
+	case OnPrem:
+		// The center's fabric is flat low-latency; placement is implicit.
+		return PlacementResult{Kind: NoPlacement, Requested: n, Colocated: n}
+	default:
+		panic(fmt.Sprintf("cloud: unknown provider %q", p))
+	}
+}
+
+func (ps *PlacementService) record(env string, r PlacementResult) PlacementResult {
+	ps.log.Addf(ps.sim.Now(), env, trace.Setup, trace.Routine,
+		"placement %s: %d/%d nodes colocated", r.Kind, r.Colocated, r.Requested)
+	return r
+}

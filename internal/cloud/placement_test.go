@@ -1,0 +1,84 @@
+package cloud
+
+import (
+	"testing"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func newPlacement() (*PlacementService, *trace.Log) {
+	s := sim.New(1)
+	log := trace.NewLog()
+	return NewPlacementService(s, log), log
+}
+
+func TestAWSPlacementAlwaysFull(t *testing.T) {
+	ps, _ := newPlacement()
+	for _, n := range []int{32, 64, 128, 256} {
+		r := ps.Request(AWS, "aws-pc-cpu", n, false)
+		if !r.Full() || r.Kind != AWSClusterPlacement {
+			t.Fatalf("AWS placement at %d nodes: %+v", n, r)
+		}
+	}
+}
+
+func TestAzureProximityFailsAtOrAbove100(t *testing.T) {
+	ps, log := newPlacement()
+	ok := ps.Request(Azure, "azure-aks-cpu", 64, true)
+	if !ok.Full() {
+		t.Fatalf("64-node proximity group should complete: %+v", ok)
+	}
+	bad := ps.Request(Azure, "azure-aks-cpu", 128, true)
+	if bad.Full() {
+		t.Fatalf("128-node proximity group must not complete")
+	}
+	if !bad.StatusUnknown {
+		t.Fatalf("large Azure groups report unknown colocation status")
+	}
+	if bad.Colocated >= bad.Requested {
+		t.Fatalf("only a subset of nodes should be colocated")
+	}
+	hard := log.Filter(func(e trace.Event) bool { return e.Severity == trace.Blocking })
+	if len(hard) == 0 {
+		t.Fatalf("failed proximity placement should log a blocking manual-intervention event")
+	}
+}
+
+func TestGKECompactLimit(t *testing.T) {
+	ps, _ := newPlacement()
+	r := ps.Request(Google, "google-gke-cpu", 128, true)
+	if !r.Full() {
+		t.Fatalf("GKE COMPACT up to 128 nodes worked in the study: %+v", r)
+	}
+	big := ps.Request(Google, "google-gke-cpu", 256, true)
+	if big.Full() {
+		t.Fatalf("COMPACT was capped at 150 nodes")
+	}
+	if big.Colocated != 150 {
+		t.Fatalf("capped colocation = %d, want 150", big.Colocated)
+	}
+}
+
+func TestComputeEngineNoCompact(t *testing.T) {
+	ps, _ := newPlacement()
+	r := ps.Request(Google, "google-ce-cpu", 32, false)
+	if r.Kind != NoPlacement || r.Colocated != 0 {
+		t.Fatalf("Compute Engine never obtained COMPACT in the study: %+v", r)
+	}
+}
+
+func TestOnPremPlacementImplicit(t *testing.T) {
+	ps, _ := newPlacement()
+	r := ps.Request(OnPrem, "onprem-cpu", 256, false)
+	if !r.Full() {
+		t.Fatalf("on-prem fabric is implicitly colocated: %+v", r)
+	}
+}
+
+func TestPlacementFullZeroRequested(t *testing.T) {
+	var r PlacementResult
+	if r.Full() {
+		t.Fatalf("zero-value placement must not report Full")
+	}
+}

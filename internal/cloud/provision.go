@@ -1,0 +1,236 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// ErrProvisionFailed is returned when a cluster cannot be brought up.
+var ErrProvisionFailed = errors.New("cloud: provisioning failed")
+
+// ProvisionRequest asks for a cluster.
+type ProvisionRequest struct {
+	Env        string // trace key, e.g. "aws-eks-gpu"
+	Type       InstanceType
+	Nodes      int
+	Kubernetes bool // Kubernetes service vs VM cluster
+	// AllowSpareNode requests quota for one extra node so a defective node
+	// can be replaced (the study asked for 33 on Azure GPU anticipating
+	// the recurring 7/8-GPU node).
+	AllowSpareNode bool
+}
+
+// Provisioner brings clusters up and down, reproducing the study's observed
+// failure modes per provider. It charges the meter for all time nodes are
+// up, including time wasted on failures.
+type Provisioner struct {
+	sim       *sim.Simulation
+	log       *trace.Log
+	meter     *Meter
+	quota     *QuotaManager
+	placement *PlacementService
+
+	counter int
+
+	// Failure-mode knobs, exported for ablation benches.
+
+	// AzureGPUDefectProb is the chance an Azure GPU node exposes 7/8 GPUs
+	// (observed repeatedly on the 32-node cluster; also reported by ORNL).
+	AzureGPUDefectProb float64
+	// AzureDefectReallocSticky: releasing the bad node re-allocates the
+	// same node, so replacement requires spare quota.
+	AzureDefectReallocSticky bool
+	// EKSPlacementGroupBug: an erroneously created placement group causes
+	// a partial instantiation of GPU clusters on first attempt.
+	EKSPlacementGroupBug bool
+	// EKSStuckAt256: *recreating* a 256-node EKS cluster never fully
+	// provisions; the study burned ~$2.5k waiting (§4.1). The first
+	// bring-up of each study size worked; the stall hits the second
+	// attempt at ≥256 nodes.
+	EKSStuckAt256 bool
+	eks256Count   int
+	// FishEveryN injects the "supermarket fish problem": every Nth Azure
+	// node bring-up exposes a wildly different architecture (the one AKS
+	// instance that reported two processors across ~450 node bring-ups).
+	FishEveryN int
+	azureNodes int
+	// AzureECCOffProb is the chance an Azure GPU has ECC disabled; all
+	// other clouds consistently enable ECC.
+	AzureECCOffProb float64
+}
+
+// NewProvisioner wires a provisioner to the simulation spine.
+func NewProvisioner(s *sim.Simulation, log *trace.Log, meter *Meter, quota *QuotaManager, placement *PlacementService) *Provisioner {
+	return &Provisioner{
+		sim: s, log: log, meter: meter, quota: quota, placement: placement,
+		AzureGPUDefectProb:       0.8, // it happened on the one 32-node bring-up, and recurred
+		AzureDefectReallocSticky: true,
+		EKSPlacementGroupBug:     true,
+		EKSStuckAt256:            true,
+		FishEveryN:               900, // one anomalous node across the study's Azure fleet
+		AzureECCOffProb:          0.2, // 12.5–25% Off across Azure environments
+	}
+}
+
+// bootLatency returns how long one batch of nodes takes to come up.
+func (p *Provisioner) bootLatency(req ProvisionRequest, rng *sim.Stream) time.Duration {
+	base := 3 * time.Minute
+	if req.Kubernetes {
+		base = 5 * time.Minute // control plane + node pool
+	}
+	if req.Type.GPUs > 0 {
+		base += 2 * time.Minute // driver install / health checks
+	}
+	// Larger clusters take longer to satisfy.
+	base += time.Duration(req.Nodes/32) * time.Minute
+	return time.Duration(rng.Jitter(float64(base), 0.15))
+}
+
+// Provision brings up a cluster, or returns an error after charging for any
+// time wasted. The returned cluster is healthy and fully sized.
+func (p *Provisioner) Provision(req ProvisionRequest) (*Cluster, error) {
+	if req.Nodes <= 0 {
+		return nil, fmt.Errorf("%w: non-positive node count %d", ErrProvisionFailed, req.Nodes)
+	}
+	acc := CPU
+	if req.Type.GPUs > 0 {
+		acc = GPU
+	}
+	if err := p.quota.Check(req.Type.Provider, acc, req.Nodes); err != nil {
+		p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Unexpected, "quota check failed: %v", err)
+		return nil, err
+	}
+	rng := p.sim.Stream("cloud/provision/" + req.Env)
+
+	// Provider-specific first-attempt failures.
+	if req.Type.Provider == AWS && req.Kubernetes && acc == GPU && p.EKSPlacementGroupBug {
+		// Erroneous placement group → partial instantiation. Debugging and
+		// fixing costs wall time and real money (nodes up but unusable).
+		waste := time.Duration(rng.Uniform(40, 80)) * time.Minute
+		partial := req.Nodes / 2
+		p.meter.ChargeNodeHours(req.Env, req.Type, partial, waste, "partial instantiation (placement group bug)")
+		p.sim.Clock.Advance(waste)
+		p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Blocking,
+			"erroneously created placement group: %d/%d nodes instantiated; deleted and recreated", partial, req.Nodes)
+		p.EKSPlacementGroupBug = false // fixed for subsequent attempts
+	}
+	if req.Type.Provider == AWS && req.Kubernetes && acc == CPU && req.Nodes >= 256 {
+		p.eks256Count++
+	}
+	if req.Type.Provider == AWS && req.Kubernetes && acc == CPU && req.Nodes >= 256 && p.eks256Count == 2 && p.EKSStuckAt256 {
+		// Recreating the 256-node cluster: nodes never fully provision.
+		waste := 4 * time.Hour
+		upNodes := req.Nodes * 3 / 4
+		cost := p.meter.ChargeNodeHours(req.Env, req.Type, upNodes, waste, "waiting for nodes that never provisioned")
+		p.sim.Clock.Advance(waste)
+		p.log.Addf(p.sim.Now(), req.Env, trace.Manual, trace.Blocking,
+			"size-%d recreation stalled: total node count never provisioned ($%.0f wasted)", req.Nodes, cost)
+		p.EKSStuckAt256 = false // one-time event in the study
+	}
+
+	boot := p.bootLatency(req, rng)
+	p.sim.Clock.Advance(boot)
+
+	placement := p.placement.Request(req.Type.Provider, req.Env, req.Nodes, req.Kubernetes)
+
+	c := &Cluster{
+		Name:      fmt.Sprintf("%s-%d", req.Env, p.nextID()),
+		Type:      req.Type,
+		Placement: placement,
+		CreatedAt: p.sim.Now(),
+	}
+	for i := 0; i < req.Nodes; i++ {
+		c.Nodes = append(c.Nodes, p.newNode(req, rng, i))
+	}
+
+	// Azure GPU: a node that keeps coming up with 7/8 GPUs.
+	if req.Type.Provider == Azure && acc == GPU && req.Nodes >= 32 && rng.Bernoulli(p.AzureGPUDefectProb) {
+		bad := c.Nodes[rng.Intn(len(c.Nodes))]
+		bad.VisibleGPUs = bad.Type.GPUs - 1
+		debug := time.Duration(rng.Uniform(20, 30)) * time.Minute
+		p.sim.Clock.Advance(debug)
+		p.meter.ChargeNodeHours(req.Env, req.Type, req.Nodes, debug, "debugging 7/8-GPU node")
+		p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Unexpected,
+			"node %s exposes %d/%d GPUs; releasing re-allocates the same node", bad.ID, bad.VisibleGPUs, bad.Type.GPUs)
+		if p.AzureDefectReallocSticky && !req.AllowSpareNode {
+			p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Blocking,
+				"no spare quota: cluster stuck with defective node")
+			// Tear down everything we brought up and fail.
+			p.meter.ChargeNodeHours(req.Env, req.Type, req.Nodes, p.sim.Now()-c.CreatedAt, "failed bring-up")
+			return nil, fmt.Errorf("%w: defective GPU node and no spare quota", ErrProvisionFailed)
+		}
+		// Bring up a 33rd node and drop the defective one.
+		replacement := p.newNode(req, rng, req.Nodes)
+		for i, n := range c.Nodes {
+			if n == bad {
+				c.Nodes[i] = replacement
+				break
+			}
+		}
+		p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Routine,
+			"brought up spare node %s and removed defective node", replacement.ID)
+	}
+
+	p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Routine,
+		"cluster %s up: %d × %s in %v", c.Name, c.Size(), req.Type.Name, boot.Round(time.Second))
+	return c, nil
+}
+
+// newNode constructs one node with defect/ECC rolls applied.
+func (p *Provisioner) newNode(req ProvisionRequest, rng *sim.Stream, idx int) *Node {
+	p.counter++
+	n := &Node{
+		ID:           fmt.Sprintf("%s-node-%04d", req.Env, p.counter),
+		Type:         req.Type,
+		Zone:         "zone-a",
+		BootedAt:     p.sim.Now(),
+		VisibleGPUs:  req.Type.GPUs,
+		VisibleCores: req.Type.Cores,
+		ECCEnabled:   true,
+		Healthy:      true,
+	}
+	if req.Type.Provider == Azure {
+		p.azureNodes++
+		if p.FishEveryN > 0 && p.azureNodes%p.FishEveryN == 0 {
+			n.VisibleCores = 2 // the supermarket fish problem
+		}
+	}
+	if req.Type.Provider == Azure && req.Type.GPUs > 0 && rng.Bernoulli(p.AzureECCOffProb) {
+		n.ECCEnabled = false
+	}
+	return n
+}
+
+// Teardown deletes a cluster and charges for its full lifetime. Calling it
+// twice is an error — the second charge would be double billing.
+func (p *Provisioner) Teardown(c *Cluster) error {
+	if c.torn {
+		return fmt.Errorf("cloud: cluster %s already torn down", c.Name)
+	}
+	c.torn = true
+	c.DeletedAt = p.sim.Now()
+	life := c.DeletedAt - c.CreatedAt
+	p.meter.ChargeNodeHours(c.Name[:clusterEnvLen(c.Name)], c.Type, c.Size(), life, "cluster lifetime")
+	p.log.Addf(p.sim.Now(), c.Name[:clusterEnvLen(c.Name)], trace.Info, trace.Routine,
+		"cluster %s deleted after %v", c.Name, life.Round(time.Second))
+	return nil
+}
+
+func (p *Provisioner) nextID() int {
+	p.counter++
+	return p.counter
+}
+
+// clusterEnvLen recovers the env prefix length from "env-<id>".
+func clusterEnvLen(name string) int {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			return i
+		}
+	}
+	return len(name)
+}

@@ -1,0 +1,72 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func TestQuotaGrantAndCheck(t *testing.T) {
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	qm.Request(Google, CPU, 256)
+	if qm.Granted(Google, CPU) != 256 {
+		t.Fatalf("granted = %d, want 256", qm.Granted(Google, CPU))
+	}
+	if err := qm.Check(Google, CPU, 128); err != nil {
+		t.Fatalf("Check within grant: %v", err)
+	}
+	if err := qm.Check(Google, CPU, 512); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Check above grant = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestQuotaCheckWithoutRequest(t *testing.T) {
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	if err := qm.Check(Azure, GPU, 8); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("unrequested quota should fail: %v", err)
+	}
+}
+
+func TestQuotaRequestIsMonotonic(t *testing.T) {
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	qm.Request(Azure, GPU, 33)
+	qm.Request(Azure, GPU, 8) // smaller request must not shrink the grant
+	if qm.Granted(Azure, GPU) != 33 {
+		t.Fatalf("granted = %d, want 33", qm.Granted(Azure, GPU))
+	}
+}
+
+func TestGrantDelay(t *testing.T) {
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	qm.SetPolicy(Google, GPU, QuotaPolicy{GrantDelay: 2 * time.Hour, GuaranteesCapacity: true})
+	qm.Request(Google, GPU, 32)
+	if err := qm.Check(Google, GPU, 32); !errors.Is(err, ErrReservationPending) {
+		t.Fatalf("inside grant delay: %v, want pending", err)
+	}
+	s.Clock.Advance(3 * time.Hour)
+	if err := qm.Check(Google, GPU, 32); err != nil {
+		t.Fatalf("after grant delay: %v", err)
+	}
+}
+
+func TestAWSGPUPolicyIsWindowed(t *testing.T) {
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	pol := qm.Policy(AWS, GPU)
+	if pol.ReservationWindow != 48*time.Hour {
+		t.Fatalf("AWS GPU window = %v, want 48h", pol.ReservationWindow)
+	}
+	if pol.GuaranteesCapacity {
+		t.Fatalf("AWS GPU quota must not guarantee capacity (paper §4.2)")
+	}
+	if qm.Policy(Azure, GPU).GuaranteesCapacity != true {
+		t.Fatalf("Azure quota was a confident assurance in the study")
+	}
+}

@@ -1,0 +1,265 @@
+// Package containers simulates the study's software-build substrate: base
+// images with pinned Flux/OpenMPI stacks, per-cloud container variants
+// (libfabric for EFA on AWS, UCX for InfiniBand on Azure), an OCI-style
+// registry with Singularity pulls for VM environments, and the concrete
+// build failures the paper documents (the Laghos GPU CUDA conflict, the
+// AMG2023 integer-width segfaults).
+package containers
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// Stack pins the software versions shared by every container and VM image
+// in the study (paper §2.7).
+type Stack struct {
+	FluxSecurity string
+	FluxCore     string
+	FluxSched    string
+	FluxPMIx     string
+	CMake        string
+	OpenMPI      string
+	Libfabric    string // AWS only
+}
+
+// StudyStack is the pinned stack used everywhere.
+var StudyStack = Stack{
+	FluxSecurity: "0.11.0",
+	FluxCore:     "0.61.2",
+	FluxSched:    "0.33.1",
+	FluxPMIx:     "0.4.0",
+	CMake:        "3.23.1",
+	OpenMPI:      "4.1.2",
+	Libfabric:    "1.21.1",
+}
+
+// BuildFlag names a compile-time option that matters to correctness.
+type BuildFlag string
+
+const (
+	// HypreMixedInt sets HYPRE_BigInt to long long int while keeping
+	// HYPRE_Int 32-bit — required for AMG2023 GPU builds.
+	HypreMixedInt BuildFlag = "hypre-mixedint"
+	// HypreBigInt sets both HYPRE_BigInt and HYPRE_Int to long long int —
+	// required for AMG2023 CPU builds to avoid segfaults on large systems.
+	HypreBigInt BuildFlag = "hypre-bigint"
+	// LibfabricEFA links OpenMPI against libfabric for EFA (AWS).
+	LibfabricEFA BuildFlag = "libfabric-efa"
+	// UCXInfiniBand links UCX for InfiniBand (Azure).
+	UCXInfiniBand BuildFlag = "ucx-infiniband"
+)
+
+// Spec describes one container build.
+type Spec struct {
+	App         string
+	Provider    cloud.Provider
+	Accelerator cloud.Accelerator
+	Flags       []BuildFlag
+}
+
+// Tag returns the registry tag for the spec.
+func (s Spec) Tag() string {
+	return fmt.Sprintf("%s-%s-%s", s.App, s.Provider, s.Accelerator)
+}
+
+// HasFlag reports whether the spec enables a flag.
+func (s Spec) HasFlag(f BuildFlag) bool {
+	for _, g := range s.Flags {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Image is a built container.
+type Image struct {
+	Spec  Spec
+	Stack Stack
+	// Defect is empty for a correct build; otherwise it names a latent
+	// runtime failure (e.g. "segfault") the build system cannot see.
+	Defect string
+}
+
+// ErrBuildConflict is returned when a build cannot succeed at all.
+var ErrBuildConflict = errors.New("containers: dependency conflict")
+
+// Builder simulates container builds and tracks the study's build funnel
+// (220 unique builds → 114 tested → 97 intended → 74 used).
+type Builder struct {
+	sim *sim.Simulation
+	log *trace.Log
+
+	Built  []Image
+	Failed []Spec
+}
+
+// Funnel summarizes the build pipeline the way the paper's §3.1 does:
+// how many builds were attempted, how many produced images, how many of
+// those images are defect-free (usable), and how many failed outright.
+type Funnel struct {
+	Attempted int
+	Built     int
+	Usable    int
+	Failed    int
+}
+
+// Funnel reports the builder's pipeline counts.
+func (b *Builder) Funnel() Funnel {
+	f := Funnel{
+		Attempted: len(b.Built) + len(b.Failed),
+		Built:     len(b.Built),
+		Failed:    len(b.Failed),
+	}
+	for _, img := range b.Built {
+		if img.Defect == "" {
+			f.Usable++
+		}
+	}
+	return f
+}
+
+// NewBuilder returns a builder.
+func NewBuilder(s *sim.Simulation, log *trace.Log) *Builder {
+	return &Builder{sim: s, log: log}
+}
+
+// buildTime estimates one container build.
+func (b *Builder) buildTime(spec Spec) time.Duration {
+	d := 12 * time.Minute
+	if spec.Accelerator == cloud.GPU {
+		d += 10 * time.Minute // CUDA layers
+	}
+	if spec.Provider == cloud.Azure {
+		d += 8 * time.Minute // UCX + proprietary hpcx/hcoll/sharp stack
+	}
+	return d
+}
+
+// Build compiles a container for the spec. It reproduces the paper's
+// documented failures:
+//
+//   - Laghos GPU: two dependencies require different CUDA versions — the
+//     build is impossible (ErrBuildConflict).
+//   - AMG2023 GPU without HypreMixedInt, or CPU without HypreBigInt:
+//     builds fine but carries a latent segfault defect.
+//   - AWS containers must link libfabric for EFA; Azure containers must
+//     link UCX — otherwise MPI falls back to TCP (latent "tcp-fallback").
+func (b *Builder) Build(spec Spec) (Image, error) {
+	b.sim.Clock.Advance(b.buildTime(spec))
+
+	if spec.App == "laghos" && spec.Accelerator == cloud.GPU {
+		b.Failed = append(b.Failed, spec)
+		b.log.Addf(b.sim.Now(), envOf(spec), trace.AppSetup, trace.Blocking,
+			"laghos GPU container impossible: dependencies require conflicting CUDA versions")
+		return Image{}, fmt.Errorf("%w: laghos GPU needs two CUDA versions", ErrBuildConflict)
+	}
+
+	img := Image{Spec: spec, Stack: StudyStack}
+	switch {
+	case spec.App == "amg2023" && spec.Accelerator == cloud.GPU && !spec.HasFlag(HypreMixedInt):
+		img.Defect = "segfault: HYPRE_BigInt not set to long long int"
+	case spec.App == "amg2023" && spec.Accelerator == cloud.CPU && !spec.HasFlag(HypreBigInt):
+		img.Defect = "segfault: HYPRE_Int/HYPRE_BigInt too narrow for large systems"
+	case spec.Provider == cloud.AWS && !spec.HasFlag(LibfabricEFA):
+		img.Defect = "tcp-fallback: OpenMPI built without libfabric"
+	case spec.Provider == cloud.Azure && !spec.HasFlag(UCXInfiniBand):
+		img.Defect = "tcp-fallback: OpenMPI built without UCX"
+	}
+
+	sev := trace.Routine
+	if spec.Provider == cloud.Azure {
+		// The Azure container bases were challenging to build (high
+		// application-setup effort in Table 3).
+		sev = trace.Blocking
+	}
+	b.log.Addf(b.sim.Now(), envOf(spec), trace.AppSetup, sev, "built container %s", spec.Tag())
+	b.Built = append(b.Built, img)
+	return img, nil
+}
+
+// CorrectSpec returns the flag set that yields a defect-free image for the
+// app on the provider/accelerator, mirroring the study's final builds.
+func CorrectSpec(app string, p cloud.Provider, acc cloud.Accelerator) Spec {
+	s := Spec{App: app, Provider: p, Accelerator: acc}
+	if app == "amg2023" {
+		if acc == cloud.GPU {
+			s.Flags = append(s.Flags, HypreMixedInt)
+		} else {
+			s.Flags = append(s.Flags, HypreBigInt)
+		}
+	}
+	switch p {
+	case cloud.AWS:
+		s.Flags = append(s.Flags, LibfabricEFA)
+	case cloud.Azure:
+		s.Flags = append(s.Flags, UCXInfiniBand)
+	}
+	return s
+}
+
+func envOf(s Spec) string {
+	return fmt.Sprintf("%s-%s", s.Provider, s.Accelerator)
+}
+
+// Registry is an OCI-style registry ("ORAS" in the study: job output and
+// containers pushed alongside the repository).
+type Registry struct {
+	images map[string]Image
+	pulls  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{images: make(map[string]Image), pulls: make(map[string]int)}
+}
+
+// Push stores an image under its tag.
+func (r *Registry) Push(img Image) { r.images[img.Spec.Tag()] = img }
+
+// Pull retrieves an image by tag, counting the pull.
+func (r *Registry) Pull(tag string) (Image, error) {
+	img, ok := r.images[tag]
+	if !ok {
+		return Image{}, fmt.Errorf("containers: tag %q not in registry", tag)
+	}
+	r.pulls[tag]++
+	return img, nil
+}
+
+// Pulls reports how many times a tag has been pulled.
+func (r *Registry) Pulls(tag string) int { return r.pulls[tag] }
+
+// Tags lists stored tags, sorted.
+func (r *Registry) Tags() []string {
+	out := make([]string, 0, len(r.images))
+	for t := range r.images {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SingularityPull converts an OCI image for a VM environment. The paper's
+// suggested practice: on shared filesystems, pull once *before* spawning
+// worker nodes; pulling per-node multiplies the cost.
+func SingularityPull(s *sim.Simulation, r *Registry, tag string, nodes int, sharedFS bool) (Image, error) {
+	img, err := r.Pull(tag)
+	if err != nil {
+		return Image{}, err
+	}
+	per := 90 * time.Second // conversion + pull
+	if sharedFS {
+		s.Clock.Advance(per)
+	} else {
+		s.Clock.Advance(time.Duration(nodes) * per / 4) // parallel pulls contend on the registry
+	}
+	return img, nil
+}

@@ -1,0 +1,175 @@
+package containers
+
+import (
+	"errors"
+	"testing"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func newBuilder() (*sim.Simulation, *Builder) {
+	s := sim.New(1)
+	return s, NewBuilder(s, trace.NewLog())
+}
+
+func TestStudyStackVersions(t *testing.T) {
+	// Paper §2.7 pins these exactly.
+	if StudyStack.FluxCore != "0.61.2" || StudyStack.OpenMPI != "4.1.2" ||
+		StudyStack.Libfabric != "1.21.1" || StudyStack.FluxSecurity != "0.11.0" ||
+		StudyStack.FluxSched != "0.33.1" || StudyStack.FluxPMIx != "0.4.0" ||
+		StudyStack.CMake != "3.23.1" {
+		t.Fatalf("study stack versions drifted: %+v", StudyStack)
+	}
+}
+
+func TestLaghosGPUBuildImpossible(t *testing.T) {
+	_, b := newBuilder()
+	_, err := b.Build(Spec{App: "laghos", Provider: cloud.Google, Accelerator: cloud.GPU})
+	if !errors.Is(err, ErrBuildConflict) {
+		t.Fatalf("err = %v, want ErrBuildConflict (conflicting CUDA versions)", err)
+	}
+	if len(b.Failed) != 1 {
+		t.Fatalf("failed build not tracked")
+	}
+	// CPU laghos is fine.
+	if _, err := b.Build(CorrectSpec("laghos", cloud.Google, cloud.CPU)); err != nil {
+		t.Fatalf("laghos CPU: %v", err)
+	}
+}
+
+func TestAMGIntegerFlagDefects(t *testing.T) {
+	_, b := newBuilder()
+	gpuWrong, err := b.Build(Spec{App: "amg2023", Provider: cloud.Google, Accelerator: cloud.GPU})
+	if err != nil || gpuWrong.Defect == "" {
+		t.Fatalf("AMG GPU without mixed-int must carry a segfault defect: %+v %v", gpuWrong, err)
+	}
+	cpuWrong, err := b.Build(Spec{App: "amg2023", Provider: cloud.Google, Accelerator: cloud.CPU})
+	if err != nil || cpuWrong.Defect == "" {
+		t.Fatalf("AMG CPU without big-int must carry a segfault defect")
+	}
+	gpuRight, err := b.Build(CorrectSpec("amg2023", cloud.Google, cloud.GPU))
+	if err != nil || gpuRight.Defect != "" {
+		t.Fatalf("correct AMG GPU build should be clean: %+v", gpuRight)
+	}
+	cpuRight, err := b.Build(CorrectSpec("amg2023", cloud.Google, cloud.CPU))
+	if err != nil || cpuRight.Defect != "" {
+		t.Fatalf("correct AMG CPU build should be clean: %+v", cpuRight)
+	}
+}
+
+func TestProviderNetworkLinkage(t *testing.T) {
+	_, b := newBuilder()
+	aws, _ := b.Build(Spec{App: "lammps", Provider: cloud.AWS, Accelerator: cloud.CPU})
+	if aws.Defect == "" {
+		t.Fatalf("AWS build without libfabric must fall back to TCP")
+	}
+	az, _ := b.Build(Spec{App: "lammps", Provider: cloud.Azure, Accelerator: cloud.CPU})
+	if az.Defect == "" {
+		t.Fatalf("Azure build without UCX must fall back to TCP")
+	}
+	good, _ := b.Build(CorrectSpec("lammps", cloud.AWS, cloud.CPU))
+	if good.Defect != "" {
+		t.Fatalf("correct AWS build should be clean: %q", good.Defect)
+	}
+	// Google needs no special networking software and shares AWS containers.
+	g, _ := b.Build(Spec{App: "lammps", Provider: cloud.Google, Accelerator: cloud.CPU})
+	if g.Defect != "" {
+		t.Fatalf("Google build needs no special flags: %q", g.Defect)
+	}
+}
+
+func TestAzureBuildsAreExpensive(t *testing.T) {
+	s, b := newBuilder()
+	t0 := s.Now()
+	b.Build(CorrectSpec("minife", cloud.Google, cloud.CPU))
+	googleCost := s.Now() - t0
+	t0 = s.Now()
+	b.Build(CorrectSpec("minife", cloud.Azure, cloud.CPU))
+	azureCost := s.Now() - t0
+	if azureCost <= googleCost {
+		t.Fatalf("Azure builds (UCX + proprietary stack) must cost more: %v vs %v", azureCost, googleCost)
+	}
+}
+
+func TestRegistryPushPull(t *testing.T) {
+	_, b := newBuilder()
+	r := NewRegistry()
+	img, _ := b.Build(CorrectSpec("kripke", cloud.AWS, cloud.CPU))
+	r.Push(img)
+	got, err := r.Pull("kripke-aws-CPU")
+	if err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	if got.Spec.App != "kripke" {
+		t.Fatalf("pulled wrong image: %+v", got.Spec)
+	}
+	if r.Pulls("kripke-aws-CPU") != 1 {
+		t.Fatalf("pull count = %d", r.Pulls("kripke-aws-CPU"))
+	}
+	if _, err := r.Pull("missing"); err == nil {
+		t.Fatalf("missing tag must error")
+	}
+	if tags := r.Tags(); len(tags) != 1 || tags[0] != "kripke-aws-CPU" {
+		t.Fatalf("Tags = %v", tags)
+	}
+}
+
+func TestSingularitySharedFSPullOnce(t *testing.T) {
+	s, b := newBuilder()
+	r := NewRegistry()
+	img, _ := b.Build(CorrectSpec("stream", cloud.Azure, cloud.CPU))
+	r.Push(img)
+	t0 := s.Now()
+	if _, err := SingularityPull(s, r, img.Spec.Tag(), 256, true); err != nil {
+		t.Fatal(err)
+	}
+	shared := s.Now() - t0
+	t0 = s.Now()
+	if _, err := SingularityPull(s, r, img.Spec.Tag(), 256, false); err != nil {
+		t.Fatal(err)
+	}
+	perNode := s.Now() - t0
+	if perNode <= shared {
+		t.Fatalf("per-node pulls (%v) must cost more than one shared-FS pull (%v)", perNode, shared)
+	}
+}
+
+func TestBestUCXConfig(t *testing.T) {
+	aks := BestUCXConfig("aks")
+	if aks["UCX_TLS"] != "ib" || aks["UCX_UNIFIED_MODE"] != "y" || aks["OMPI_MCA_btl"] != "^openib" {
+		t.Fatalf("AKS UCX config wrong: %v", aks)
+	}
+	cc := BestUCXConfig("cyclecloud")
+	if cc["UCX_TLS"] != "ud,shm,rc" {
+		t.Fatalf("CycleCloud UCX config wrong: %v", cc)
+	}
+	if len(BestUCXConfig("gke")) != 0 {
+		t.Fatalf("non-Azure environments need no UCX tuning")
+	}
+}
+
+func TestBuildFunnel(t *testing.T) {
+	_, b := newBuilder()
+	b.Build(CorrectSpec("lammps", cloud.AWS, cloud.CPU))                      // usable
+	b.Build(Spec{App: "lammps", Provider: cloud.AWS, Accelerator: cloud.CPU}) // defective (no libfabric)
+	b.Build(Spec{App: "laghos", Provider: cloud.AWS, Accelerator: cloud.GPU}) // fails outright
+	f := b.Funnel()
+	if f.Attempted != 3 || f.Built != 2 || f.Usable != 1 || f.Failed != 1 {
+		t.Fatalf("funnel = %+v", f)
+	}
+}
+
+func TestSpecTagAndFlags(t *testing.T) {
+	s := CorrectSpec("amg2023", cloud.Azure, cloud.GPU)
+	if s.Tag() != "amg2023-azure-GPU" {
+		t.Fatalf("Tag = %q", s.Tag())
+	}
+	if !s.HasFlag(HypreMixedInt) || !s.HasFlag(UCXInfiniBand) {
+		t.Fatalf("CorrectSpec missing flags: %v", s.Flags)
+	}
+	if s.HasFlag(HypreBigInt) {
+		t.Fatalf("GPU spec must use mixed-int, not big-int")
+	}
+}

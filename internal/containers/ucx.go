@@ -1,0 +1,28 @@
+package containers
+
+// UCX tuning the study converged on for Azure (paper §3.1, Application
+// Setup): there were no suggested practices, and the team found the best
+// transports empirically — a different set per Azure environment.
+
+// UCXConfig is a set of MPI/UCX environment variables.
+type UCXConfig map[string]string
+
+// BestUCXConfig returns the empirically best configuration for an Azure
+// environment kind ("aks" or "cyclecloud"). Other environments need no UCX
+// tuning and get an empty config.
+func BestUCXConfig(envKind string) UCXConfig {
+	switch envKind {
+	case "aks":
+		return UCXConfig{
+			"OMPI_MCA_btl":     "^openib",
+			"UCX_UNIFIED_MODE": "y",
+			"UCX_TLS":          "ib",
+		}
+	case "cyclecloud":
+		return UCXConfig{
+			"UCX_TLS": "ud,shm,rc", // unreliable datagram, shared memory, reliable connected
+		}
+	default:
+		return UCXConfig{}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/trace"
+)
+
+// ScriptedIncidents emits the per-environment effort events the generic
+// substrates cannot produce on their own — the concrete experiences the
+// paper reports in §3.1. Everything else in Table 3 emerges from the
+// simulated substrates (custom daemonsets, placement failures, stalls,
+// container builds); these are the narrative residue.
+func ScriptedIncidents(log *trace.Log, at time.Duration, spec apps.EnvSpec) {
+	add := func(cat trace.Category, sev trace.Severity, msg string) {
+		log.Addf(at, spec.Key, cat, sev, "%s", msg)
+	}
+
+	switch {
+	case spec.Provider == cloud.AWS && !spec.Kubernetes && !spec.OnPrem():
+		// ParallelCluster (CPU; the GPU variant was never deployed).
+		add(trace.Setup, trace.Unexpected,
+			"ParallelCluster required a custom build and multi-step configuration")
+
+	case spec.Provider == cloud.Azure && !spec.Kubernetes:
+		// CycleCloud.
+		add(trace.Setup, trace.Blocking,
+			"CycleCloud deployment took over a day; interfaces went out of sync with the Azure portal")
+		add(trace.AppSetup, trace.Blocking,
+			"Azure container bases (UCX, proprietary hpcx/hcoll/sharp) were challenging to build; best UCX transports found empirically")
+
+	case spec.Provider == cloud.Google && !spec.Kubernetes:
+		// Compute Engine via Cluster Toolkit.
+		add(trace.Setup, trace.Unexpected,
+			"could not customize configuration files for Cluster Toolkit")
+		add(trace.Development, trace.Unexpected,
+			"developed custom Terraform deployments for Flux Framework (GPU/Slurm issues with Cluster Toolkit)")
+
+	case spec.Provider == cloud.AWS && spec.Kubernetes:
+		// EKS.
+		add(trace.Development, trace.Blocking,
+			"eksctl bugs: erroneously created placement group and a missing cleanup step broke provisioning; custom build of the tool required")
+
+	case spec.Provider == cloud.Azure && spec.Kubernetes:
+		// AKS.
+		add(trace.Setup, trace.Unexpected,
+			"multiple stages of commands required to bring up clusters")
+		add(trace.Development, trace.Blocking,
+			"custom container base for proprietary software (hpcx, hcoll, sharp) and a custom InfiniBand daemonset had to be developed")
+		add(trace.AppSetup, trace.Blocking,
+			"Azure container bases were challenging to build; best performance needed OMPI_MCA_btl=^openib with UCX unified mode over ib")
+
+	case spec.OnPrem():
+		add(trace.AppSetup, trace.Blocking,
+			"bare-metal builds on the system via software modules and Spack; less control over the software environment")
+		add(trace.Manual, trace.Unexpected,
+			"jobs often errored and had to be monitored and debugged (bad nodes)")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/trace"
+)
+
+// Options turn on the operational disciplines the paper's §4.2 suggests.
+// The zero value reproduces the study as it was actually run.
+type Options struct {
+	// PauseBetweenScales inserts a wait after each cluster size so that
+	// lagged cost reporting catches up before committing to the next,
+	// larger (more expensive) size — "Operating on a cloud environment
+	// with a one-day reporting delay warrants careful planning and pauses
+	// between experiments."
+	PauseBetweenScales time.Duration
+	// TestClusters brings up a small shakeout cluster per environment
+	// before the real sizes — "When feasible, we recommend employing test
+	// clusters to prepare experiments and test configurations."
+	TestClusters bool
+	// TestClusterNodes sizes the shakeout cluster (default 2).
+	TestClusterNodes int
+	// AbortOverBudget stops an environment when the provider's *actual*
+	// spend exceeds its budget. Without it, overspend is only discovered
+	// after the reporting lag — "it is very difficult to fix overspending
+	// retroactively."
+	AbortOverBudget bool
+}
+
+// ErrBudgetExhausted aborts an environment under AbortOverBudget.
+var ErrBudgetExhausted = fmt.Errorf("core: provider budget exhausted")
+
+// applyPause implements PauseBetweenScales.
+func (st *Study) applyPause(spec apps.EnvSpec) {
+	if st.Opts.PauseBetweenScales <= 0 || spec.OnPrem() {
+		return
+	}
+	st.Sim.Clock.Advance(st.Opts.PauseBetweenScales)
+	st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
+		"paused %v for cost reporting to catch up (reported $%.2f of $%.2f actual)",
+		st.Opts.PauseBetweenScales,
+		st.Meter.ReportedSpend(spec.Provider), st.Meter.Spend(spec.Provider))
+}
+
+// checkBudget implements AbortOverBudget.
+func (st *Study) checkBudget(spec apps.EnvSpec) error {
+	if !st.Opts.AbortOverBudget || spec.OnPrem() {
+		return nil
+	}
+	if st.Meter.OverBudget(spec.Provider) {
+		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Manual, trace.Blocking,
+			"aborting: %s spend $%.0f exceeds budget $%.0f",
+			spec.Provider, st.Meter.Spend(spec.Provider), st.Meter.Budget(spec.Provider))
+		return fmt.Errorf("%w: %s at $%.0f", ErrBudgetExhausted, spec.Provider, st.Meter.Spend(spec.Provider))
+	}
+	return nil
+}
+
+// shakeout implements TestClusters: a tiny cluster, one quick run of the
+// cheapest benchmark, teardown. Failures here are exactly what the test
+// cluster exists to absorb.
+func (st *Study) shakeout(spec apps.EnvSpec) {
+	if !st.Opts.TestClusters || spec.OnPrem() {
+		return
+	}
+	nodes := st.Opts.TestClusterNodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	cluster, err := st.Prov.Provision(cloud.ProvisionRequest{
+		Env: spec.Key, Type: spec.Instance, Nodes: nodes,
+		Kubernetes: spec.Kubernetes, AllowSpareNode: spec.Provider == cloud.Azure,
+	})
+	if err != nil {
+		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Setup, trace.Unexpected,
+			"test cluster failed (better now than at full size): %v", err)
+		return
+	}
+	rng := st.Sim.Stream("core/shakeout/" + spec.Key)
+	stream := apps.NewStream()
+	r := stream.Run(spec.Env, nodes, rng)
+	st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
+		"test cluster shakeout: stream triad %.1f %s on %d nodes", r.FOM, r.Unit, nodes)
+	st.Sim.Clock.Advance(10 * time.Minute)
+	if err := st.Prov.Teardown(cluster); err != nil {
+		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Setup, trace.Unexpected, "test teardown: %v", err)
+	}
+}

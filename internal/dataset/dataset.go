@@ -1,0 +1,120 @@
+// Package dataset serializes study results the way the study archived
+// them: one JSON-lines file per (environment, application), pushed to an
+// OCI registry as ORAS artifacts (paper §2.9 — "Job output was saved to
+// file and pushed to a registry"; the release totals 25,541 datasets).
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/oras"
+)
+
+// Record is the archived form of one run. Errors flatten to strings so
+// the archive round-trips through JSON.
+type Record struct {
+	Env     string        `json:"env"`
+	App     string        `json:"app"`
+	Nodes   int           `json:"nodes"`
+	Iter    int           `json:"iter"`
+	FOM     float64       `json:"fom"`
+	Unit    string        `json:"unit"`
+	Error   string        `json:"error,omitempty"`
+	Wall    time.Duration `json:"wall_ns"`
+	Hookup  time.Duration `json:"hookup_ns"`
+	CostUSD float64       `json:"cost_usd"`
+}
+
+// FromRun converts a live run record.
+func FromRun(r core.RunRecord) Record {
+	rec := Record{
+		Env: r.EnvKey, App: r.App, Nodes: r.Nodes, Iter: r.Iter,
+		FOM: r.FOM, Unit: r.Unit, Wall: r.Wall, Hookup: r.Hookup, CostUSD: r.CostUSD,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	return rec
+}
+
+// MarshalJSONL encodes records as JSON lines.
+func MarshalJSONL(recs []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSONL decodes JSON lines into records.
+func UnmarshalJSONL(data []byte) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// ArtifactType marks study datasets in the registry.
+const ArtifactType = "application/vnd.cloudhpc.study.results.v1"
+
+// Push archives a study's runs into the registry, one artifact per
+// (environment, application), tagged "results/<env>/<app>". It returns
+// the tags pushed, sorted.
+func Push(reg *oras.Registry, res *core.Results) ([]string, error) {
+	groups := map[string][]Record{}
+	for _, run := range res.Runs {
+		key := run.EnvKey + "/" + run.App
+		groups[key] = append(groups[key], FromRun(run))
+	}
+	tags := make([]string, 0, len(groups))
+	for key, recs := range groups {
+		data, err := MarshalJSONL(recs)
+		if err != nil {
+			return nil, err
+		}
+		tag := "results/" + key
+		_, err = reg.Push(tag, ArtifactType,
+			map[string][]byte{"runs.jsonl": data},
+			map[string]string{"cloudhpc.records": fmt.Sprint(len(recs))})
+		if err != nil {
+			return nil, err
+		}
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	return tags, nil
+}
+
+// Load retrieves one archived artifact's records.
+func Load(reg *oras.Registry, tag string) ([]Record, error) {
+	files, err := reg.Pull(tag)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := files["runs.jsonl"]
+	if !ok {
+		return nil, fmt.Errorf("dataset: artifact %q has no runs.jsonl", tag)
+	}
+	return UnmarshalJSONL(data)
+}

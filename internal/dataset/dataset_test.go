@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/oras"
+)
+
+func sampleRuns() []core.RunRecord {
+	return []core.RunRecord{
+		{EnvKey: "google-gke-cpu", App: "lammps", Nodes: 32, Iter: 0, FOM: 17.7, Unit: "M-atom steps/s",
+			Wall: 5 * time.Minute, Hookup: 12 * time.Second, CostUSD: 13.5},
+		{EnvKey: "google-gke-cpu", App: "lammps", Nodes: 32, Iter: 1, FOM: 18.1, Unit: "M-atom steps/s"},
+		{EnvKey: "azure-aks-cpu", App: "laghos", Nodes: 128, Err: errors.New("apps: run exceeded wall-time limit")},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{FromRun(sampleRuns()[0]), FromRun(sampleRuns()[2])}
+	data, err := MarshalJSONL(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSONL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip lost records: %d", len(back))
+	}
+	if back[0].FOM != 17.7 || back[0].Wall != 5*time.Minute {
+		t.Fatalf("fields lost: %+v", back[0])
+	}
+	if back[1].Error == "" {
+		t.Fatalf("error string lost")
+	}
+}
+
+func TestUnmarshalSkipsBlankLinesRejectsGarbage(t *testing.T) {
+	ok, err := UnmarshalJSONL([]byte("\n\n{\"env\":\"e\",\"app\":\"a\"}\n\n"))
+	if err != nil || len(ok) != 1 {
+		t.Fatalf("blank lines should be skipped: %v %d", err, len(ok))
+	}
+	_, err = UnmarshalJSONL([]byte("not json\n"))
+	if err == nil {
+		t.Fatalf("garbage line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error should carry the line number: %v", err)
+	}
+}
+
+func TestPushAndLoad(t *testing.T) {
+	reg := oras.NewRegistry()
+	res := &core.Results{Runs: sampleRuns()}
+	tags, err := Push(reg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 {
+		t.Fatalf("tags = %v, want 2 (one per env/app)", tags)
+	}
+	if tags[0] != "results/azure-aks-cpu/laghos" {
+		t.Fatalf("tag order: %v", tags)
+	}
+	recs, err := Load(reg, "results/google-gke-cpu/lammps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Iter != 0 || recs[1].Iter != 1 {
+		t.Fatalf("loaded %+v", recs)
+	}
+	if _, err := Load(reg, "results/absent/app"); err == nil {
+		t.Fatalf("missing tag should error")
+	}
+}
+
+func TestFullStudyArchives(t *testing.T) {
+	st, err := core.New(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := oras.NewRegistry()
+	tags, err := Push(reg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 environments × 11 apps = 143 artifacts.
+	if len(tags) != 143 {
+		t.Fatalf("archived %d artifacts, want 143", len(tags))
+	}
+	// Every artifact loads back and the total record count matches.
+	total := 0
+	for _, tag := range tags {
+		recs, err := Load(reg, tag)
+		if err != nil {
+			t.Fatalf("load %s: %v", tag, err)
+		}
+		total += len(recs)
+	}
+	if total != len(res.Runs) {
+		t.Fatalf("archive has %d records, study has %d", total, len(res.Runs))
+	}
+}

@@ -1,0 +1,21 @@
+package dataset
+
+import "testing"
+
+// FuzzUnmarshalJSONL hardens the archive reader: arbitrary bytes must
+// never panic, and whatever parses must re-marshal.
+func FuzzUnmarshalJSONL(f *testing.F) {
+	f.Add([]byte(`{"env":"e","app":"a","fom":1.5}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"env":"e"}` + "\n" + `{"app":"b"}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := UnmarshalJSONL(data)
+		if err != nil {
+			return
+		}
+		if _, err := MarshalJSONL(recs); err != nil {
+			t.Fatalf("parsed records do not re-marshal: %v", err)
+		}
+	})
+}

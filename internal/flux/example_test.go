@@ -1,0 +1,42 @@
+package flux_test
+
+import (
+	"fmt"
+
+	"cloudhpc/internal/flux"
+)
+
+// The MiniCluster pattern: allocate whole nodes from a Kubernetes-shaped
+// resource graph, spawn a nested instance over them, and schedule MPI
+// work inside it — Flux's hierarchical scheduling in miniature.
+func Example_hierarchicalScheduling() {
+	// 8 nodes × 2 sockets × (24 cores + 4 GPUs) — the Azure ND40rs shape.
+	graph := flux.NewCluster("aks", 8, 2, 24, 4)
+	root := flux.NewInstance("k8s-root", graph)
+
+	_, alloc, err := root.Submit(flux.Jobspec{
+		Name: "minicluster", NumSlots: 4,
+		CoresPerSlot: 48, GPUsPerSlot: 8, NodeExclusive: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	child, err := root.Spawn("minicluster-0", alloc)
+	if err != nil {
+		panic(err)
+	}
+
+	// The nested instance schedules 32 GPU ranks across its 4 nodes.
+	_, ranks, err := child.Submit(flux.Jobspec{
+		Name: "lammps", NumSlots: 32, CoresPerSlot: 4, GPUsPerSlot: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MiniCluster: %d nodes; LAMMPS spans %d nodes, %d slots\n",
+		alloc.NodeCount(), ranks.NodeCount(), len(ranks.Slots))
+	fmt.Printf("parent still has %d free GPUs\n", root.Root.CountFree(flux.GPURes))
+	// Output:
+	// MiniCluster: 4 nodes; LAMMPS spans 4 nodes, 32 slots
+	// parent still has 32 free GPUs
+}

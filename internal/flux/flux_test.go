@@ -1,0 +1,322 @@
+package flux
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// hpc6a builds a graph shaped like the study's AWS CPU nodes.
+func hpc6a(nodes int) *Resource { return NewCluster("hpc6a", nodes, 2, 48, 0) }
+
+// nd40 builds a graph shaped like the study's Azure GPU nodes.
+func nd40(nodes int) *Resource { return NewCluster("nd40", nodes, 2, 24, 4) }
+
+func TestClusterGraphCounts(t *testing.T) {
+	g := nd40(32)
+	if got := g.Count(NodeRes); got != 32 {
+		t.Fatalf("nodes = %d", got)
+	}
+	if got := g.Count(CoreRes); got != 32*48 {
+		t.Fatalf("cores = %d", got)
+	}
+	if got := g.Count(GPURes); got != 32*8 {
+		t.Fatalf("gpus = %d", got)
+	}
+	if got := g.CountFree(CoreRes); got != g.Count(CoreRes) {
+		t.Fatalf("fresh graph should be fully free")
+	}
+}
+
+func TestNewClusterPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewCluster("bad", 0, 1, 1, 0)
+}
+
+func TestJobspecValidate(t *testing.T) {
+	good := Jobspec{Name: "ok", NumSlots: 4, CoresPerSlot: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for _, bad := range []Jobspec{
+		{Name: "zero-slots", NumSlots: 0, CoresPerSlot: 1},
+		{Name: "negative", NumSlots: 1, CoresPerSlot: -1},
+		{Name: "empty-slot", NumSlots: 1},
+		{Name: "negative-dur", NumSlots: 1, CoresPerSlot: 1, Duration: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("spec %q should be invalid", bad.Name)
+		}
+	}
+}
+
+func TestSubmitAllocateRelease(t *testing.T) {
+	in := NewInstance("root", hpc6a(4))
+	id, alloc, err := in.Submit(Jobspec{Name: "mpi", NumSlots: 8, CoresPerSlot: 48})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if alloc == nil || len(alloc.Slots) != 8 {
+		t.Fatalf("allocation shape wrong: %+v", alloc)
+	}
+	// 8 slots × 48 cores = all 384 cores on 4 nodes.
+	if free := in.Root.CountFree(CoreRes); free != 0 {
+		t.Fatalf("free cores = %d, want 0", free)
+	}
+	if alloc.NodeCount() != 4 {
+		t.Fatalf("allocation spans %d nodes, want 4", alloc.NodeCount())
+	}
+	if _, err := in.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if free := in.Root.CountFree(CoreRes); free != 384 {
+		t.Fatalf("after release free cores = %d, want 384", free)
+	}
+	if _, err := in.Release(id); err == nil {
+		t.Fatalf("double release must fail")
+	}
+}
+
+func TestUnsatisfiableRejectedImmediately(t *testing.T) {
+	in := NewInstance("root", hpc6a(2))
+	_, _, err := in.Submit(Jobspec{Name: "huge", NumSlots: 1000, CoresPerSlot: 48})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+	// GPUs on a CPU-only graph.
+	_, _, err = in.Submit(Jobspec{Name: "gpu", NumSlots: 1, GPUsPerSlot: 1})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable for GPU ask", err)
+	}
+}
+
+func TestQueueingAndFIFOPromotion(t *testing.T) {
+	in := NewInstance("root", hpc6a(2))
+	full := Jobspec{Name: "full", NumSlots: 2, CoresPerSlot: 96, NodeExclusive: true}
+	id1, _, err := in.Submit(full)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, _, err = in.Submit(full)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	_, _, err = in.Submit(full)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("third submit should queue: %v", err)
+	}
+	if in.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", in.Pending())
+	}
+	started, err := in.Release(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 {
+		t.Fatalf("release should start exactly one queued job, started %d", len(started))
+	}
+	if in.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", in.Pending())
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	in := NewInstance("root", hpc6a(2))
+	full := Jobspec{Name: "full", NumSlots: 2, CoresPerSlot: 96, NodeExclusive: true}
+	idRun, _, err := in.Submit(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue a default-priority job, then an urgent one.
+	low := full
+	low.Name = "low"
+	if _, _, err := in.Submit(low); !errors.Is(err, ErrBusy) {
+		t.Fatal(err)
+	}
+	urgent := full
+	urgent.Name = "urgent"
+	urgent.Priority = 10
+	if _, _, err := in.Submit(urgent); !errors.Is(err, ErrBusy) {
+		t.Fatal(err)
+	}
+	started, err := in.Release(idRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 || started[0].Spec.Name != "urgent" {
+		t.Fatalf("urgent job should start first: %+v", started)
+	}
+	// Equal priorities stay FIFO.
+	in2 := NewInstance("root2", hpc6a(2))
+	id1, _, _ := in2.Submit(full)
+	a := full
+	a.Name = "first"
+	b := full
+	b.Name = "second"
+	in2.Submit(a)
+	in2.Submit(b)
+	started, _ = in2.Release(id1)
+	if len(started) != 1 || started[0].Spec.Name != "first" {
+		t.Fatalf("equal priority should be FIFO: %+v", started)
+	}
+}
+
+func TestNodeExclusiveNoCoTenancy(t *testing.T) {
+	in := NewInstance("root", hpc6a(2))
+	_, a, err := in.Submit(Jobspec{Name: "excl", NumSlots: 1, CoresPerSlot: 1, NodeExclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NodeCount() != 1 {
+		t.Fatalf("exclusive slot should claim one node")
+	}
+	// A second job needing 96+ cores can only use the other node; asking
+	// for more than one node's worth must queue even though core totals
+	// would fit if co-tenancy were allowed.
+	_, _, err = in.Submit(Jobspec{Name: "big", NumSlots: 3, CoresPerSlot: 48})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("co-tenancy on the exclusive node must be denied: %v", err)
+	}
+}
+
+func TestGPUSlots(t *testing.T) {
+	in := NewInstance("root", nd40(4))
+	_, a, err := in.Submit(Jobspec{Name: "gpujob", NumSlots: 32, CoresPerSlot: 4, GPUsPerSlot: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if free := in.Root.CountFree(GPURes); free != 0 {
+		t.Fatalf("all 32 GPUs should be claimed, %d free", free)
+	}
+	if a.NodeCount() != 4 {
+		t.Fatalf("allocation spans %d nodes, want 4", a.NodeCount())
+	}
+}
+
+func TestHierarchicalSpawn(t *testing.T) {
+	// The MiniCluster pattern: allocate whole nodes, spawn a child
+	// instance over them, schedule inside the child.
+	root := NewInstance("k8s", nd40(8))
+	_, alloc, err := root.Submit(Jobspec{Name: "minicluster", NumSlots: 4, CoresPerSlot: 48, GPUsPerSlot: 8, NodeExclusive: true})
+	if err != nil {
+		t.Fatalf("MiniCluster allocation: %v", err)
+	}
+	child, err := root.Spawn("minicluster-0", alloc)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if child.Depth() != 1 || child.Parent() != root {
+		t.Fatalf("child lineage wrong")
+	}
+	if got := child.Root.Count(NodeRes); got != 4 {
+		t.Fatalf("child sees %d nodes, want 4", got)
+	}
+	// Child schedules its own work without touching the parent graph.
+	_, _, err = child.Submit(Jobspec{Name: "lammps", NumSlots: 32, CoresPerSlot: 4, GPUsPerSlot: 1})
+	if err != nil {
+		t.Fatalf("child Submit: %v", err)
+	}
+	if free := root.Root.CountFree(GPURes); free != 32 {
+		t.Fatalf("parent bookkeeping disturbed: %d free GPUs, want 32 (other 4 nodes)", free)
+	}
+	// Grandchild: instances nest arbitrarily deep.
+	_, alloc2, err := child.Submit(Jobspec{Name: "sub", NumSlots: 1, CoresPerSlot: 48, NodeExclusive: true})
+	if errors.Is(err, ErrBusy) {
+		t.Skipf("no free node for grandchild in this layout")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand, err := child.Spawn("nested", alloc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grand.Depth() != 2 {
+		t.Fatalf("grandchild depth = %d", grand.Depth())
+	}
+}
+
+func TestSpawnNeedsNodes(t *testing.T) {
+	in := NewInstance("root", hpc6a(1))
+	if _, err := in.Spawn("x", &Allocation{}); err == nil {
+		t.Fatalf("spawning over an empty allocation must fail")
+	}
+}
+
+func TestAllocationsSorted(t *testing.T) {
+	in := NewInstance("root", hpc6a(4))
+	for i := 0; i < 4; i++ {
+		if _, _, err := in.Submit(Jobspec{Name: "j", NumSlots: 1, CoresPerSlot: 96, NodeExclusive: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := in.Allocations()
+	for i := 1; i < len(allocs); i++ {
+		if allocs[i].JobID <= allocs[i-1].JobID {
+			t.Fatalf("allocations not sorted by job ID")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := nd40(1)
+	out := g.String()
+	if !strings.Contains(out, "cluster nd40") || !strings.Contains(out, "24 cores, 4 gpus") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+// Property: for any sequence of submits and releases, no vertex is ever
+// allocated to two jobs, and free counts never go negative.
+func TestAllocationConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		in := NewInstance("prop", nd40(4))
+		totalCores := in.Root.Count(CoreRes)
+		totalGPUs := in.Root.Count(GPURes)
+		var live []uint64
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				id := live[0]
+				live = live[1:]
+				if _, err := in.Release(id); err != nil {
+					return false
+				}
+			} else {
+				slots := int(op%4) + 1
+				id, alloc, err := in.Submit(Jobspec{Name: "p", NumSlots: slots, CoresPerSlot: 8, GPUsPerSlot: 1})
+				if err == nil && alloc != nil {
+					live = append(live, id)
+				} else if !errors.Is(err, ErrBusy) && err != nil {
+					return false
+				}
+			}
+			// Conservation: free + allocated == total, and no double claims.
+			claimed := map[*Resource]bool{}
+			for _, a := range in.Allocations() {
+				for _, slot := range a.Slots {
+					for _, v := range slot {
+						if claimed[v] {
+							return false // double allocation
+						}
+						claimed[v] = true
+					}
+				}
+			}
+			if in.Root.CountFree(CoreRes) < 0 || in.Root.CountFree(CoreRes) > totalCores {
+				return false
+			}
+			if in.Root.CountFree(GPURes) < 0 || in.Root.CountFree(GPURes) > totalGPUs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package flux
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Instance is one Flux instance: a scheduler over a resource graph.
+// Instances nest — Spawn carves a child instance out of an allocation,
+// which is how the Flux Operator turns a Kubernetes node pool into a
+// MiniCluster, and how batch jobs subdivide their own allocations.
+type Instance struct {
+	Name   string
+	Root   *Resource
+	parent *Instance
+	depth  int
+
+	nextJobID uint64
+	allocs    map[uint64]*Allocation
+	queue     []*pending
+}
+
+type pending struct {
+	id   uint64
+	spec Jobspec
+}
+
+// ErrBusy is returned when resources exist but are currently allocated.
+var ErrBusy = errors.New("flux: insufficient free resources (queued)")
+
+// NewInstance creates a root instance over a resource graph.
+func NewInstance(name string, root *Resource) *Instance {
+	return &Instance{Name: name, Root: root, allocs: make(map[uint64]*Allocation)}
+}
+
+// Depth reports how many ancestors the instance has (0 for the root).
+func (in *Instance) Depth() int { return in.depth }
+
+// Parent returns the enclosing instance, nil for the root.
+func (in *Instance) Parent() *Instance { return in.parent }
+
+// Pending reports queued (unallocated) jobspecs.
+func (in *Instance) Pending() int { return len(in.queue) }
+
+// Allocations returns the live allocations sorted by job ID.
+func (in *Instance) Allocations() []*Allocation {
+	out := make([]*Allocation, 0, len(in.allocs))
+	for _, a := range in.allocs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// Submit validates and tries to allocate a jobspec. If the graph can
+// satisfy it but not right now, the job queues and ErrBusy is returned
+// with a job ID; Release later promotes queued jobs FIFO.
+func (in *Instance) Submit(spec Jobspec) (uint64, *Allocation, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if !in.satisfiable(spec) {
+		return 0, nil, fmt.Errorf("%w: %d×(%dc,%dg) on %d cores / %d gpus",
+			ErrUnsatisfiable, spec.NumSlots, spec.CoresPerSlot, spec.GPUsPerSlot,
+			in.Root.Count(CoreRes), in.Root.Count(GPURes))
+	}
+	in.nextJobID++
+	id := in.nextJobID
+	alloc, ok := in.tryAllocate(id, spec)
+	if !ok {
+		in.enqueue(&pending{id: id, spec: spec})
+		return id, nil, ErrBusy
+	}
+	in.allocs[id] = alloc
+	return id, alloc, nil
+}
+
+// enqueue inserts a pending job in (priority desc, submission) order —
+// Flux's urgency semantics.
+func (in *Instance) enqueue(p *pending) {
+	at := len(in.queue)
+	for i, q := range in.queue {
+		if p.spec.Priority > q.spec.Priority {
+			at = i
+			break
+		}
+	}
+	in.queue = append(in.queue, nil)
+	copy(in.queue[at+1:], in.queue[at:])
+	in.queue[at] = p
+}
+
+// Release frees a job's resources and promotes queued jobs FIFO. It
+// returns the allocations started by the release.
+func (in *Instance) Release(id uint64) ([]*Allocation, error) {
+	alloc, ok := in.allocs[id]
+	if !ok {
+		return nil, fmt.Errorf("flux: job %d has no live allocation", id)
+	}
+	for _, slot := range alloc.Slots {
+		for _, v := range slot {
+			v.allocatedTo = 0
+		}
+	}
+	delete(in.allocs, id)
+
+	var started []*Allocation
+	remaining := in.queue[:0]
+	for _, p := range in.queue {
+		if a, ok := in.tryAllocate(p.id, p.spec); ok {
+			in.allocs[p.id] = a
+			started = append(started, a)
+		} else {
+			remaining = append(remaining, p)
+		}
+	}
+	in.queue = remaining
+	return started, nil
+}
+
+// Spawn creates a nested instance over an allocation's nodes — the child
+// sees whole nodes (the MiniCluster pattern grants node-exclusive slots).
+func (in *Instance) Spawn(name string, alloc *Allocation) (*Instance, error) {
+	if len(alloc.Nodes) == 0 {
+		return nil, fmt.Errorf("flux: allocation for job %d holds no whole nodes", alloc.JobID)
+	}
+	sub := &Resource{Type: ClusterRes, Name: name}
+	// The child gets fresh vertices mirroring the granted nodes, so its
+	// allocations never race the parent's bookkeeping.
+	for _, n := range alloc.Nodes {
+		sub.Children = append(sub.Children, cloneTree(n))
+	}
+	return &Instance{Name: name, Root: sub, parent: in, depth: in.depth + 1,
+		allocs: make(map[uint64]*Allocation)}, nil
+}
+
+// cloneTree deep-copies a resource subtree with allocations cleared.
+func cloneTree(r *Resource) *Resource {
+	c := &Resource{Type: r.Type, Name: r.Name}
+	for _, ch := range r.Children {
+		c.Children = append(c.Children, cloneTree(ch))
+	}
+	return c
+}
+
+// satisfiable checks whether the spec could ever fit the whole graph.
+func (in *Instance) satisfiable(spec Jobspec) bool {
+	if spec.NodeExclusive {
+		// Need NumSlots nodes each big enough for one slot.
+		fit := 0
+		for _, n := range in.Root.nodesUnder() {
+			if n.Count(CoreRes) >= spec.CoresPerSlot && n.Count(GPURes) >= spec.GPUsPerSlot {
+				fit++
+			}
+		}
+		return fit >= spec.NumSlots
+	}
+	return in.Root.Count(CoreRes) >= spec.TotalCores() &&
+		in.Root.Count(GPURes) >= spec.TotalGPUs()
+}
+
+// tryAllocate attempts a first-fit placement of every slot.
+func (in *Instance) tryAllocate(id uint64, spec Jobspec) (*Allocation, bool) {
+	alloc := &Allocation{JobID: id, Spec: spec}
+	var claimed []*Resource
+	undo := func() {
+		for _, v := range claimed {
+			v.allocatedTo = 0
+		}
+	}
+
+	nodes := in.Root.nodesUnder()
+	nodeUsed := map[*Resource]bool{}
+	for slot := 0; slot < spec.NumSlots; slot++ {
+		placed := false
+		for _, node := range nodes {
+			if node.allocatedTo != 0 {
+				continue
+			}
+			if spec.NodeExclusive && nodeUsed[node] {
+				continue
+			}
+			cores := freeLeaves(node, CoreRes, spec.CoresPerSlot)
+			gpus := freeLeaves(node, GPURes, spec.GPUsPerSlot)
+			if cores == nil || gpus == nil {
+				continue
+			}
+			var vertices []*Resource
+			vertices = append(vertices, cores...)
+			vertices = append(vertices, gpus...)
+			if spec.NodeExclusive {
+				// Claim the whole node vertex: nothing else may co-tenant.
+				node.allocatedTo = id
+				claimed = append(claimed, node)
+				vertices = append(vertices, node)
+			}
+			for _, v := range vertices {
+				if v != node {
+					v.allocatedTo = id
+					claimed = append(claimed, v)
+				}
+			}
+			alloc.Slots = append(alloc.Slots, vertices)
+			if !nodeUsed[node] {
+				nodeUsed[node] = true
+				alloc.Nodes = append(alloc.Nodes, node)
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			undo()
+			return nil, false
+		}
+	}
+	return alloc, true
+}
+
+// freeLeaves collects n free leaves of a type under a node, or nil if
+// fewer exist.
+func freeLeaves(node *Resource, t ResourceType, n int) []*Resource {
+	if n == 0 {
+		return []*Resource{}
+	}
+	var out []*Resource
+	var walk func(v *Resource, busy bool)
+	walk = func(v *Resource, busy bool) {
+		if len(out) >= n {
+			return
+		}
+		busy = busy || v.allocatedTo != 0
+		if v.Type == t && !busy {
+			out = append(out, v)
+		}
+		for _, c := range v.Children {
+			walk(c, busy)
+		}
+	}
+	walk(node, false)
+	if len(out) < n {
+		return nil
+	}
+	return out[:n]
+}

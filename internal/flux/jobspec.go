@@ -1,0 +1,61 @@
+package flux
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Jobspec is a declarative resource request, modelled on Flux's canonical
+// jobspec: N slots, each slot needing cores and GPUs, slots packed onto
+// nodes either exclusively or shared.
+type Jobspec struct {
+	Name string
+	// NumSlots is the number of task slots (typically MPI ranks).
+	NumSlots int
+	// CoresPerSlot and GPUsPerSlot shape one slot.
+	CoresPerSlot int
+	GPUsPerSlot  int
+	// NodeExclusive requests whole nodes (no co-tenancy).
+	NodeExclusive bool
+	// Duration is the requested walltime.
+	Duration time.Duration
+	// Priority orders queued jobs: higher starts first (Flux's urgency).
+	// Equal priorities keep FIFO order. Default 0.
+	Priority int
+}
+
+// Validate checks the jobspec for structural errors.
+func (j Jobspec) Validate() error {
+	switch {
+	case j.NumSlots <= 0:
+		return fmt.Errorf("flux: jobspec %q: NumSlots must be positive, got %d", j.Name, j.NumSlots)
+	case j.CoresPerSlot < 0 || j.GPUsPerSlot < 0:
+		return fmt.Errorf("flux: jobspec %q: negative slot shape", j.Name)
+	case j.CoresPerSlot == 0 && j.GPUsPerSlot == 0:
+		return fmt.Errorf("flux: jobspec %q: slot requests no resources", j.Name)
+	case j.Duration < 0:
+		return fmt.Errorf("flux: jobspec %q: negative duration", j.Name)
+	}
+	return nil
+}
+
+// TotalCores and TotalGPUs are the aggregate ask.
+func (j Jobspec) TotalCores() int { return j.NumSlots * j.CoresPerSlot }
+func (j Jobspec) TotalGPUs() int  { return j.NumSlots * j.GPUsPerSlot }
+
+// ErrUnsatisfiable is returned when a jobspec can never fit the graph.
+var ErrUnsatisfiable = errors.New("flux: jobspec can never be satisfied by this instance")
+
+// Allocation is a granted jobspec: the concrete vertices backing each slot.
+type Allocation struct {
+	JobID uint64
+	Spec  Jobspec
+	// Slots maps slot index → the resource vertices granted to it.
+	Slots [][]*Resource
+	// Nodes is the distinct set of nodes touched by the allocation.
+	Nodes []*Resource
+}
+
+// NodeCount returns the number of distinct nodes in the allocation.
+func (a *Allocation) NodeCount() int { return len(a.Nodes) }

@@ -1,0 +1,148 @@
+// Package flux implements a Flux-Framework-style hierarchical resource
+// manager — the scheduler the study deployed in every Kubernetes
+// environment (via the Flux Operator) and on the Compute Engine VM
+// clusters (paper §2.3).
+//
+// Flux's defining ideas, reproduced here:
+//
+//   - Resources form a *graph* (cluster → nodes → sockets → cores/GPUs),
+//     and jobs are matched against it rather than against a flat count.
+//   - Job requests are *jobspecs*: declarative resource shapes ("2 nodes
+//     with 4 cores and 1 GPU per task").
+//   - Instances are *hierarchical*: a job can be an entire nested Flux
+//     instance managing the resources it was granted — exactly how the
+//     Flux Operator carves a MiniCluster out of Kubernetes nodes.
+package flux
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ResourceType names a vertex type in the resource graph.
+type ResourceType string
+
+const (
+	ClusterRes ResourceType = "cluster"
+	NodeRes    ResourceType = "node"
+	SocketRes  ResourceType = "socket"
+	CoreRes    ResourceType = "core"
+	GPURes     ResourceType = "gpu"
+)
+
+// Resource is a vertex in the hierarchical resource graph.
+type Resource struct {
+	Type     ResourceType
+	Name     string
+	Children []*Resource
+
+	allocatedTo uint64 // job ID holding this vertex (0 = free)
+}
+
+// NewCluster builds a uniform cluster graph: nodes × sockets × (cores,
+// gpus) per socket. It panics on non-positive nodes or sockets because a
+// resource graph without vertices is a caller bug.
+func NewCluster(name string, nodes, socketsPerNode, coresPerSocket, gpusPerSocket int) *Resource {
+	if nodes <= 0 || socketsPerNode <= 0 {
+		panic(fmt.Sprintf("flux: invalid cluster shape %d nodes × %d sockets", nodes, socketsPerNode))
+	}
+	cluster := &Resource{Type: ClusterRes, Name: name}
+	for n := 0; n < nodes; n++ {
+		node := &Resource{Type: NodeRes, Name: fmt.Sprintf("%s-node%03d", name, n)}
+		for s := 0; s < socketsPerNode; s++ {
+			socket := &Resource{Type: SocketRes, Name: fmt.Sprintf("%s-s%d", node.Name, s)}
+			for c := 0; c < coresPerSocket; c++ {
+				socket.Children = append(socket.Children, &Resource{
+					Type: CoreRes, Name: fmt.Sprintf("%s-c%d", socket.Name, c),
+				})
+			}
+			for g := 0; g < gpusPerSocket; g++ {
+				socket.Children = append(socket.Children, &Resource{
+					Type: GPURes, Name: fmt.Sprintf("%s-g%d", socket.Name, g),
+				})
+			}
+			node.Children = append(node.Children, socket)
+		}
+		cluster.Children = append(cluster.Children, node)
+	}
+	return cluster
+}
+
+// Walk visits every vertex depth-first.
+func (r *Resource) Walk(visit func(*Resource)) {
+	visit(r)
+	for _, c := range r.Children {
+		c.Walk(visit)
+	}
+}
+
+// Count returns the number of vertices of a type under r (inclusive).
+func (r *Resource) Count(t ResourceType) int {
+	n := 0
+	r.Walk(func(v *Resource) {
+		if v.Type == t {
+			n++
+		}
+	})
+	return n
+}
+
+// CountFree returns unallocated vertices of a type under r. A vertex is
+// considered allocated if it or any ancestor holds an allocation; callers
+// must pass the graph root for exact results.
+func (r *Resource) CountFree(t ResourceType) int {
+	n := 0
+	var walk func(v *Resource, busy bool)
+	walk = func(v *Resource, busy bool) {
+		busy = busy || v.allocatedTo != 0
+		if v.Type == t && !busy {
+			n++
+		}
+		for _, c := range v.Children {
+			walk(c, busy)
+		}
+	}
+	walk(r, false)
+	return n
+}
+
+// nodesUnder returns the node vertices under r.
+func (r *Resource) nodesUnder() []*Resource {
+	var out []*Resource
+	r.Walk(func(v *Resource) {
+		if v.Type == NodeRes {
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// String renders the graph as an indented tree (for diagnostics).
+func (r *Resource) String() string {
+	var b strings.Builder
+	var walk func(v *Resource, depth int)
+	walk = func(v *Resource, depth int) {
+		fmt.Fprintf(&b, "%s%s %s", strings.Repeat("  ", depth), v.Type, v.Name)
+		if v.allocatedTo != 0 {
+			fmt.Fprintf(&b, " [job %d]", v.allocatedTo)
+		}
+		b.WriteByte('\n')
+		// Compress leaf fan-out: print counts instead of thousands of cores.
+		var leafCores, leafGPUs int
+		for _, c := range v.Children {
+			switch {
+			case c.Type == CoreRes:
+				leafCores++
+			case c.Type == GPURes:
+				leafGPUs++
+			default:
+				walk(c, depth+1)
+			}
+		}
+		if leafCores > 0 || leafGPUs > 0 {
+			fmt.Fprintf(&b, "%s%d cores, %d gpus\n", strings.Repeat("  ", depth+1), leafCores, leafGPUs)
+		}
+	}
+	walk(r, 0)
+	return b.String()
+}

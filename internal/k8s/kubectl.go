@@ -1,0 +1,88 @@
+package k8s
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// kubectl-style views of the simulated cluster — the interface the study
+// team actually watched while debugging daemonsets and MiniClusters.
+
+// GetNodes renders `kubectl get nodes` with capacity and commitment.
+func (ps *PodScheduler) GetNodes() string {
+	sorted := append([]string(nil), nodeIDs(ps)...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-8s %-12s %-12s\n", "NAME", "STATUS", "CPU(used/cap)", "GPU(used/cap)")
+	for _, id := range sorted {
+		n := nodeByID(ps, id)
+		status := "Ready"
+		if !n.Healthy {
+			status = "NotReady"
+		}
+		used := ps.Committed(id)
+		fmt.Fprintf(&b, "%-28s %-8s %-12s %-12s\n", id, status,
+			fmt.Sprintf("%d/%d", used.Cores, n.VisibleCores),
+			fmt.Sprintf("%d/%d", used.GPUs, n.VisibleGPUs))
+	}
+	return b.String()
+}
+
+// GetPods renders `kubectl get pods` (optionally filtered by selector).
+func (ps *PodScheduler) GetPods(selector map[string]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %-10s %-28s %s\n", "NAME", "STATUS", "NODE", "LABELS")
+	for _, p := range ps.Pods(selector) {
+		labels := make([]string, 0, len(p.Labels))
+		for k, v := range p.Labels {
+			labels = append(labels, k+"="+v)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(&b, "%-36s %-10s %-28s %s\n", p.Name, p.Phase, p.Node, strings.Join(labels, ","))
+	}
+	return b.String()
+}
+
+// Describe renders `kubectl describe miniclusters/<name>`.
+func (mc *MiniClusterResource) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Name:         %s\n", mc.Spec.Name)
+	fmt.Fprintf(&b, "Kind:         MiniCluster (flux-framework.org/v1alpha2)\n")
+	fmt.Fprintf(&b, "Size:         %d\n", mc.Spec.Size)
+	fmt.Fprintf(&b, "Image:        %s\n", mc.Spec.Image)
+	fmt.Fprintf(&b, "Phase:        %s\n", mc.Status.Phase)
+	fmt.Fprintf(&b, "ReadyBrokers: %d\n", mc.Status.ReadyBrokers)
+	if mc.Status.Message != "" {
+		fmt.Fprintf(&b, "Message:      %s\n", mc.Status.Message)
+	}
+	if lead := mc.LeadBroker(); lead != nil {
+		fmt.Fprintf(&b, "LeadBroker:   %s (on %s)\n", lead.Name, lead.Node)
+	}
+	return b.String()
+}
+
+// nodeIDs and nodeByID are small helpers over the scheduler's pool.
+func nodeIDs(ps *PodScheduler) []string {
+	out := make([]string, 0, len(ps.nodes))
+	for _, n := range ps.nodes {
+		out = append(out, n.ID)
+	}
+	return out
+}
+
+func nodeByID(ps *PodScheduler, id string) *nodeView {
+	for _, n := range ps.nodes {
+		if n.ID == id {
+			return &nodeView{Healthy: n.Healthy, VisibleCores: n.VisibleCores, VisibleGPUs: n.VisibleGPUs}
+		}
+	}
+	return &nodeView{}
+}
+
+// nodeView decouples rendering from the cloud.Node type.
+type nodeView struct {
+	Healthy      bool
+	VisibleCores int
+	VisibleGPUs  int
+}

@@ -1,0 +1,56 @@
+package k8s
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetNodesRendering(t *testing.T) {
+	nodes := testNodes(3, 48, 8)
+	nodes[1].Healthy = false
+	nodes[2].VisibleCores = 2 // the fish
+	ps := NewPodScheduler(nodes)
+	ps.Schedule(&Pod{Name: "p", Request: ResourceRequest{Cores: 4, GPUs: 1}})
+	out := ps.GetNodes()
+	if !strings.Contains(out, "NotReady") {
+		t.Fatalf("unhealthy node not shown:\n%s", out)
+	}
+	if !strings.Contains(out, "4/48") || !strings.Contains(out, "1/8") {
+		t.Fatalf("commitment not shown:\n%s", out)
+	}
+	if !strings.Contains(out, "0/2") && !strings.Contains(out, "2\n") {
+		// The fish node's 2-core capacity must be visible.
+		if !strings.Contains(out, "/2") {
+			t.Fatalf("fish capacity not shown:\n%s", out)
+		}
+	}
+}
+
+func TestGetPodsRendering(t *testing.T) {
+	ps := NewPodScheduler(testNodes(2, 48, 0))
+	ps.Schedule(&Pod{Name: "broker-0", Labels: map[string]string{"app": "flux-minicluster", "rank": "0"},
+		Request: ResourceRequest{Cores: 1}})
+	out := ps.GetPods(nil)
+	if !strings.Contains(out, "broker-0") || !strings.Contains(out, "Running") {
+		t.Fatalf("pods missing:\n%s", out)
+	}
+	if !strings.Contains(out, "app=flux-minicluster,rank=0") {
+		t.Fatalf("labels not sorted/rendered:\n%s", out)
+	}
+}
+
+func TestDescribeMiniCluster(t *testing.T) {
+	ps := NewPodScheduler(testNodes(4, 48, 8))
+	op := NewOperator(ps, 4, 2, 24, 4)
+	mc := &MiniClusterResource{Spec: MiniClusterSpec{Name: "study", Size: 4, Image: "lammps-azure-GPU"}}
+	if err := op.Reconcile(mc); err != nil {
+		t.Fatal(err)
+	}
+	out := mc.Describe()
+	for _, want := range []string{"Name:         study", "Phase:        Ready",
+		"ReadyBrokers: 4", "LeadBroker:   study-0", "flux-framework.org"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe missing %q:\n%s", want, out)
+		}
+	}
+}

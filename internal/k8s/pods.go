@@ -1,0 +1,227 @@
+package k8s
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cloudhpc/internal/cloud"
+)
+
+// This file adds the pod layer under the cluster objects: resource-aware
+// pod scheduling onto nodes, and level-triggered daemonset reconciliation
+// (the mechanism behind the EFA plugin, the custom AKS InfiniBand
+// installer, and the patched VPC CNI in the study).
+
+// PodPhase is the pod lifecycle state.
+type PodPhase string
+
+const (
+	PodPending PodPhase = "Pending"
+	PodRunning PodPhase = "Running"
+	PodFailed  PodPhase = "Failed"
+)
+
+// ResourceRequest is a pod's ask in whole cores/GPUs.
+type ResourceRequest struct {
+	Cores int
+	GPUs  int
+}
+
+// Pod is a scheduled unit.
+type Pod struct {
+	Name    string
+	Labels  map[string]string
+	Request ResourceRequest
+	Node    string // assigned node ID ("" while pending)
+	Phase   PodPhase
+}
+
+// ErrNoFit is returned when no node can host a pod.
+var ErrNoFit = errors.New("k8s: no node can satisfy pod resource request")
+
+// PodScheduler places pods on the cluster's nodes, tracking per-node
+// committed resources. It is the kube-scheduler analogue.
+type PodScheduler struct {
+	nodes    []*cloud.Node
+	commit   map[string]ResourceRequest // node ID → committed
+	pods     map[string]*Pod
+	sequence int
+}
+
+// NewPodScheduler builds a scheduler over provisioned nodes.
+func NewPodScheduler(nodes []*cloud.Node) *PodScheduler {
+	return &PodScheduler{
+		nodes:  nodes,
+		commit: make(map[string]ResourceRequest),
+		pods:   make(map[string]*Pod),
+	}
+}
+
+// capacityOf reads a node's allocatable resources (visible, not SKU —
+// the defective Azure nodes expose less than their type promises).
+func capacityOf(n *cloud.Node) ResourceRequest {
+	return ResourceRequest{Cores: n.VisibleCores, GPUs: n.VisibleGPUs}
+}
+
+// fits reports whether a request fits the node's remaining capacity.
+func (ps *PodScheduler) fits(n *cloud.Node, req ResourceRequest) bool {
+	cap := capacityOf(n)
+	used := ps.commit[n.ID]
+	return used.Cores+req.Cores <= cap.Cores && used.GPUs+req.GPUs <= cap.GPUs
+}
+
+// Schedule assigns the pod to the first node with room (sorted by node ID
+// for determinism). On success the pod runs; otherwise ErrNoFit.
+func (ps *PodScheduler) Schedule(pod *Pod) error {
+	if pod.Request.Cores < 0 || pod.Request.GPUs < 0 {
+		return fmt.Errorf("k8s: pod %q has negative resource request", pod.Name)
+	}
+	if _, dup := ps.pods[pod.Name]; dup {
+		return fmt.Errorf("k8s: pod %q already exists", pod.Name)
+	}
+	sorted := append([]*cloud.Node(nil), ps.nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, n := range sorted {
+		if !n.Healthy || !ps.fits(n, pod.Request) {
+			continue
+		}
+		used := ps.commit[n.ID]
+		used.Cores += pod.Request.Cores
+		used.GPUs += pod.Request.GPUs
+		ps.commit[n.ID] = used
+		pod.Node = n.ID
+		pod.Phase = PodRunning
+		ps.pods[pod.Name] = pod
+		return nil
+	}
+	pod.Phase = PodPending
+	return ErrNoFit
+}
+
+// ScheduleOnNode pins a pod to a specific node (daemonset placement).
+func (ps *PodScheduler) ScheduleOnNode(pod *Pod, nodeID string) error {
+	if _, dup := ps.pods[pod.Name]; dup {
+		return fmt.Errorf("k8s: pod %q already exists", pod.Name)
+	}
+	for _, n := range ps.nodes {
+		if n.ID != nodeID {
+			continue
+		}
+		if !ps.fits(n, pod.Request) {
+			return fmt.Errorf("%w: node %s full", ErrNoFit, nodeID)
+		}
+		used := ps.commit[n.ID]
+		used.Cores += pod.Request.Cores
+		used.GPUs += pod.Request.GPUs
+		ps.commit[n.ID] = used
+		pod.Node = n.ID
+		pod.Phase = PodRunning
+		ps.pods[pod.Name] = pod
+		return nil
+	}
+	return fmt.Errorf("k8s: unknown node %q", nodeID)
+}
+
+// Delete removes a pod and releases its resources.
+func (ps *PodScheduler) Delete(name string) error {
+	pod, ok := ps.pods[name]
+	if !ok {
+		return fmt.Errorf("k8s: pod %q not found", name)
+	}
+	if pod.Node != "" {
+		used := ps.commit[pod.Node]
+		used.Cores -= pod.Request.Cores
+		used.GPUs -= pod.Request.GPUs
+		ps.commit[pod.Node] = used
+	}
+	delete(ps.pods, name)
+	return nil
+}
+
+// Pods returns pods matching a label selector (nil matches all), sorted
+// by name.
+func (ps *PodScheduler) Pods(selector map[string]string) []*Pod {
+	var out []*Pod
+	for _, p := range ps.pods {
+		match := true
+		for k, v := range selector {
+			if p.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Committed returns a node's committed resources.
+func (ps *PodScheduler) Committed(nodeID string) ResourceRequest { return ps.commit[nodeID] }
+
+// DaemonSetController reconciles one pod per node, level-triggered: call
+// Reconcile after any node change and it converges, creating missing pods
+// and garbage-collecting pods whose nodes are gone.
+type DaemonSetController struct {
+	Set   DaemonSet
+	sched *PodScheduler
+}
+
+// NewDaemonSetController wires a controller to a scheduler.
+func NewDaemonSetController(ds DaemonSet, sched *PodScheduler) *DaemonSetController {
+	return &DaemonSetController{Set: ds, sched: sched}
+}
+
+// Reconcile converges the daemonset: returns pods created and removed.
+func (c *DaemonSetController) Reconcile() (created, removed int, err error) {
+	selector := map[string]string{"daemonset": c.Set.Name}
+	want := map[string]bool{}
+	for _, n := range c.sched.nodes {
+		want[n.ID] = true
+	}
+	have := map[string]bool{}
+	for _, p := range c.sched.Pods(selector) {
+		if !want[p.Node] {
+			if err := c.sched.Delete(p.Name); err != nil {
+				return created, removed, err
+			}
+			removed++
+			continue
+		}
+		have[p.Node] = true
+	}
+	for _, n := range c.sched.nodes {
+		if have[n.ID] {
+			continue
+		}
+		c.sequencePod(n.ID)
+		pod := &Pod{
+			Name:   fmt.Sprintf("%s-%s", c.Set.Name, n.ID),
+			Labels: map[string]string{"daemonset": c.Set.Name},
+			// Daemonset pods are lightweight agents.
+			Request: ResourceRequest{Cores: 0},
+		}
+		if err := c.sched.ScheduleOnNode(pod, n.ID); err != nil {
+			return created, removed, err
+		}
+		created++
+	}
+	return created, removed, nil
+}
+
+// Ready reports whether every node runs a daemonset pod.
+func (c *DaemonSetController) Ready() bool {
+	selector := map[string]string{"daemonset": c.Set.Name}
+	running := 0
+	for _, p := range c.sched.Pods(selector) {
+		if p.Phase == PodRunning {
+			running++
+		}
+	}
+	return running == len(c.sched.nodes)
+}
+
+func (c *DaemonSetController) sequencePod(string) { c.sched.sequence++ }

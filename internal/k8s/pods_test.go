@@ -1,0 +1,225 @@
+package k8s
+
+import (
+	"errors"
+	"testing"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/flux"
+)
+
+// flux32Ranks is a 32-rank GPU jobspec for the nested-instance check.
+func flux32Ranks() flux.Jobspec {
+	return flux.Jobspec{Name: "lammps", NumSlots: 32, CoresPerSlot: 4, GPUsPerSlot: 1}
+}
+
+func testNodes(n, cores, gpus int) []*cloud.Node {
+	it := cloud.InstanceType{Name: "t", Provider: cloud.Google, Cores: cores, GPUs: gpus}
+	var out []*cloud.Node
+	for i := 0; i < n; i++ {
+		out = append(out, &cloud.Node{
+			ID: nodeID(i), Type: it, VisibleCores: cores, VisibleGPUs: gpus, Healthy: true,
+		})
+	}
+	return out
+}
+
+func nodeID(i int) string { return string(rune('a'+i)) + "-node" }
+
+func TestPodScheduleAndDelete(t *testing.T) {
+	ps := NewPodScheduler(testNodes(2, 8, 0))
+	pod := &Pod{Name: "p1", Request: ResourceRequest{Cores: 4}}
+	if err := ps.Schedule(pod); err != nil {
+		t.Fatal(err)
+	}
+	if pod.Phase != PodRunning || pod.Node == "" {
+		t.Fatalf("pod not running: %+v", pod)
+	}
+	if got := ps.Committed(pod.Node).Cores; got != 4 {
+		t.Fatalf("committed = %d", got)
+	}
+	if err := ps.Delete("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.Committed(pod.Node).Cores; got != 0 {
+		t.Fatalf("resources not released: %d", got)
+	}
+	if err := ps.Delete("p1"); err == nil {
+		t.Fatalf("double delete must fail")
+	}
+}
+
+func TestPodNoFit(t *testing.T) {
+	ps := NewPodScheduler(testNodes(1, 8, 0))
+	if err := ps.Schedule(&Pod{Name: "big", Request: ResourceRequest{Cores: 9}}); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+	// GPUs on a CPU node.
+	if err := ps.Schedule(&Pod{Name: "gpu", Request: ResourceRequest{Cores: 1, GPUs: 1}}); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit for GPU ask", err)
+	}
+}
+
+func TestPodBinPacking(t *testing.T) {
+	ps := NewPodScheduler(testNodes(2, 8, 0))
+	for i := 0; i < 4; i++ {
+		pod := &Pod{Name: "p" + string(rune('0'+i)), Request: ResourceRequest{Cores: 4}}
+		if err := ps.Schedule(pod); err != nil {
+			t.Fatalf("pod %d: %v", i, err)
+		}
+	}
+	// 4 × 4 cores fills both 8-core nodes exactly; a fifth cannot fit.
+	if err := ps.Schedule(&Pod{Name: "p5", Request: ResourceRequest{Cores: 1}}); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("overcommit allowed: %v", err)
+	}
+}
+
+func TestDefectiveNodeCapacity(t *testing.T) {
+	// The supermarket-fish node exposes 2 cores; scheduling must respect
+	// the *visible* capacity, not the SKU.
+	nodes := testNodes(1, 96, 0)
+	nodes[0].VisibleCores = 2
+	ps := NewPodScheduler(nodes)
+	if err := ps.Schedule(&Pod{Name: "p", Request: ResourceRequest{Cores: 4}}); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("scheduler trusted the SKU over the node: %v", err)
+	}
+}
+
+func TestUnhealthyNodeSkipped(t *testing.T) {
+	nodes := testNodes(2, 8, 0)
+	nodes[0].Healthy = false
+	ps := NewPodScheduler(nodes)
+	pod := &Pod{Name: "p", Request: ResourceRequest{Cores: 1}}
+	if err := ps.Schedule(pod); err != nil {
+		t.Fatal(err)
+	}
+	if pod.Node == nodes[0].ID {
+		t.Fatalf("pod scheduled on unhealthy node")
+	}
+}
+
+func TestPodsSelector(t *testing.T) {
+	ps := NewPodScheduler(testNodes(2, 8, 0))
+	ps.Schedule(&Pod{Name: "a", Labels: map[string]string{"app": "x"}, Request: ResourceRequest{Cores: 1}})
+	ps.Schedule(&Pod{Name: "b", Labels: map[string]string{"app": "y"}, Request: ResourceRequest{Cores: 1}})
+	if got := len(ps.Pods(map[string]string{"app": "x"})); got != 1 {
+		t.Fatalf("selector matched %d", got)
+	}
+	if got := len(ps.Pods(nil)); got != 2 {
+		t.Fatalf("nil selector matched %d", got)
+	}
+}
+
+func TestDuplicatePodRejected(t *testing.T) {
+	ps := NewPodScheduler(testNodes(1, 8, 0))
+	ps.Schedule(&Pod{Name: "p", Request: ResourceRequest{Cores: 1}})
+	if err := ps.Schedule(&Pod{Name: "p", Request: ResourceRequest{Cores: 1}}); err == nil {
+		t.Fatalf("duplicate pod accepted")
+	}
+}
+
+func TestDaemonSetReconcile(t *testing.T) {
+	nodes := testNodes(3, 8, 0)
+	ps := NewPodScheduler(nodes)
+	c := NewDaemonSetController(EFADevicePlugin, ps)
+	created, removed, err := c.Reconcile()
+	if err != nil || created != 3 || removed != 0 {
+		t.Fatalf("first reconcile: created=%d removed=%d err=%v", created, removed, err)
+	}
+	if !c.Ready() {
+		t.Fatalf("daemonset should be ready after reconcile")
+	}
+	// Idempotent.
+	created, removed, _ = c.Reconcile()
+	if created != 0 || removed != 0 {
+		t.Fatalf("second reconcile not a no-op: %d/%d", created, removed)
+	}
+	// Node added: reconcile converges.
+	it := nodes[0].Type
+	ps.nodes = append(ps.nodes, &cloud.Node{ID: "new-node", Type: it, VisibleCores: 8, Healthy: true})
+	created, _, _ = c.Reconcile()
+	if created != 1 || !c.Ready() {
+		t.Fatalf("node-add reconcile created %d", created)
+	}
+	// Node removed: pod garbage-collected.
+	ps.nodes = ps.nodes[:2]
+	_, removed, _ = c.Reconcile()
+	if removed != 2 {
+		t.Fatalf("node-remove reconcile removed %d, want 2", removed)
+	}
+	if !c.Ready() {
+		t.Fatalf("daemonset should converge after removals")
+	}
+}
+
+func TestOperatorMiniClusterLifecycle(t *testing.T) {
+	nodes := testNodes(4, 48, 8)
+	ps := NewPodScheduler(nodes)
+	op := NewOperator(ps, 4, 2, 24, 4)
+	mc := &MiniClusterResource{Spec: MiniClusterSpec{Name: "study", Size: 4, Image: "lammps-google-GPU"}}
+	if err := op.Reconcile(mc); err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if mc.Status.Phase != MiniClusterReady || mc.Status.ReadyBrokers != 4 {
+		t.Fatalf("status = %+v", mc.Status)
+	}
+	if len(mc.Brokers) != 4 {
+		t.Fatalf("brokers = %d", len(mc.Brokers))
+	}
+	if lead := mc.LeadBroker(); lead == nil || lead.Labels["rank"] != "0" {
+		t.Fatalf("lead broker wrong: %+v", lead)
+	}
+	// Each broker claims a distinct node.
+	seen := map[string]bool{}
+	for _, b := range mc.Brokers {
+		if seen[b.Node] {
+			t.Fatalf("two brokers on node %s", b.Node)
+		}
+		seen[b.Node] = true
+	}
+	// The nested Flux instance schedules work.
+	if mc.Flux == nil {
+		t.Fatalf("no nested instance")
+	}
+	if _, _, err := mc.Flux.Submit(flux32Ranks()); err != nil {
+		t.Fatalf("nested submit: %v", err)
+	}
+	// Reconciling a Ready resource is a no-op.
+	if err := op.Reconcile(mc); err != nil || len(mc.Brokers) != 4 {
+		t.Fatalf("re-reconcile changed state: %v", err)
+	}
+}
+
+func TestOperatorSizeErrors(t *testing.T) {
+	ps := NewPodScheduler(testNodes(2, 48, 0))
+	op := NewOperator(ps, 2, 2, 24, 0)
+	mc := &MiniClusterResource{Spec: MiniClusterSpec{Name: "big", Size: 3}}
+	if err := op.Reconcile(mc); !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatalf("err = %v", err)
+	}
+	if mc.Status.Phase != MiniClusterFailed {
+		t.Fatalf("status = %+v", mc.Status)
+	}
+	zero := &MiniClusterResource{Spec: MiniClusterSpec{Name: "zero", Size: 0}}
+	if err := op.Reconcile(zero); err == nil {
+		t.Fatalf("zero size accepted")
+	}
+}
+
+func TestOperatorTwoMiniClustersShareNodes(t *testing.T) {
+	ps := NewPodScheduler(testNodes(4, 48, 0))
+	op := NewOperator(ps, 4, 2, 24, 0)
+	a := &MiniClusterResource{Spec: MiniClusterSpec{Name: "a", Size: 2}}
+	b := &MiniClusterResource{Spec: MiniClusterSpec{Name: "b", Size: 2}}
+	if err := op.Reconcile(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Reconcile(b); err != nil {
+		t.Fatal(err)
+	}
+	// A third cannot fit (all 4 nodes claimed exclusively).
+	c := &MiniClusterResource{Spec: MiniClusterSpec{Name: "c", Size: 1}}
+	if err := op.Reconcile(c); err == nil {
+		t.Fatalf("overcommitted MiniCluster accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Package lsf implements the batch front-end of the study's cluster B:
+// IBM Spectrum LSF's bsub/bjobs/bkill interface over the shared
+// simulation clock. B is the on-premises GPU system (IBM POWER9, 4 × V100
+// per node, InfiniBand EDR) where all on-premises GPU runs queued.
+package lsf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// JobState mirrors bjobs states.
+type JobState string
+
+const (
+	StatePend JobState = "PEND"
+	StateRun  JobState = "RUN"
+	StateDone JobState = "DONE"
+	StateExit JobState = "EXIT" // non-zero exit (bad node, bkill, limit)
+)
+
+// Request is a bsub submission: -nnodes, -W (minutes), -J name.
+type Request struct {
+	Name   string
+	Nodes  int
+	Limit  time.Duration // -W wall limit; 0 = none
+	RunFor time.Duration // true body duration
+	OnEnd  func(*Job)
+}
+
+// Job is a tracked submission.
+type Job struct {
+	ID        int
+	Req       Request
+	State     JobState
+	Submitted time.Duration
+	Started   time.Duration
+	Ended     time.Duration
+	ExitInfo  string
+}
+
+// Cluster is the LSF management host (mbatchd) over a node pool.
+type Cluster struct {
+	sim *sim.Simulation
+	log *trace.Log
+	env string
+
+	totalNodes int
+	freeNodes  int
+	queue      []*Job
+	jobs       map[int]*Job
+	nextID     int
+}
+
+// ErrTooLarge is returned when a job can never fit the cluster.
+var ErrTooLarge = errors.New("lsf: job exceeds cluster size")
+
+// New creates the controller.
+func New(s *sim.Simulation, log *trace.Log, env string, nodes int) *Cluster {
+	return &Cluster{sim: s, log: log, env: env, totalNodes: nodes, freeNodes: nodes,
+		jobs: make(map[int]*Job)}
+}
+
+// Bsub submits a job and returns its ID.
+func (c *Cluster) Bsub(req Request) (int, error) {
+	if req.Nodes <= 0 {
+		return 0, fmt.Errorf("lsf: job %q requests %d nodes", req.Name, req.Nodes)
+	}
+	if req.Nodes > c.totalNodes {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, req.Nodes, c.totalNodes)
+	}
+	c.nextID++
+	j := &Job{ID: c.nextID, Req: req, State: StatePend, Submitted: c.sim.Now()}
+	c.jobs[j.ID] = j
+	c.queue = append(c.queue, j)
+	c.log.Addf(c.sim.Now(), c.env, trace.Info, trace.Routine,
+		"Job <%d> is submitted to default queue <normal>.", j.ID)
+	c.dispatch()
+	return j.ID, nil
+}
+
+// dispatch starts queued jobs FIFO.
+func (c *Cluster) dispatch() {
+	remaining := c.queue[:0]
+	for _, j := range c.queue {
+		if j.Req.Nodes > c.freeNodes {
+			remaining = append(remaining, j)
+			continue
+		}
+		c.freeNodes -= j.Req.Nodes
+		j.State = StateRun
+		j.Started = c.sim.Now()
+		dur := j.Req.RunFor
+		killed := false
+		if j.Req.Limit > 0 && dur > j.Req.Limit {
+			dur = j.Req.Limit
+			killed = true
+		}
+		job := j
+		c.sim.After(dur, fmt.Sprintf("lsf job %d ends", j.ID), func() { c.finish(job, killed) })
+	}
+	c.queue = remaining
+}
+
+// finish terminates a job.
+func (c *Cluster) finish(j *Job, killed bool) {
+	if j.State != StateRun {
+		return // bkilled while running: already terminal
+	}
+	c.freeNodes += j.Req.Nodes
+	j.Ended = c.sim.Now()
+	if killed {
+		j.State = StateExit
+		j.ExitInfo = fmt.Sprintf("TERM_RUNLIMIT: job killed after reaching LSF run time limit %v", j.Req.Limit)
+		c.log.Addf(c.sim.Now(), c.env, trace.Manual, trace.Unexpected, "job %d hit its run limit", j.ID)
+	} else {
+		j.State = StateDone
+	}
+	if j.Req.OnEnd != nil {
+		j.Req.OnEnd(j)
+	}
+	c.dispatch()
+}
+
+// Bkill cancels a job. Pending jobs leave the queue; running jobs free
+// their nodes immediately.
+func (c *Cluster) Bkill(id int) error {
+	j, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("lsf: job <%d> is not found", id)
+	}
+	switch j.State {
+	case StatePend:
+		for i, q := range c.queue {
+			if q == j {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+	case StateRun:
+		c.freeNodes += j.Req.Nodes
+	default:
+		return fmt.Errorf("lsf: job <%d> already finished", id)
+	}
+	j.State = StateExit
+	j.ExitInfo = "TERM_OWNER: job killed by owner"
+	j.Ended = c.sim.Now()
+	if j.Req.OnEnd != nil {
+		j.Req.OnEnd(j)
+	}
+	c.dispatch()
+	return nil
+}
+
+// Job looks a job up by ID.
+func (c *Cluster) Job(id int) (*Job, bool) {
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// FreeNodes reports idle nodes.
+func (c *Cluster) FreeNodes() int { return c.freeNodes }
+
+// Bjobs renders the queue view for non-terminal jobs ("bjobs"), or all
+// jobs when all is true ("bjobs -a").
+func (c *Cluster) Bjobs(all bool) string {
+	var ids []int
+	for id, j := range c.jobs {
+		if all || j.State == StatePend || j.State == StateRun {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %-6s %-8s %s\n", "JOBID", "JOB_NAME", "STAT", "NODES", "RUN_TIME")
+	for _, id := range ids {
+		j := c.jobs[id]
+		elapsed := time.Duration(0)
+		switch {
+		case j.State == StateRun:
+			elapsed = c.sim.Now() - j.Started
+		case j.Ended > j.Started:
+			elapsed = j.Ended - j.Started
+		}
+		fmt.Fprintf(&b, "%-8d %-10s %-6s %-8d %s\n", j.ID, j.Req.Name, j.State, j.Req.Nodes, elapsed.Round(time.Second))
+	}
+	return b.String()
+}

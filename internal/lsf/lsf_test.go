@@ -1,0 +1,120 @@
+package lsf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func newB() (*sim.Simulation, *Cluster) {
+	s := sim.New(1)
+	// Cluster B: 795 nodes.
+	return s, New(s, trace.NewLog(), "onprem-b-gpu", 795)
+}
+
+func TestBsubRunsToDone(t *testing.T) {
+	s, c := newB()
+	var ended *Job
+	id, err := c.Bsub(Request{Name: "amg2023", Nodes: 64, RunFor: 10 * time.Minute,
+		OnEnd: func(j *Job) { ended = j }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if ended == nil || ended.ID != id || ended.State != StateDone {
+		t.Fatalf("job: %+v", ended)
+	}
+	if c.FreeNodes() != 795 {
+		t.Fatalf("nodes not freed: %d", c.FreeNodes())
+	}
+}
+
+func TestRunLimitKill(t *testing.T) {
+	s, c := newB()
+	var final *Job
+	c.Bsub(Request{Name: "quicksilver-gpu", Nodes: 32, RunFor: 3 * time.Hour,
+		Limit: time.Hour, OnEnd: func(j *Job) { final = j }})
+	s.Run()
+	if final.State != StateExit || !strings.Contains(final.ExitInfo, "TERM_RUNLIMIT") {
+		t.Fatalf("job: %+v", final)
+	}
+	if s.Now() != time.Hour {
+		t.Fatalf("killed at %v", s.Now())
+	}
+}
+
+func TestQueueWhenFull(t *testing.T) {
+	s, c := newB()
+	var order []string
+	mk := func(name string, nodes int) {
+		c.Bsub(Request{Name: name, Nodes: nodes, RunFor: time.Minute,
+			OnEnd: func(j *Job) { order = append(order, j.Req.Name) }})
+	}
+	mk("first", 795)
+	mk("second", 795)
+	if got := c.Bjobs(false); !strings.Contains(got, "PEND") {
+		t.Fatalf("second job should be pending:\n%s", got)
+	}
+	s.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBkillPendingAndRunning(t *testing.T) {
+	s, c := newB()
+	idRun, _ := c.Bsub(Request{Name: "hog", Nodes: 795, RunFor: time.Hour})
+	idPend, _ := c.Bsub(Request{Name: "victim", Nodes: 795, RunFor: time.Hour})
+	if err := c.Bkill(idPend); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := c.Job(idPend); j.State != StateExit {
+		t.Fatalf("pending kill: %+v", j)
+	}
+	if err := c.Bkill(idRun); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 795 {
+		t.Fatalf("running kill should free nodes: %d", c.FreeNodes())
+	}
+	if err := c.Bkill(idRun); err == nil {
+		t.Fatalf("double bkill must fail")
+	}
+	if err := c.Bkill(424242); err == nil {
+		t.Fatalf("unknown job bkill must fail")
+	}
+	s.Run() // the stale completion event must not corrupt state
+	if c.FreeNodes() != 795 {
+		t.Fatalf("stale completion double-freed nodes: %d", c.FreeNodes())
+	}
+}
+
+func TestBsubRejections(t *testing.T) {
+	_, c := newB()
+	if _, err := c.Bsub(Request{Name: "zero", Nodes: 0}); err == nil {
+		t.Fatalf("zero nodes accepted")
+	}
+	if _, err := c.Bsub(Request{Name: "huge", Nodes: 1000}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func TestBjobsRendering(t *testing.T) {
+	s, c := newB()
+	c.Bsub(Request{Name: "lammps", Nodes: 16, RunFor: time.Minute})
+	out := c.Bjobs(false)
+	if !strings.Contains(out, "lammps") || !strings.Contains(out, "RUN") {
+		t.Fatalf("bjobs:\n%s", out)
+	}
+	s.Run()
+	if out := c.Bjobs(false); strings.Contains(out, "lammps") {
+		t.Fatalf("finished job shown without -a:\n%s", out)
+	}
+	if out := c.Bjobs(true); !strings.Contains(out, "DONE") {
+		t.Fatalf("bjobs -a should show finished jobs:\n%s", out)
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics provides the small statistics toolkit the harness uses
+// to aggregate figure-of-merit samples: mean/stddev summaries, labelled
+// series for figures, and speedup/efficiency helpers for scaling analysis.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the mean ± standard deviation of a set of samples.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over samples. An empty input yields a zero
+// Summary.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	min, max := samples[0], samples[0]
+	for _, v := range samples {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	sd := 0.0
+	if n > 1 {
+		sd = math.Sqrt(ss / float64(n-1))
+	}
+	return Summary{N: n, Mean: mean, Stddev: sd, Min: min, Max: max}
+}
+
+// String renders "mean ± stddev".
+func (s Summary) String() string { return fmt.Sprintf("%.2f ± %.2f", s.Mean, s.Stddev) }
+
+// Point is one (x, y) sample of a series, e.g. (nodes, FOM).
+type Point struct {
+	X float64
+	Y Summary
+}
+
+// Series is a labelled line of a figure: one environment's FOM across
+// scales.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point keeping X ascending.
+func (s *Series) Add(x float64, y Summary) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// At returns the summary at x, with ok=false if absent.
+func (s *Series) At(x float64) (Summary, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return Summary{}, false
+}
+
+// Speedup returns Y(x2)/Y(x1) for a higher-is-better series.
+func (s *Series) Speedup(x1, x2 float64) (float64, error) {
+	a, ok1 := s.At(x1)
+	b, ok2 := s.At(x2)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("metrics: series %q missing points %v or %v", s.Label, x1, x2)
+	}
+	if a.Mean == 0 {
+		return 0, fmt.Errorf("metrics: zero baseline at %v", x1)
+	}
+	return b.Mean / a.Mean, nil
+}
+
+// ParallelEfficiency returns speedup divided by the resource ratio.
+func (s *Series) ParallelEfficiency(x1, x2 float64) (float64, error) {
+	sp, err := s.Speedup(x1, x2)
+	if err != nil {
+		return 0, err
+	}
+	return sp / (x2 / x1), nil
+}
+
+// Figure is a set of series sharing axes — one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// HigherIsBetter records the FOM direction (false for Kripke grind
+	// time and OSU latency).
+	HigherIsBetter bool
+	Series         []*Series
+}
+
+// Get returns the series with the label, creating it if needed.
+func (f *Figure) Get(label string) *Series {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	s := &Series{Label: label}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Labels returns the series labels in insertion order.
+func (f *Figure) Labels() []string {
+	out := make([]string, 0, len(f.Series))
+	for _, s := range f.Series {
+		out = append(out, s.Label)
+	}
+	return out
+}
+
+// Inflection returns the x value at which a higher-is-better series stops
+// improving — the "strong scaling stopped" point of the paper's Figure 4
+// (GKE between 128 and 256 nodes). The returned x is the last point that
+// still improved on its predecessor by more than tol (relative); ok is
+// false when the series improves all the way to its end.
+func (s *Series) Inflection(tol float64) (float64, bool) {
+	for i := 1; i < len(s.Points); i++ {
+		prev, cur := s.Points[i-1].Y.Mean, s.Points[i].Y.Mean
+		if prev <= 0 {
+			continue
+		}
+		if cur < prev*(1+tol) {
+			return s.Points[i-1].X, true
+		}
+	}
+	return 0, false
+}
+
+// BestAt returns the label of the best series at x given the figure's FOM
+// direction, ignoring series without a point at x.
+func (f *Figure) BestAt(x float64) (string, error) {
+	best := ""
+	var bestV float64
+	for _, s := range f.Series {
+		y, ok := s.At(x)
+		if !ok {
+			continue
+		}
+		better := best == "" ||
+			(f.HigherIsBetter && y.Mean > bestV) ||
+			(!f.HigherIsBetter && y.Mean < bestV)
+		if better {
+			best, bestV = s.Label, y.Mean
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("metrics: no series has a point at %v", x)
+	}
+	return best, nil
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("mean = %v (n=%d), want 5 (8)", s.Mean, s.N)
+	}
+	if math.Abs(s.Stddev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v, want ~2.138 (sample stddev)", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", z)
+	}
+	one := Summarize([]float64{42})
+	if one.Mean != 42 || one.Stddev != 0 {
+		t.Fatalf("single sample: %+v", one)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		s := Summarize(vals)
+		if len(vals) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAddKeepsSorted(t *testing.T) {
+	var s Series
+	s.Add(64, Summary{Mean: 2})
+	s.Add(32, Summary{Mean: 1})
+	s.Add(128, Summary{Mean: 3})
+	if s.Points[0].X != 32 || s.Points[2].X != 128 {
+		t.Fatalf("points unsorted: %+v", s.Points)
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	var s Series
+	s.Add(32, Summary{Mean: 100})
+	s.Add(64, Summary{Mean: 160})
+	sp, err := s.Speedup(32, 64)
+	if err != nil || math.Abs(sp-1.6) > 1e-9 {
+		t.Fatalf("speedup = %v (%v), want 1.6", sp, err)
+	}
+	eff, err := s.ParallelEfficiency(32, 64)
+	if err != nil || math.Abs(eff-0.8) > 1e-9 {
+		t.Fatalf("efficiency = %v, want 0.8", eff)
+	}
+	if _, err := s.Speedup(32, 999); err == nil {
+		t.Fatalf("missing point must error")
+	}
+	var zero Series
+	zero.Add(1, Summary{Mean: 0})
+	zero.Add(2, Summary{Mean: 5})
+	if _, err := zero.Speedup(1, 2); err == nil {
+		t.Fatalf("zero baseline must error")
+	}
+}
+
+func TestFigureGetAndBestAt(t *testing.T) {
+	fig := Figure{Title: "t", HigherIsBetter: true}
+	fig.Get("a").Add(32, Summary{Mean: 10})
+	fig.Get("b").Add(32, Summary{Mean: 20})
+	fig.Get("a").Add(64, Summary{Mean: 30}) // Get must return the same series
+	if len(fig.Series) != 2 {
+		t.Fatalf("Get created duplicates: %v", fig.Labels())
+	}
+	best, err := fig.BestAt(32)
+	if err != nil || best != "b" {
+		t.Fatalf("BestAt(32) = %q (%v), want b", best, err)
+	}
+	// Lower-is-better flips the winner.
+	lower := Figure{HigherIsBetter: false}
+	lower.Get("a").Add(32, Summary{Mean: 10})
+	lower.Get("b").Add(32, Summary{Mean: 20})
+	if best, _ := lower.BestAt(32); best != "a" {
+		t.Fatalf("lower-is-better BestAt = %q, want a", best)
+	}
+	if _, err := fig.BestAt(999); err == nil {
+		t.Fatalf("BestAt with no points must error")
+	}
+}
+
+func TestInflectionDetection(t *testing.T) {
+	var s Series
+	s.Add(32, Summary{Mean: 10})
+	s.Add(64, Summary{Mean: 20})
+	s.Add(128, Summary{Mean: 38})
+	s.Add(256, Summary{Mean: 37}) // scaling stops here
+	x, ok := s.Inflection(0.05)
+	if !ok || x != 128 {
+		t.Fatalf("inflection = %v (%v), want 128", x, ok)
+	}
+	var clean Series
+	clean.Add(32, Summary{Mean: 10})
+	clean.Add(64, Summary{Mean: 19})
+	clean.Add(128, Summary{Mean: 37})
+	if _, ok := clean.Inflection(0.05); ok {
+		t.Fatalf("monotone series should report no inflection")
+	}
+	var zero Series
+	zero.Add(1, Summary{Mean: 0})
+	zero.Add(2, Summary{Mean: 5})
+	if _, ok := zero.Inflection(0.05); ok {
+		t.Fatalf("zero baseline must be skipped, not treated as inflection")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Add(4, Summary{Mean: 7})
+	if v, ok := s.At(4); !ok || v.Mean != 7 {
+		t.Fatalf("At(4) = %v %v", v, ok)
+	}
+	if _, ok := s.At(5); ok {
+		t.Fatalf("At(5) should miss")
+	}
+}

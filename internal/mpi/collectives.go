@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collective algorithm selection. OpenMPI picks an allreduce algorithm by
+// message size and communicator size from a tuning table; a bad table
+// entry is exactly the kind of defect behind the AWS 32 KiB spike, which
+// a later OpenMPI change fixed (paper §3.3, reference [82]).
+
+// AllReduceAlgo names an allreduce implementation.
+type AllReduceAlgo string
+
+const (
+	// Binomial: log2(p) rounds, each carrying the full message — good for
+	// tiny messages, terrible for large ones.
+	Binomial AllReduceAlgo = "binomial-tree"
+	// Ring: 2(p-1) steps with m/p-sized chunks — bandwidth optimal for
+	// large messages, latency heavy for small ones.
+	Ring AllReduceAlgo = "ring"
+	// Rabenseifner: reduce-scatter + allgather — the balanced choice.
+	Rabenseifner AllReduceAlgo = "rabenseifner"
+	// SegmentedBinomial: binomial tree with 4 KiB pipeline segments, each
+	// paying full per-message latency — fine on µs-latency InfiniBand,
+	// catastrophic on a 16 µs fabric. This is the defective decision the
+	// buggy tuning table made in the 16–64 KiB band.
+	SegmentedBinomial AllReduceAlgo = "segmented-binomial"
+)
+
+// segmentBytes is the pipeline segment size of SegmentedBinomial.
+const segmentBytes = 4096
+
+// NetParams abstracts the fabric for algorithm cost models: α (per-message
+// latency, µs) and β (seconds per byte, expressed as µs per byte here).
+type NetParams struct {
+	AlphaUs     float64 // per-message latency in µs
+	BytesPerSec float64 // sustained bandwidth
+}
+
+// betaUs returns µs per byte.
+func (n NetParams) betaUs() float64 { return 1e6 / n.BytesPerSec }
+
+// Cost returns the modelled execution time in µs for an allreduce of m
+// bytes across p ranks under the algorithm.
+func Cost(algo AllReduceAlgo, p int, m float64, net NetParams) (float64, error) {
+	if p < 1 || m < 0 {
+		return 0, fmt.Errorf("mpi: bad allreduce shape p=%d m=%f", p, m)
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	logp := math.Ceil(math.Log2(float64(p)))
+	switch algo {
+	case Binomial:
+		// log p rounds, full message each round, reduce+broadcast.
+		return 2 * logp * (net.AlphaUs + m*net.betaUs()), nil
+	case Ring:
+		steps := 2 * float64(p-1)
+		chunk := m / float64(p)
+		return steps * (net.AlphaUs + chunk*net.betaUs()), nil
+	case Rabenseifner:
+		vol := 2 * (float64(p-1) / float64(p)) * m
+		return 2*logp*net.AlphaUs + vol*net.betaUs(), nil
+	case SegmentedBinomial:
+		segments := math.Ceil(m / segmentBytes)
+		if segments < 1 {
+			segments = 1
+		}
+		return 2 * logp * segments * (net.AlphaUs + math.Min(m, segmentBytes)*net.betaUs()), nil
+	default:
+		return 0, fmt.Errorf("mpi: unknown allreduce algorithm %q", algo)
+	}
+}
+
+// TuningTable maps message-size ranges to algorithms, like OpenMPI's
+// coll_tuned decision tables.
+type TuningTable struct {
+	// Cutoffs are ascending upper bounds (bytes); Algos has one more
+	// entry than Cutoffs (the last covers everything above).
+	Cutoffs []float64
+	Algos   []AllReduceAlgo
+}
+
+// Select returns the algorithm for a message size.
+func (tt TuningTable) Select(m float64) (AllReduceAlgo, error) {
+	if len(tt.Algos) != len(tt.Cutoffs)+1 {
+		return "", fmt.Errorf("mpi: malformed tuning table (%d cutoffs, %d algos)", len(tt.Cutoffs), len(tt.Algos))
+	}
+	for i, c := range tt.Cutoffs {
+		if m <= c {
+			return tt.Algos[i], nil
+		}
+	}
+	return tt.Algos[len(tt.Algos)-1], nil
+}
+
+// BuggyAWSTable reproduces the defective behaviour: around 32 KiB the
+// table flips to the binomial tree, whose full-message rounds are
+// catastrophic at exactly that size on a 16 µs fabric — the Figure 5
+// spike.
+func BuggyAWSTable() TuningTable {
+	return TuningTable{
+		Cutoffs: []float64{16384, 65536},
+		Algos:   []AllReduceAlgo{Rabenseifner, SegmentedBinomial, Rabenseifner},
+	}
+}
+
+// FixedAWSTable is the post-fix table: Rabenseifner throughout the
+// afflicted range (ring only for very large messages).
+func FixedAWSTable() TuningTable {
+	return TuningTable{
+		Cutoffs: []float64{1 << 20},
+		Algos:   []AllReduceAlgo{Rabenseifner, Ring},
+	}
+}
+
+// TableCost prices an allreduce through a tuning table.
+func TableCost(tt TuningTable, p int, m float64, net NetParams) (float64, error) {
+	algo, err := tt.Select(m)
+	if err != nil {
+		return 0, err
+	}
+	return Cost(algo, p, m, net)
+}

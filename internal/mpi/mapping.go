@@ -1,0 +1,97 @@
+package mpi
+
+import "fmt"
+
+// Process-to-node mapping analysis: with ranks packed onto nodes in rank
+// order (the default MPI mapping), a cartesian topology determines how
+// much halo surface crosses node boundaries and therefore pays fabric
+// latency rather than shared-memory cost. This is the physical mechanism
+// behind AMG2023's -P 8 4 2 outperforming -P 4 4 4 at 8 ranks per node
+// (paper §3.3): 8 4 2 keeps entire X-pencils on one node.
+
+// rankCoord converts a rank to its (x, y, z) position: x fastest, as AMG
+// numbers its grid.
+func (t CartTopology) rankCoord(rank int) (x, y, z int) {
+	x = rank % t.PX
+	y = (rank / t.PX) % t.PY
+	z = rank / (t.PX * t.PY)
+	return
+}
+
+// OffNodeSurfaceFraction computes, for a rank-order block mapping of the
+// topology onto nodes with ranksPerNode ranks each, the fraction of total
+// halo-exchange surface (on an nx×ny×nz global grid) that crosses node
+// boundaries. Lower is better: intra-node exchanges move through shared
+// memory instead of the fabric.
+func (t CartTopology) OffNodeSurfaceFraction(ranksPerNode, nx, ny, nz int) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if ranksPerNode <= 0 {
+		return 0, fmt.Errorf("mpi: non-positive ranks per node %d", ranksPerNode)
+	}
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return 0, fmt.Errorf("mpi: invalid grid %d×%d×%d", nx, ny, nz)
+	}
+	ranks := t.Ranks()
+	lx := float64(nx) / float64(t.PX)
+	ly := float64(ny) / float64(t.PY)
+	lz := float64(nz) / float64(t.PZ)
+	faceX := ly * lz // surface crossed per X-direction neighbour exchange
+	faceY := lx * lz
+	faceZ := lx * ly
+
+	nodeOf := func(rank int) int { return rank / ranksPerNode }
+	rankOf := func(x, y, z int) int { return x + t.PX*(y+t.PY*z) }
+
+	var total, offNode float64
+	for r := 0; r < ranks; r++ {
+		x, y, z := t.rankCoord(r)
+		type nb struct {
+			rank int
+			face float64
+			ok   bool
+		}
+		neighbours := []nb{
+			{rankOf(x+1, y, z), faceX, x+1 < t.PX},
+			{rankOf(x, y+1, z), faceY, y+1 < t.PY},
+			{rankOf(x, y, z+1), faceZ, z+1 < t.PZ},
+		}
+		for _, n := range neighbours {
+			if !n.ok {
+				continue
+			}
+			total += n.face
+			if nodeOf(r) != nodeOf(n.rank) {
+				offNode += n.face
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil // single rank: nothing exchanged
+	}
+	return offNode / total, nil
+}
+
+// TopologySpeedup estimates the run-time ratio between two decompositions
+// of the same rank count from their off-node surface fractions, given the
+// fabric-vs-shared-memory cost ratio and the application's communication
+// fraction of total time. A returned value > 1 means topology a is
+// faster than topology b.
+func TopologySpeedup(a, b CartTopology, ranksPerNode, nx, ny, nz int, fabricCostRatio, commFraction float64) (float64, error) {
+	if a.Ranks() != b.Ranks() {
+		return 0, fmt.Errorf("mpi: topologies have different rank counts: %d vs %d", a.Ranks(), b.Ranks())
+	}
+	fa, err := a.OffNodeSurfaceFraction(ranksPerNode, nx, ny, nz)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := b.OffNodeSurfaceFraction(ranksPerNode, nx, ny, nz)
+	if err != nil {
+		return 0, err
+	}
+	// Communication cost scales with (offNode·ratio + onNode·1).
+	costA := commFraction * (fa*fabricCostRatio + (1 - fa))
+	costB := commFraction * (fb*fabricCostRatio + (1 - fb))
+	return ((1 - commFraction) + costB) / ((1 - commFraction) + costA), nil
+}

@@ -1,0 +1,87 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOffNodeSurfaceFractionPencils(t *testing.T) {
+	// -P 8 4 2 at 8 ranks/node keeps whole X-pencils on a node: every
+	// X-direction exchange is intra-node.
+	f842, err := CartTopology{8, 4, 2}.OffNodeSurfaceFraction(8, 2048, 1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f444, err := CartTopology{4, 4, 4}.OffNodeSurfaceFraction(8, 2048, 1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f842 >= f444 {
+		t.Fatalf("-P 8 4 2 should cross node boundaries less: %.3f vs %.3f", f842, f444)
+	}
+	if f842 <= 0 || f842 >= 1 || f444 <= 0 || f444 >= 1 {
+		t.Fatalf("fractions out of range: %.3f %.3f", f842, f444)
+	}
+}
+
+func TestOffNodeFractionBounds(t *testing.T) {
+	// Everything on one node: nothing crosses.
+	f, err := CartTopology{2, 2, 2}.OffNodeSurfaceFraction(8, 64, 64, 64)
+	if err != nil || f != 0 {
+		t.Fatalf("single-node job should have 0 off-node surface: %f %v", f, err)
+	}
+	// One rank per node: everything crosses.
+	f, err = CartTopology{2, 2, 2}.OffNodeSurfaceFraction(1, 64, 64, 64)
+	if err != nil || f != 1 {
+		t.Fatalf("one rank/node should have all-off-node surface: %f %v", f, err)
+	}
+	// Single rank: no exchange at all.
+	f, err = CartTopology{1, 1, 1}.OffNodeSurfaceFraction(1, 64, 64, 64)
+	if err != nil || f != 0 {
+		t.Fatalf("single rank: %f %v", f, err)
+	}
+}
+
+func TestOffNodeFractionErrors(t *testing.T) {
+	if _, err := (CartTopology{2, 2, 2}).OffNodeSurfaceFraction(0, 64, 64, 64); err == nil {
+		t.Fatalf("zero ranks/node accepted")
+	}
+	if _, err := (CartTopology{2, 2, 2}).OffNodeSurfaceFraction(8, 0, 64, 64); err == nil {
+		t.Fatalf("zero grid accepted")
+	}
+}
+
+func TestTopologySpeedupReproducesAMGGain(t *testing.T) {
+	// The study measured ~10% FOM gain for -P 8 4 2 over -P 4 4 4 at 64
+	// GPUs (8 per node). With a fabric ~12× shared memory and AMG's
+	// communication share around a third of the solve, the mapping
+	// analysis lands the gain in the high single digits to low teens —
+	// the calibrated 1.10 of apps.AMG2023 is not an arbitrary constant.
+	sp, err := TopologySpeedup(
+		CartTopology{8, 4, 2}, CartTopology{4, 4, 4},
+		8, 2048, 1024, 256, 12.0, 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1.05 || sp > 1.20 {
+		t.Fatalf("mapping-derived topology speedup = %.3f, want ~1.10", sp)
+	}
+}
+
+func TestTopologySpeedupSymmetry(t *testing.T) {
+	a, b := CartTopology{8, 4, 2}, CartTopology{4, 4, 4}
+	ab, err := TopologySpeedup(a, b, 8, 2048, 1024, 256, 12, 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := TopologySpeedup(b, a, 8, 2048, 1024, 256, 12, 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab*ba-1) > 1e-9 {
+		t.Fatalf("speedups not reciprocal: %f × %f", ab, ba)
+	}
+	if _, err := TopologySpeedup(a, CartTopology{2, 2, 2}, 8, 64, 64, 64, 12, 0.3); err == nil {
+		t.Fatalf("mismatched rank counts accepted")
+	}
+}

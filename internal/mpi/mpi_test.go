@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCartTopologyBasics(t *testing.T) {
+	topo := CartTopology{8, 4, 2}
+	if topo.Ranks() != 64 {
+		t.Fatalf("ranks = %d", topo.Ranks())
+	}
+	if topo.String() != "-P 8 4 2" {
+		t.Fatalf("string = %q", topo.String())
+	}
+	if err := (CartTopology{0, 4, 2}).Validate(); err == nil {
+		t.Fatalf("zero extent accepted")
+	}
+}
+
+func TestSurfaceVolumeTopologyEffect(t *testing.T) {
+	// The study's size-64 GPU comparison: -P 8 4 2 vs -P 4 4 4 on the
+	// per-rank 256×256×128 grid. The squatter decomposition exchanges
+	// less surface, which is the ~10% FOM gain's physical origin.
+	nx, ny, nz := 2048, 1024, 256 // a 64-rank global grid
+	s842, v842, err := CartTopology{8, 4, 2}.SurfaceVolume(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s444, v444, err := CartTopology{4, 4, 4}.SurfaceVolume(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v842-v444) > 1e-9 {
+		t.Fatalf("volumes must match (same rank count): %f vs %f", v842, v444)
+	}
+	if s842 >= s444 {
+		t.Fatalf("-P 8 4 2 should exchange less surface: %f vs %f", s842, s444)
+	}
+}
+
+func TestSurfaceVolumeErrors(t *testing.T) {
+	if _, _, err := (CartTopology{1, 1, 1}).SurfaceVolume(0, 4, 4); err == nil {
+		t.Fatalf("zero grid accepted")
+	}
+	if _, _, err := (CartTopology{0, 1, 1}).SurfaceVolume(4, 4, 4); err == nil {
+		t.Fatalf("invalid topology accepted")
+	}
+}
+
+func TestFactorizationsComplete(t *testing.T) {
+	f := Factorizations(8)
+	// 8 = product of three ordered factors: (1,1,8),(1,2,4),(1,4,2),
+	// (1,8,1),(2,1,4),(2,2,2),(2,4,1),(4,1,2),(4,2,1),(8,1,1).
+	if len(f) != 10 {
+		t.Fatalf("factorizations of 8 = %d, want 10", len(f))
+	}
+	for _, topo := range f {
+		if topo.Ranks() != 8 {
+			t.Fatalf("bad factorization %v", topo)
+		}
+	}
+}
+
+func TestBestTopologyMinimizesSurface(t *testing.T) {
+	best, err := BestTopology(64, 1024, 1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a cubic grid the cubic decomposition wins.
+	if best != (CartTopology{4, 4, 4}) {
+		t.Fatalf("cubic grid best = %v, want 4 4 4", best)
+	}
+	// For a flat grid, a flat decomposition wins over the cube.
+	flat, err := BestTopology(64, 4096, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFlat, _, _ := flat.SurfaceVolume(4096, 4096, 64)
+	sCube, _, _ := CartTopology{4, 4, 4}.SurfaceVolume(4096, 4096, 64)
+	if sFlat > sCube {
+		t.Fatalf("BestTopology not optimal: %v (%f) vs cube (%f)", flat, sFlat, sCube)
+	}
+	if _, err := BestTopology(0, 1, 1, 1); err == nil {
+		t.Fatalf("zero ranks accepted")
+	}
+}
+
+func TestBestTopologyProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%63) + 1
+		best, err := BestTopology(n, 512, 512, 512)
+		if err != nil || best.Ranks() != n {
+			return false
+		}
+		sBest, _, _ := best.SurfaceVolume(512, 512, 512)
+		for _, topo := range Factorizations(n) {
+			s, _, _ := topo.SurfaceVolume(512, 512, 512)
+			if s < sBest-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var efa = NetParams{AlphaUs: 16, BytesPerSec: 11e9}
+
+func TestCollectiveCostShapes(t *testing.T) {
+	// Small messages: binomial's log p latency beats ring's 2(p-1) steps.
+	small, _ := Cost(Binomial, 256, 8, efa)
+	ringSmall, _ := Cost(Ring, 256, 8, efa)
+	if small >= ringSmall {
+		t.Fatalf("binomial should win tiny messages: %f vs %f", small, ringSmall)
+	}
+	// Large messages: ring's chunking beats binomial's full-message rounds.
+	big, _ := Cost(Ring, 256, 1<<24, efa)
+	binBig, _ := Cost(Binomial, 256, 1<<24, efa)
+	if big >= binBig {
+		t.Fatalf("ring should win large messages: %f vs %f", big, binBig)
+	}
+	// Rabenseifner is never catastrophically worse than either.
+	rab, _ := Cost(Rabenseifner, 256, 32768, efa)
+	bin, _ := Cost(Binomial, 256, 32768, efa)
+	if rab >= bin {
+		t.Fatalf("rabenseifner should beat binomial at 32KiB: %f vs %f", rab, bin)
+	}
+}
+
+func TestCostEdgeCases(t *testing.T) {
+	if c, err := Cost(Ring, 1, 1024, efa); err != nil || c != 0 {
+		t.Fatalf("single rank should be free: %f %v", c, err)
+	}
+	if _, err := Cost(Ring, 0, 1024, efa); err == nil {
+		t.Fatalf("zero ranks accepted")
+	}
+	if _, err := Cost(AllReduceAlgo("telepathy"), 4, 8, efa); err == nil {
+		t.Fatalf("unknown algorithm accepted")
+	}
+}
+
+func TestBuggyTableReproducesSpike(t *testing.T) {
+	// The defective table flips to binomial exactly in the 16–64 KiB
+	// band; cost at 32 KiB towers over both neighbours.
+	buggy := BuggyAWSTable()
+	at32k, _ := TableCost(buggy, 256, 32768, efa)
+	at8k, _ := TableCost(buggy, 256, 8192, efa)
+	at128k, _ := TableCost(buggy, 256, 131072, efa)
+	if at32k < 3*at8k || at32k < 2*at128k {
+		t.Fatalf("no spike: 8k=%f 32k=%f 128k=%f", at8k, at32k, at128k)
+	}
+	// The vendor fix removes it: the 32 KiB cost sits between neighbours.
+	fixed := FixedAWSTable()
+	f8, _ := TableCost(fixed, 256, 8192, efa)
+	f32, _ := TableCost(fixed, 256, 32768, efa)
+	f128, _ := TableCost(fixed, 256, 131072, efa)
+	if !(f8 < f32 && f32 < f128) {
+		t.Fatalf("fixed table not smooth: %f %f %f", f8, f32, f128)
+	}
+}
+
+func TestTuningTableSelect(t *testing.T) {
+	tt := BuggyAWSTable()
+	if algo, _ := tt.Select(1024); algo != Rabenseifner {
+		t.Fatalf("small select = %s", algo)
+	}
+	if algo, _ := tt.Select(32768); algo != SegmentedBinomial {
+		t.Fatalf("spike-band select = %s", algo)
+	}
+	if algo, _ := tt.Select(1 << 20); algo != Rabenseifner {
+		t.Fatalf("large select = %s", algo)
+	}
+	bad := TuningTable{Cutoffs: []float64{1}, Algos: []AllReduceAlgo{Ring}}
+	if _, err := bad.Select(5); err == nil {
+		t.Fatalf("malformed table accepted")
+	}
+}

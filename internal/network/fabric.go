@@ -1,0 +1,189 @@
+// Package network models the interconnects of the study: point-to-point
+// latency and bandwidth curves per fabric, an allreduce collective model
+// (including the AWS OpenMPI spike at 32 KiB), and the hookup-time model
+// behind the paper's §3.2 observations about Azure InfiniBand.
+//
+// The models are analytic — parameterized LogP-style curves — calibrated so
+// that the relative ordering and shapes of the paper's Figure 5 hold:
+// InfiniBand fabrics and the on-premises low-latency fabrics have the
+// lowest latencies, Azure CycleCloud the highest bandwidth, and both AWS
+// environments a latency spike for AllReduce at a 32,768-byte message size.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// Model holds the analytic parameters of one fabric.
+type Model struct {
+	Fabric cloud.Fabric
+	// ZeroByteLatencyUs is the small-message point-to-point latency.
+	ZeroByteLatencyUs float64
+	// PeakBandwidthMBs is the large-message point-to-point bandwidth.
+	PeakBandwidthMBs float64
+	// HalfPeakBytes is the message size at which half of peak bandwidth is
+	// reached (the classic n_1/2 parameter).
+	HalfPeakBytes float64
+	// OSBypass marks RDMA/OS-bypass fabrics (EFA, InfiniBand, Omni-Path);
+	// overlay-network penalties do not apply to them (paper §1.1).
+	OSBypass bool
+	// AllReduceSpike describes a latency spike at one message size, as AWS
+	// exhibited at 32 KiB before their OpenMPI AllReduce fix.
+	AllReduceSpike *Spike
+	// JitterRel is the run-to-run relative noise of measurements.
+	JitterRel float64
+}
+
+// Spike is a localized slowdown at a specific collective message size.
+type Spike struct {
+	AtBytes  float64
+	Factor   float64 // multiplier on the allreduce time at AtBytes
+	WidthOct float64 // width in octaves over which the spike decays
+}
+
+// Models returns the study's calibrated fabric models keyed by fabric.
+func Models() map[cloud.Fabric]*Model {
+	awsSpike := &Spike{AtBytes: 32768, Factor: 6.0, WidthOct: 1.0}
+	return map[cloud.Fabric]*Model{
+		cloud.OmniPath100: {
+			Fabric: cloud.OmniPath100, ZeroByteLatencyUs: 1.5,
+			PeakBandwidthMBs: 11500, HalfPeakBytes: 8192, OSBypass: true, JitterRel: 0.03,
+		},
+		cloud.InfiniBandHDR: {
+			Fabric: cloud.InfiniBandHDR, ZeroByteLatencyUs: 1.8,
+			PeakBandwidthMBs: 23500, HalfPeakBytes: 16384, OSBypass: true, JitterRel: 0.05,
+		},
+		cloud.InfiniBandEDR: {
+			Fabric: cloud.InfiniBandEDR, ZeroByteLatencyUs: 1.7,
+			PeakBandwidthMBs: 11800, HalfPeakBytes: 8192, OSBypass: true, JitterRel: 0.04,
+		},
+		cloud.EFAGen15: {
+			Fabric: cloud.EFAGen15, ZeroByteLatencyUs: 16.0,
+			PeakBandwidthMBs: 11000, HalfPeakBytes: 65536, OSBypass: true,
+			AllReduceSpike: awsSpike, JitterRel: 0.06,
+		},
+		cloud.EFAGen1: {
+			Fabric: cloud.EFAGen1, ZeroByteLatencyUs: 19.0,
+			PeakBandwidthMBs: 10500, HalfPeakBytes: 65536, OSBypass: true,
+			AllReduceSpike: awsSpike, JitterRel: 0.06,
+		},
+		cloud.GooglePremium: {
+			Fabric: cloud.GooglePremium, ZeroByteLatencyUs: 28.0,
+			PeakBandwidthMBs: 3800, HalfPeakBytes: 131072, OSBypass: false, JitterRel: 0.08,
+		},
+		cloud.GoogleTier1: {
+			Fabric: cloud.GoogleTier1, ZeroByteLatencyUs: 26.0,
+			PeakBandwidthMBs: 9500, HalfPeakBytes: 131072, OSBypass: false, JitterRel: 0.08,
+		},
+		cloud.GoogleStd: {
+			Fabric: cloud.GoogleStd, ZeroByteLatencyUs: 35.0,
+			PeakBandwidthMBs: 3000, HalfPeakBytes: 131072, OSBypass: false, JitterRel: 0.10,
+		},
+	}
+}
+
+// Lookup returns the model for a fabric or an error for unknown fabrics.
+func Lookup(f cloud.Fabric) (*Model, error) {
+	m, ok := Models()[f]
+	if !ok {
+		return nil, fmt.Errorf("network: no model for fabric %q", f)
+	}
+	return m, nil
+}
+
+// Path describes the conditions of a measurement between two nodes.
+type Path struct {
+	// Colocated: both endpoints inside the placement group / same rack
+	// domain. Non-colocated paths pay extra latency.
+	Colocated bool
+	// Interference: another benchmark running on the same nodes (the study
+	// ran EKS/AKS point-to-point latency and bandwidth simultaneously).
+	Interference bool
+	// Overlay: traffic crosses a container overlay network rather than the
+	// host fabric (non-OS-bypass Kubernetes paths).
+	Overlay bool
+}
+
+// latencyPenalty multiplies zero-byte latency for path conditions.
+func (m *Model) latencyPenalty(p Path) float64 {
+	f := 1.0
+	if !p.Colocated {
+		f *= 2.2 // cross-zone/rack hop
+	}
+	if p.Interference {
+		f *= 1.5
+	}
+	if p.Overlay && !m.OSBypass {
+		f *= 1.8 // kube-proxy / CNI hop without RDMA bypass
+	}
+	return f
+}
+
+// bandwidthPenalty multiplies peak bandwidth (values < 1 slow the path).
+func (m *Model) bandwidthPenalty(p Path) float64 {
+	f := 1.0
+	if !p.Colocated {
+		f *= 0.7
+	}
+	if p.Interference {
+		f *= 0.65
+	}
+	if p.Overlay && !m.OSBypass {
+		f *= 0.75
+	}
+	return f
+}
+
+// Latency returns the point-to-point latency in microseconds for a message
+// of size bytes over the path. rng may be nil for the noiseless model value.
+func (m *Model) Latency(bytes float64, p Path, rng *sim.Stream) float64 {
+	base := m.ZeroByteLatencyUs * m.latencyPenalty(p)
+	bw := m.PeakBandwidthMBs * 1e6 * m.bandwidthPenalty(p) // bytes/s
+	serial := bytes / bw * 1e6                             // µs
+	v := base + serial
+	if rng != nil {
+		v = rng.Jitter(v, m.JitterRel)
+	}
+	return v
+}
+
+// Bandwidth returns the achieved point-to-point bandwidth in MB/s for a
+// message of size bytes: peak · n/(n + n_1/2), with path penalties.
+func (m *Model) Bandwidth(bytes float64, p Path, rng *sim.Stream) float64 {
+	peak := m.PeakBandwidthMBs * m.bandwidthPenalty(p)
+	v := peak * bytes / (bytes + m.HalfPeakBytes)
+	if rng != nil {
+		v = rng.Jitter(v, m.JitterRel)
+	}
+	return v
+}
+
+// AllReduce returns the time in microseconds for an MPI_Allreduce across
+// ranks with the given per-rank message size, using a latency–bandwidth
+// (Rabenseifner-style) model: ceil(log2(ranks)) latency steps plus
+// 2·(ranks−1)/ranks of the data over the bandwidth term.
+func (m *Model) AllReduce(ranks int, bytes float64, p Path, rng *sim.Stream) float64 {
+	if ranks < 2 {
+		return 0
+	}
+	steps := math.Ceil(math.Log2(float64(ranks)))
+	lat := m.ZeroByteLatencyUs * m.latencyPenalty(p) * steps
+	bw := m.PeakBandwidthMBs * 1e6 * m.bandwidthPenalty(p)
+	vol := 2 * (float64(ranks) - 1) / float64(ranks) * bytes
+	v := lat + vol/bw*1e6
+	if s := m.AllReduceSpike; s != nil && bytes > 0 {
+		// Spike decays with distance in octaves from the afflicted size.
+		d := math.Abs(math.Log2(bytes / s.AtBytes))
+		if d < s.WidthOct {
+			v *= 1 + (s.Factor-1)*(1-d/s.WidthOct)
+		}
+	}
+	if rng != nil {
+		v = rng.Jitter(v, m.JitterRel)
+	}
+	return v
+}

@@ -1,0 +1,175 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+func model(t *testing.T, f cloud.Fabric) *Model {
+	t.Helper()
+	m, err := Lookup(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+var colo = Path{Colocated: true}
+
+func TestLatencyOrderingMatchesFigure5(t *testing.T) {
+	// Paper: environments with InfiniBand fabrics (on-prem A via Omni-Path
+	// and Azure CycleCloud via IB) had the lowest latency; Google the
+	// highest among clouds.
+	op := model(t, cloud.OmniPath100).Latency(8, colo, nil)
+	ib := model(t, cloud.InfiniBandHDR).Latency(8, colo, nil)
+	efa := model(t, cloud.EFAGen15).Latency(8, colo, nil)
+	gp := model(t, cloud.GooglePremium).Latency(8, colo, nil)
+	if !(op < efa && ib < efa) {
+		t.Fatalf("low-latency fabrics must beat EFA: op=%f ib=%f efa=%f", op, ib, efa)
+	}
+	if !(efa < gp) {
+		t.Fatalf("EFA must beat Google networking on latency: efa=%f gp=%f", efa, gp)
+	}
+}
+
+func TestCycleCloudHighestBandwidth(t *testing.T) {
+	// Paper: the highest bandwidth was seen for Azure CycleCloud (IB HDR).
+	const big = 1 << 20
+	hdr := model(t, cloud.InfiniBandHDR).Bandwidth(big, colo, nil)
+	for _, f := range []cloud.Fabric{cloud.EFAGen15, cloud.GooglePremium, cloud.GoogleTier1, cloud.OmniPath100, cloud.InfiniBandEDR} {
+		if other := model(t, f).Bandwidth(big, colo, nil); other >= hdr {
+			t.Fatalf("IB HDR (%f MB/s) must exceed %s (%f MB/s)", hdr, f, other)
+		}
+	}
+}
+
+func TestLatencyMonotonicInMessageSize(t *testing.T) {
+	f := func(raw uint32) bool {
+		m, _ := Lookup(cloud.EFAGen15)
+		b := float64(raw%(1<<20)) + 1
+		return m.Latency(b+1024, colo, nil) > m.Latency(b, colo, nil)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthMonotonicAndBounded(t *testing.T) {
+	m := model(t, cloud.InfiniBandHDR)
+	prev := 0.0
+	for _, b := range StandardMessageSizes() {
+		v := m.Bandwidth(b, colo, nil)
+		if v <= prev {
+			t.Fatalf("bandwidth not increasing at %f bytes: %f <= %f", b, v, prev)
+		}
+		if v > m.PeakBandwidthMBs {
+			t.Fatalf("bandwidth exceeds peak: %f > %f", v, m.PeakBandwidthMBs)
+		}
+		prev = v
+	}
+}
+
+func TestAWSAllReduceSpikeAt32KiB(t *testing.T) {
+	// Paper Fig 5: a latency spike for both AWS environments at 32,768 B.
+	m := model(t, cloud.EFAGen15)
+	at := m.AllReduce(256, 32768, colo, nil)
+	below := m.AllReduce(256, 8192, colo, nil)
+	above := m.AllReduce(256, 131072, colo, nil)
+	if at < 3*below {
+		t.Fatalf("spike too small vs 8KiB: %f vs %f", at, below)
+	}
+	if at < 2*above {
+		t.Fatalf("spike too small vs 128KiB: %f vs %f", at, above)
+	}
+	// Fabrics without the bug have no spike: time at 32 KiB sits between
+	// its neighbours.
+	ib := model(t, cloud.InfiniBandHDR)
+	a, b, c := ib.AllReduce(256, 16384, colo, nil), ib.AllReduce(256, 32768, colo, nil), ib.AllReduce(256, 65536, colo, nil)
+	if !(a < b && b < c) {
+		t.Fatalf("IB allreduce should be smooth: %f %f %f", a, b, c)
+	}
+}
+
+func TestAllReduceGrowsWithRanks(t *testing.T) {
+	m := model(t, cloud.GooglePremium)
+	if m.AllReduce(16, 1024, colo, nil) >= m.AllReduce(256, 1024, colo, nil) {
+		t.Fatalf("allreduce should grow with rank count")
+	}
+	if m.AllReduce(1, 1024, colo, nil) != 0 {
+		t.Fatalf("single-rank allreduce is free")
+	}
+}
+
+func TestPathPenalties(t *testing.T) {
+	m := model(t, cloud.GooglePremium)
+	base := m.Latency(8, colo, nil)
+	far := m.Latency(8, Path{Colocated: false}, nil)
+	if far <= base {
+		t.Fatalf("non-colocated path must be slower: %f vs %f", far, base)
+	}
+	interf := m.Latency(8, Path{Colocated: true, Interference: true}, nil)
+	if interf <= base {
+		t.Fatalf("interference must raise latency (EKS/AKS simultaneous runs)")
+	}
+	overlay := m.Latency(8, Path{Colocated: true, Overlay: true}, nil)
+	if overlay <= base {
+		t.Fatalf("overlay must slow non-OS-bypass fabrics")
+	}
+	// OS-bypass fabrics do not pay the overlay penalty (paper §1.1: RDMA
+	// and OS-bypass avoid the Kubernetes network overhead).
+	ib := model(t, cloud.InfiniBandHDR)
+	if ib.Latency(8, Path{Colocated: true, Overlay: true}, nil) != ib.Latency(8, colo, nil) {
+		t.Fatalf("OS-bypass fabric must not pay overlay penalty")
+	}
+}
+
+func TestBandwidthPenaltyReducesThroughput(t *testing.T) {
+	m := model(t, cloud.GooglePremium)
+	if m.Bandwidth(1<<20, Path{Colocated: true, Interference: true}, nil) >= m.Bandwidth(1<<20, colo, nil) {
+		t.Fatalf("interference must reduce bandwidth")
+	}
+}
+
+func TestLookupUnknownFabric(t *testing.T) {
+	if _, err := Lookup(cloud.Fabric("token-ring")); err == nil {
+		t.Fatalf("expected error for unknown fabric")
+	}
+}
+
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	m := model(t, cloud.EFAGen15)
+	a := m.Latency(1024, colo, sim.NewStream(42, "osu"))
+	b := m.Latency(1024, colo, sim.NewStream(42, "osu"))
+	if a != b {
+		t.Fatalf("same seed must give same jittered value: %f vs %f", a, b)
+	}
+	if c := m.Latency(1024, colo, sim.NewStream(43, "osu")); c == a {
+		t.Fatalf("different seed should almost surely differ")
+	}
+}
+
+func TestModelsCoverAllCatalogFabrics(t *testing.T) {
+	ms := Models()
+	for _, it := range cloud.NewCatalog().All() {
+		if _, ok := ms[it.Fabric]; !ok {
+			t.Fatalf("no network model for catalog fabric %q (%s)", it.Fabric, it)
+		}
+	}
+}
+
+func TestAllReduceSpikeSymmetricDecay(t *testing.T) {
+	m := model(t, cloud.EFAGen1)
+	at := m.AllReduce(64, 32768, colo, nil)
+	half := m.AllReduce(64, 16384, colo, nil)
+	dbl := m.AllReduce(64, 65536, colo, nil)
+	if !(at > half && at > dbl) {
+		t.Fatalf("spike must peak at 32 KiB: %f (16K=%f 64K=%f)", at, half, dbl)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		t.Fatalf("allreduce produced non-finite value")
+	}
+}

@@ -1,0 +1,81 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// GPU transfer modes for the OSU CUDA benchmarks (paper §2.8): the study
+// ran host-to-host ("cuda -d H H") everywhere because only the InfiniBand
+// fabrics support GPUDirect — device-to-device RDMA without staging
+// through host memory.
+
+// GPUMode selects the endpoint memory for a GPU-aware transfer.
+type GPUMode string
+
+const (
+	HostToHost     GPUMode = "H H"
+	DeviceToDevice GPUMode = "D D"
+)
+
+// ErrNoGPUDirect is returned for D-D transfers on fabrics without
+// GPUDirect support.
+var ErrNoGPUDirect = errors.New("network: fabric does not support GPUDirect (device-to-device RDMA)")
+
+// gpuDirectFabrics lists the fabrics with GPUDirect in the study's
+// environments. EFA's GPUDirect arrived on later generations than the
+// Gen1/1.5 adapters of the study's instances.
+var gpuDirectFabrics = map[cloud.Fabric]bool{
+	cloud.InfiniBandHDR: true,
+	cloud.InfiniBandEDR: true,
+}
+
+// SupportsGPUDirect reports whether the model's fabric can do D-D RDMA.
+func (m *Model) SupportsGPUDirect() bool { return gpuDirectFabrics[m.Fabric] }
+
+// Host-staging costs for H-H mode: a cudaMemcpy each side (latency) and a
+// PCIe 3.0 x16 ceiling on achievable bandwidth.
+const (
+	hostStagingLatencyUs = 1.6
+	pciePeakMBs          = 12800.0
+)
+
+// GPULatency returns the GPU-aware point-to-point latency in µs for the
+// given transfer mode.
+func (m *Model) GPULatency(bytes float64, p Path, mode GPUMode, rng *sim.Stream) (float64, error) {
+	switch mode {
+	case HostToHost:
+		// Stage through host memory on both ends.
+		staging := 2*hostStagingLatencyUs + bytes/(pciePeakMBs*1e6)*1e6
+		return m.Latency(bytes, p, rng) + staging, nil
+	case DeviceToDevice:
+		if !m.SupportsGPUDirect() {
+			return 0, fmt.Errorf("%w: %s", ErrNoGPUDirect, m.Fabric)
+		}
+		return m.Latency(bytes, p, rng), nil
+	default:
+		return 0, fmt.Errorf("network: unknown GPU mode %q", mode)
+	}
+}
+
+// GPUBandwidth returns the GPU-aware bandwidth in MB/s for the mode.
+func (m *Model) GPUBandwidth(bytes float64, p Path, mode GPUMode, rng *sim.Stream) (float64, error) {
+	switch mode {
+	case HostToHost:
+		bw := m.Bandwidth(bytes, p, rng)
+		if bw > pciePeakMBs {
+			bw = pciePeakMBs // staged transfers cannot beat the PCIe link
+		}
+		return bw, nil
+	case DeviceToDevice:
+		if !m.SupportsGPUDirect() {
+			return 0, fmt.Errorf("%w: %s", ErrNoGPUDirect, m.Fabric)
+		}
+		return m.Bandwidth(bytes, p, rng), nil
+	default:
+		return 0, fmt.Errorf("network: unknown GPU mode %q", mode)
+	}
+}

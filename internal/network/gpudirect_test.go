@@ -1,0 +1,98 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"cloudhpc/internal/cloud"
+)
+
+func TestGPUDirectSupportMatrix(t *testing.T) {
+	// Paper §2.8: only InfiniBand fabrics support GPUDirect.
+	want := map[cloud.Fabric]bool{
+		cloud.InfiniBandHDR: true,
+		cloud.InfiniBandEDR: true,
+		cloud.EFAGen1:       false,
+		cloud.EFAGen15:      false,
+		cloud.GooglePremium: false,
+		cloud.OmniPath100:   false,
+	}
+	for fabric, wantGD := range want {
+		m, err := Lookup(fabric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.SupportsGPUDirect() != wantGD {
+			t.Errorf("%s GPUDirect = %v, want %v", fabric, m.SupportsGPUDirect(), wantGD)
+		}
+	}
+}
+
+func TestDeviceToDeviceRejectedWithoutGPUDirect(t *testing.T) {
+	m, _ := Lookup(cloud.EFAGen1)
+	if _, err := m.GPULatency(8, colo, DeviceToDevice, nil); !errors.Is(err, ErrNoGPUDirect) {
+		t.Fatalf("err = %v, want ErrNoGPUDirect", err)
+	}
+	if _, err := m.GPUBandwidth(8, colo, DeviceToDevice, nil); !errors.Is(err, ErrNoGPUDirect) {
+		t.Fatalf("err = %v, want ErrNoGPUDirect", err)
+	}
+}
+
+func TestHostStagingCostsLatency(t *testing.T) {
+	m, _ := Lookup(cloud.InfiniBandEDR)
+	hh, err := m.GPULatency(8, colo, HostToHost, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := m.GPULatency(8, colo, DeviceToDevice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd >= hh {
+		t.Fatalf("GPUDirect must beat host staging: D-D %.2fµs vs H-H %.2fµs", dd, hh)
+	}
+	if hh-dd < 2*hostStagingLatencyUs {
+		t.Fatalf("staging overhead missing: delta %.2fµs", hh-dd)
+	}
+}
+
+func TestHostStagingCapsBandwidth(t *testing.T) {
+	// IB HDR peaks at 23.5 GB/s on the wire, but an H-H transfer cannot
+	// beat the PCIe link it stages through.
+	m, _ := Lookup(cloud.InfiniBandHDR)
+	hh, err := m.GPUBandwidth(1<<24, colo, HostToHost, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hh > pciePeakMBs {
+		t.Fatalf("H-H bandwidth %.0f exceeds the PCIe ceiling %.0f", hh, pciePeakMBs)
+	}
+	dd, err := m.GPUBandwidth(1<<24, colo, DeviceToDevice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd <= hh {
+		t.Fatalf("D-D should exceed the staged path on HDR: %.0f vs %.0f", dd, hh)
+	}
+}
+
+func TestUnknownGPUMode(t *testing.T) {
+	m, _ := Lookup(cloud.InfiniBandEDR)
+	if _, err := m.GPULatency(8, colo, GPUMode("X Y"), nil); err == nil {
+		t.Fatalf("unknown mode accepted")
+	}
+	if _, err := m.GPUBandwidth(8, colo, GPUMode("X Y"), nil); err == nil {
+		t.Fatalf("unknown mode accepted")
+	}
+}
+
+func TestHHComparableAcrossFabrics(t *testing.T) {
+	// The study's rationale for H-H everywhere: it is the mode every
+	// fabric can run, making GPU results comparable to CPU results.
+	for _, f := range []cloud.Fabric{cloud.EFAGen1, cloud.GooglePremium, cloud.InfiniBandEDR} {
+		m, _ := Lookup(f)
+		if _, err := m.GPULatency(1024, colo, HostToHost, nil); err != nil {
+			t.Fatalf("%s cannot run H-H: %v", f, err)
+		}
+	}
+}

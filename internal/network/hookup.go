@@ -1,0 +1,76 @@
+package network
+
+import (
+	"time"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+// HookupModel predicts the "hookup time" of §3.2 — the gap between the
+// workload manager starting a job and the application actually running.
+// The study measured it by subtracting LAMMPS's self-reported wall time
+// from the wrapper time.
+//
+// Observed behaviour:
+//   - Azure (InfiniBand bring-up inside the job): GPU hookup *decreases*
+//     with node count (≈43, 30, 20, 10 s at 4/8/16/32 nodes) while CPU
+//     hookup *doubles per size* (≈50, 100, 200, >400 s at 32/64/128/256).
+//   - All other clouds: flat 3–4 s (GPU) and 10–15 s (CPU) regardless of
+//     scale.
+type HookupModel struct {
+	// AzureGPUBase is the GPU hookup at the smallest (4-node) size.
+	AzureGPUBase time.Duration
+	// AzureCPUBase is the CPU hookup at the smallest (32-node) size.
+	AzureCPUBase time.Duration
+}
+
+// NewHookupModel returns the model calibrated to §3.2.
+func NewHookupModel() *HookupModel {
+	return &HookupModel{
+		AzureGPUBase: 43 * time.Second,
+		AzureCPUBase: 50 * time.Second,
+	}
+}
+
+// Hookup returns the hookup time for a job on the given provider and
+// accelerator at the given node count. kubernetes distinguishes AKS from
+// CycleCloud: the doubling CPU hookups were measured on the Kubernetes
+// environment (the AKS 256-node LAMMPS run hooked up in 8.82 minutes),
+// while Table 4's CycleCloud costs rule out the same penalty there.
+// rng may be nil for the noiseless model value.
+func (h *HookupModel) Hookup(p cloud.Provider, acc cloud.Accelerator, kubernetes bool, nodes int, rng *sim.Stream) time.Duration {
+	var base time.Duration
+	switch {
+	case p == cloud.Azure && acc == cloud.GPU:
+		// Halves with every doubling above 4 nodes, floor at ~8s.
+		base = h.AzureGPUBase
+		for n := 4; n < nodes && base > 8*time.Second; n *= 2 {
+			base /= 2
+			if base < 8*time.Second {
+				base = 8 * time.Second
+			}
+		}
+	case p == cloud.Azure && acc == cloud.CPU && kubernetes:
+		// Doubles with every doubling above 32 nodes.
+		base = h.AzureCPUBase
+		for n := 32; n < nodes; n *= 2 {
+			base *= 2
+		}
+	case p == cloud.Azure && acc == cloud.CPU:
+		base = 15 * time.Second // CycleCloud: InfiniBand up before jobs start
+	case acc == cloud.GPU:
+		base = 3500 * time.Millisecond // 3–4 s across sizes
+	default:
+		base = 12 * time.Second // 10–15 s across sizes
+	}
+	if p == cloud.OnPrem {
+		// On-prem jobs start almost immediately once scheduled; queue wait
+		// is modelled by the scheduler, not as hookup.
+		base = 2 * time.Second
+	}
+	if rng != nil {
+		base = time.Duration(rng.Jitter(float64(base), 0.12))
+	}
+	return base
+}

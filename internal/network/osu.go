@@ -1,0 +1,83 @@
+package network
+
+import (
+	"sort"
+
+	"cloudhpc/internal/sim"
+)
+
+// This file implements the OSU micro-benchmark harness of paper §2.8:
+// point-to-point latency (osu_latency), point-to-point bandwidth (osu_bw),
+// and the allreduce collective (osu_allreduce), including the paper's
+// pair-sampling strategy — randomly select 8 nodes and test at most 28
+// pair combinations.
+
+// OSUSample is one (message size → value) series.
+type OSUSample struct {
+	Bytes float64
+	Value float64 // µs for latency/allreduce, MB/s for bandwidth
+}
+
+// StandardMessageSizes are the power-of-two sizes OSU sweeps, 1 B – 1 MiB.
+func StandardMessageSizes() []float64 {
+	var out []float64
+	for b := 1.0; b <= 1<<20; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// SamplePairs implements the study's sampling: choose sampleNodes nodes at
+// random from totalNodes and return at most maxPairs node-index pairs.
+func SamplePairs(totalNodes, sampleNodes, maxPairs int, rng *sim.Stream) [][2]int {
+	if sampleNodes > totalNodes {
+		sampleNodes = totalNodes
+	}
+	perm := rng.Perm(totalNodes)[:sampleNodes]
+	sort.Ints(perm)
+	var pairs [][2]int
+	for i := 0; i < len(perm) && len(pairs) < maxPairs; i++ {
+		for j := i + 1; j < len(perm) && len(pairs) < maxPairs; j++ {
+			pairs = append(pairs, [2]int{perm[i], perm[j]})
+		}
+	}
+	return pairs
+}
+
+// RunLatency sweeps osu_latency over the standard sizes for every sampled
+// pair and returns the mean series.
+func RunLatency(m *Model, p Path, pairs int, rng *sim.Stream) []OSUSample {
+	return sweep(StandardMessageSizes(), pairs, func(bytes float64) float64 {
+		return m.Latency(bytes, p, rng)
+	})
+}
+
+// RunBandwidth sweeps osu_bw similarly.
+func RunBandwidth(m *Model, p Path, pairs int, rng *sim.Stream) []OSUSample {
+	return sweep(StandardMessageSizes(), pairs, func(bytes float64) float64 {
+		return m.Bandwidth(bytes, p, rng)
+	})
+}
+
+// RunAllReduce sweeps osu_allreduce across ranks.
+func RunAllReduce(m *Model, ranks int, p Path, iterations int, rng *sim.Stream) []OSUSample {
+	return sweep(StandardMessageSizes(), iterations, func(bytes float64) float64 {
+		return m.AllReduce(ranks, bytes, p, rng)
+	})
+}
+
+// sweep averages reps draws of fn at every size.
+func sweep(sizes []float64, reps int, fn func(bytes float64) float64) []OSUSample {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]OSUSample, 0, len(sizes))
+	for _, b := range sizes {
+		var sum float64
+		for i := 0; i < reps; i++ {
+			sum += fn(b)
+		}
+		out = append(out, OSUSample{Bytes: b, Value: sum / float64(reps)})
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package network
+
+import (
+	"testing"
+
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/sim"
+)
+
+func TestStandardMessageSizes(t *testing.T) {
+	sizes := StandardMessageSizes()
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 1<<20 {
+		t.Fatalf("sizes span %v..%v, want 1..1MiB", sizes[0], sizes[len(sizes)-1])
+	}
+	if len(sizes) != 21 {
+		t.Fatalf("len = %d, want 21 powers of two", len(sizes))
+	}
+}
+
+func TestSamplePairsRespectsLimits(t *testing.T) {
+	rng := sim.NewStream(1, "pairs")
+	pairs := SamplePairs(256, 8, 28, rng)
+	if len(pairs) != 28 {
+		t.Fatalf("len = %d, want 28 (C(8,2) = 28)", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	nodes := map[int]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("self-pair %v", p)
+		}
+		if p[0] < 0 || p[0] >= 256 || p[1] < 0 || p[1] >= 256 {
+			t.Fatalf("pair out of range: %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		nodes[p[0]] = true
+		nodes[p[1]] = true
+	}
+	if len(nodes) != 8 {
+		t.Fatalf("pairs drawn from %d nodes, want 8", len(nodes))
+	}
+}
+
+func TestSamplePairsSmallCluster(t *testing.T) {
+	rng := sim.NewStream(2, "pairs")
+	pairs := SamplePairs(4, 8, 28, rng)
+	// C(4,2) = 6 possible pairs.
+	if len(pairs) != 6 {
+		t.Fatalf("len = %d, want 6", len(pairs))
+	}
+}
+
+func TestRunLatencySeries(t *testing.T) {
+	m, _ := Lookup(cloud.InfiniBandHDR)
+	rng := sim.NewStream(3, "osu")
+	series := RunLatency(m, Path{Colocated: true}, 28, rng)
+	if len(series) != len(StandardMessageSizes()) {
+		t.Fatalf("series length %d", len(series))
+	}
+	if series[0].Value <= 0 {
+		t.Fatalf("latency must be positive")
+	}
+	if series[len(series)-1].Value <= series[0].Value {
+		t.Fatalf("1MiB latency should exceed 1B latency")
+	}
+}
+
+func TestRunBandwidthSeries(t *testing.T) {
+	m, _ := Lookup(cloud.EFAGen15)
+	series := RunBandwidth(m, Path{Colocated: true}, 28, sim.NewStream(4, "osu"))
+	if series[len(series)-1].Value <= series[0].Value {
+		t.Fatalf("bandwidth should rise with message size")
+	}
+}
+
+func TestRunAllReduceFindsSpike(t *testing.T) {
+	m, _ := Lookup(cloud.EFAGen15)
+	series := RunAllReduce(m, 256, Path{Colocated: true}, 5, sim.NewStream(5, "osu"))
+	var at32k, at8k float64
+	for _, s := range series {
+		switch s.Bytes {
+		case 32768:
+			at32k = s.Value
+		case 8192:
+			at8k = s.Value
+		}
+	}
+	if at32k < 2*at8k {
+		t.Fatalf("averaged allreduce series lost the 32KiB spike: %f vs %f", at32k, at8k)
+	}
+}

@@ -1,0 +1,223 @@
+// Package oras implements the content-addressable OCI registry the study
+// leaned on: container images were "deployed to the registry alongside the
+// repository", and job output was "saved to file and pushed to a registry"
+// via ORAS (paper §2.7, §2.9 — the release holds 25,541 run datasets).
+//
+// The model follows the OCI distribution spec's skeleton: blobs are
+// addressed by SHA-256 digest, manifests reference blob descriptors plus
+// an artifact type, and tags name manifests. Pushing identical content
+// twice deduplicates, and every pull verifies digests end to end.
+package oras
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Digest is a "sha256:<hex>" content address.
+type Digest string
+
+// DigestOf computes the canonical digest of a byte string.
+func DigestOf(data []byte) Digest {
+	sum := sha256.Sum256(data)
+	return Digest("sha256:" + hex.EncodeToString(sum[:]))
+}
+
+// Descriptor points at a blob: digest, size, and media type.
+type Descriptor struct {
+	MediaType string
+	Digest    Digest
+	Size      int64
+	// Annotations carry ORAS-style metadata (file name, env, app...).
+	Annotations map[string]string
+}
+
+// Manifest ties descriptors together under an artifact type.
+type Manifest struct {
+	ArtifactType string
+	Layers       []Descriptor
+	Annotations  map[string]string
+}
+
+// digest computes the manifest's own address from its canonical encoding.
+func (m Manifest) digest() Digest {
+	// Canonical encoding: artifact type, then layers in order, then
+	// sorted annotations. Good enough for identity inside the simulation.
+	s := "artifactType=" + m.ArtifactType + "\n"
+	for _, l := range m.Layers {
+		s += fmt.Sprintf("layer %s %s %d\n", l.MediaType, l.Digest, l.Size)
+	}
+	keys := make([]string, 0, len(m.Annotations))
+	for k := range m.Annotations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += k + "=" + m.Annotations[k] + "\n"
+	}
+	return DigestOf([]byte(s))
+}
+
+// Registry errors.
+var (
+	ErrBlobUnknown     = errors.New("oras: blob unknown to registry")
+	ErrManifestUnknown = errors.New("oras: manifest unknown")
+	ErrTagUnknown      = errors.New("oras: tag unknown")
+	ErrDigestMismatch  = errors.New("oras: content does not match digest")
+)
+
+// Registry is an in-memory OCI registry. Safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	blobs     map[Digest][]byte
+	manifests map[Digest]Manifest
+	tags      map[string]Digest
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		blobs:     make(map[Digest][]byte),
+		manifests: make(map[Digest]Manifest),
+		tags:      make(map[string]Digest),
+	}
+}
+
+// PushBlob stores content and returns its descriptor. Identical content
+// deduplicates to the same digest.
+func (r *Registry) PushBlob(mediaType string, data []byte) Descriptor {
+	d := DigestOf(data)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.blobs[d]; !ok {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		r.blobs[d] = cp
+	}
+	return Descriptor{MediaType: mediaType, Digest: d, Size: int64(len(data))}
+}
+
+// FetchBlob retrieves and verifies a blob.
+func (r *Registry) FetchBlob(d Digest) ([]byte, error) {
+	r.mu.RLock()
+	data, ok := r.blobs[d]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrBlobUnknown, d)
+	}
+	if DigestOf(data) != d {
+		return nil, fmt.Errorf("%w: %s", ErrDigestMismatch, d)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// PushManifest stores a manifest after checking every referenced layer
+// exists, and returns the manifest digest.
+func (r *Registry) PushManifest(m Manifest) (Digest, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range m.Layers {
+		if _, ok := r.blobs[l.Digest]; !ok {
+			return "", fmt.Errorf("%w: manifest references %s", ErrBlobUnknown, l.Digest)
+		}
+	}
+	d := m.digest()
+	r.manifests[d] = m
+	return d, nil
+}
+
+// Tag points a name at a manifest digest.
+func (r *Registry) Tag(name string, d Digest) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.manifests[d]; !ok {
+		return fmt.Errorf("%w: %s", ErrManifestUnknown, d)
+	}
+	r.tags[name] = d
+	return nil
+}
+
+// Resolve returns the manifest a tag points at.
+func (r *Registry) Resolve(name string) (Manifest, Digest, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.tags[name]
+	if !ok {
+		return Manifest{}, "", fmt.Errorf("%w: %q", ErrTagUnknown, name)
+	}
+	return r.manifests[d], d, nil
+}
+
+// Tags lists all tag names, sorted.
+func (r *Registry) Tags() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tags))
+	for t := range r.tags {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlobCount and ManifestCount report store sizes (dedup visible here).
+func (r *Registry) BlobCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.blobs)
+}
+
+func (r *Registry) ManifestCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.manifests)
+}
+
+// Push is the ORAS convenience verb: store files as layers under one
+// manifest and tag it. Files map name → content; names land in layer
+// annotations like `oras push` does.
+func (r *Registry) Push(tag, artifactType string, files map[string][]byte, annotations map[string]string) (Digest, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	m := Manifest{ArtifactType: artifactType, Annotations: annotations}
+	for _, n := range names {
+		desc := r.PushBlob("application/octet-stream", files[n])
+		desc.Annotations = map[string]string{"org.opencontainers.image.title": n}
+		m.Layers = append(m.Layers, desc)
+	}
+	d, err := r.PushManifest(m)
+	if err != nil {
+		return "", err
+	}
+	return d, r.Tag(tag, d)
+}
+
+// Pull fetches all files of a tagged artifact.
+func (r *Registry) Pull(tag string) (map[string][]byte, error) {
+	m, _, err := r.Resolve(tag)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(m.Layers))
+	for i, l := range m.Layers {
+		data, err := r.FetchBlob(l.Digest)
+		if err != nil {
+			return nil, err
+		}
+		name := l.Annotations["org.opencontainers.image.title"]
+		if name == "" {
+			name = fmt.Sprintf("layer-%d", i)
+		}
+		out[name] = data
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package oras
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestOfStable(t *testing.T) {
+	a := DigestOf([]byte("hello"))
+	b := DigestOf([]byte("hello"))
+	if a != b {
+		t.Fatalf("digest not deterministic")
+	}
+	if a == DigestOf([]byte("world")) {
+		t.Fatalf("different content same digest")
+	}
+	if a[:7] != "sha256:" {
+		t.Fatalf("digest format: %s", a)
+	}
+}
+
+func TestPushFetchBlob(t *testing.T) {
+	r := NewRegistry()
+	desc := r.PushBlob("text/plain", []byte("data"))
+	if desc.Size != 4 {
+		t.Fatalf("size = %d", desc.Size)
+	}
+	got, err := r.FetchBlob(desc.Digest)
+	if err != nil || !bytes.Equal(got, []byte("data")) {
+		t.Fatalf("fetch: %q %v", got, err)
+	}
+	if _, err := r.FetchBlob("sha256:0000"); !errors.Is(err, ErrBlobUnknown) {
+		t.Fatalf("unknown blob: %v", err)
+	}
+}
+
+func TestBlobDeduplication(t *testing.T) {
+	r := NewRegistry()
+	r.PushBlob("a", []byte("same"))
+	r.PushBlob("b", []byte("same"))
+	if r.BlobCount() != 1 {
+		t.Fatalf("identical content should deduplicate, have %d blobs", r.BlobCount())
+	}
+}
+
+func TestFetchReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	desc := r.PushBlob("t", []byte("immutable"))
+	got, _ := r.FetchBlob(desc.Digest)
+	got[0] = 'X'
+	again, _ := r.FetchBlob(desc.Digest)
+	if again[0] != 'i' {
+		t.Fatalf("registry content mutated through a fetch")
+	}
+}
+
+func TestManifestNeedsLayers(t *testing.T) {
+	r := NewRegistry()
+	_, err := r.PushManifest(Manifest{Layers: []Descriptor{{Digest: "sha256:missing"}}})
+	if !errors.Is(err, ErrBlobUnknown) {
+		t.Fatalf("dangling layer accepted: %v", err)
+	}
+}
+
+func TestTagResolve(t *testing.T) {
+	r := NewRegistry()
+	desc := r.PushBlob("t", []byte("x"))
+	d, err := r.PushManifest(Manifest{ArtifactType: "test", Layers: []Descriptor{desc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Tag("v1", d); err != nil {
+		t.Fatal(err)
+	}
+	m, got, err := r.Resolve("v1")
+	if err != nil || got != d || m.ArtifactType != "test" {
+		t.Fatalf("resolve: %v %v", got, err)
+	}
+	if err := r.Tag("bad", "sha256:nope"); !errors.Is(err, ErrManifestUnknown) {
+		t.Fatalf("tagging unknown manifest: %v", err)
+	}
+	if _, _, err := r.Resolve("absent"); !errors.Is(err, ErrTagUnknown) {
+		t.Fatalf("unknown tag: %v", err)
+	}
+}
+
+func TestPushPullRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	files := map[string][]byte{
+		"lammps-256.out": []byte("FOM 443.9"),
+		"hostfile":       []byte("node0\nnode1"),
+	}
+	if _, err := r.Push("results/run1", "app/results", files, map[string]string{"env": "gke"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Pull("results/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got["lammps-256.out"], files["lammps-256.out"]) {
+		t.Fatalf("round trip lost data: %v", got)
+	}
+	tags := r.Tags()
+	if len(tags) != 1 || tags[0] != "results/run1" {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestManifestDigestCanonical(t *testing.T) {
+	r := NewRegistry()
+	desc := r.PushBlob("t", []byte("x"))
+	m1 := Manifest{ArtifactType: "a", Layers: []Descriptor{desc},
+		Annotations: map[string]string{"k1": "v1", "k2": "v2"}}
+	m2 := Manifest{ArtifactType: "a", Layers: []Descriptor{desc},
+		Annotations: map[string]string{"k2": "v2", "k1": "v1"}}
+	d1, _ := r.PushManifest(m1)
+	d2, _ := r.PushManifest(m2)
+	if d1 != d2 {
+		t.Fatalf("annotation order changed manifest identity")
+	}
+}
+
+func TestConcurrentPushes(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				data := []byte{byte(i), byte(j)}
+				desc := r.PushBlob("t", data)
+				if got, err := r.FetchBlob(desc.Digest); err != nil || !bytes.Equal(got, data) {
+					t.Errorf("concurrent fetch mismatch")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.BlobCount() != 16*50 {
+		t.Fatalf("blob count = %d", r.BlobCount())
+	}
+}
+
+func TestBlobRoundTripProperty(t *testing.T) {
+	r := NewRegistry()
+	f := func(data []byte) bool {
+		desc := r.PushBlob("t", data)
+		got, err := r.FetchBlob(desc.Digest)
+		return err == nil && bytes.Equal(got, data) && desc.Size == int64(len(data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/metrics"
+	"cloudhpc/internal/trace"
+	"cloudhpc/internal/usability"
+)
+
+// Markdown renders a complete study report — the machine-written analogue
+// of the paper's results section — from one study dataset.
+func Markdown(res *core.Results) (string, error) {
+	var b strings.Builder
+	b.WriteString("# Cloud HPC usability study — simulated reproduction report\n\n")
+	fmt.Fprintf(&b, "Dataset: %d runs across %d deployable environments.\n\n",
+		len(res.Runs), len(apps.Deployable(res.Envs)))
+
+	// Usability.
+	b.WriteString("## Usability (Table 3)\n\n")
+	writeUsabilityMD(&b, res.Table3())
+
+	// Costs.
+	b.WriteString("\n## AMG2023 costs (Table 4)\n\n")
+	b.WriteString("| Environment | Acc | $/hr | Total |\n|---|---|---:|---:|\n")
+	for _, row := range res.Table4() {
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %.2f |\n", row.Label, row.Acc, row.RateUSD, row.TotalUSD)
+	}
+
+	b.WriteString("\n## Study spend (§3.4)\n\n| Cloud | Spend |\n|---|---:|\n")
+	costs := res.StudyCosts()
+	provs := make([]string, 0, len(costs))
+	for p := range costs {
+		provs = append(provs, string(p))
+	}
+	sort.Strings(provs)
+	for _, p := range provs {
+		fmt.Fprintf(&b, "| %s | $%.0f |\n", p, costs[cloud.Provider(p)])
+	}
+
+	// Figures.
+	b.WriteString("\n## Figures\n")
+	for _, fig := range []struct {
+		app   string
+		acc   cloud.Accelerator
+		title string
+	}{
+		{"kripke", cloud.CPU, "Figure 1 — Kripke grind time (CPU, lower is better)"},
+		{"amg2023", cloud.CPU, "Figure 2a — AMG2023 (CPU)"},
+		{"amg2023", cloud.GPU, "Figure 2b — AMG2023 (GPU)"},
+		{"laghos", cloud.CPU, "Figure 3 — Laghos (CPU)"},
+		{"lammps", cloud.CPU, "Figure 4a — LAMMPS (CPU)"},
+		{"lammps", cloud.GPU, "Figure 4b — LAMMPS (GPU)"},
+		{"minife", cloud.CPU, "Figure 6a — MiniFE (CPU)"},
+		{"minife", cloud.GPU, "Figure 6b — MiniFE (GPU)"},
+		{"mt-gemm", cloud.GPU, "Figure 7 — MT-GEMM (GPU)"},
+		{"quicksilver", cloud.CPU, "Figure 8 — Quicksilver (CPU)"},
+	} {
+		f, err := res.FigureFor(fig.app, fig.acc)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n### %s\n\n", fig.title)
+		writeFigureMD(&b, f)
+	}
+
+	// Hookups.
+	b.WriteString("\n## Hookup times (§3.2)\n\n| Environment | Nodes | Hookup |\n|---|---:|---:|\n")
+	for _, spec := range apps.Deployable(res.Envs) {
+		nodes, times := res.HookupSeries(spec.Key)
+		for i, n := range nodes {
+			fmt.Fprintf(&b, "| %s | %d | %v |\n", spec.Key, n, times[i].Round(100*time.Millisecond))
+		}
+	}
+
+	// ECC + findings.
+	b.WriteString("\n## GPU fleet audit (§3.3)\n\n| Environment | ECC on |\n|---|---:|\n")
+	keys := make([]string, 0, len(res.ECCOn))
+	for k := range res.ECCOn {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "| %s | %.1f%% |\n", k, res.ECCOn[k]*100)
+	}
+	if len(res.Findings) > 0 {
+		b.WriteString("\nSingle-node anomalies (the supermarket fish problem):\n\n")
+		for _, f := range res.Findings {
+			fmt.Fprintf(&b, "- `%s`: %s\n", f.NodeID, f.Detail)
+		}
+	}
+
+	// Failures.
+	b.WriteString("\n## Failed runs\n\n| Environment | Application | Failures |\n|---|---|---:|\n")
+	fails := res.FailureSummary()
+	envKeys := make([]string, 0, len(fails))
+	for k := range fails {
+		envKeys = append(envKeys, k)
+	}
+	sort.Strings(envKeys)
+	for _, env := range envKeys {
+		appNames := make([]string, 0, len(fails[env]))
+		for a := range fails[env] {
+			appNames = append(appNames, a)
+		}
+		sort.Strings(appNames)
+		for _, a := range appNames {
+			fmt.Fprintf(&b, "| %s | %s | %d |\n", env, a, fails[env][a])
+		}
+	}
+	return b.String(), nil
+}
+
+// writeUsabilityMD renders the Table 3 grid.
+func writeUsabilityMD(b *strings.Builder, as []usability.Assessment) {
+	b.WriteString("| Environment | Setup | Development | App setup | Manual |\n|---|---|---|---|---|\n")
+	for _, a := range as {
+		fmt.Fprintf(b, "| %s | %s | %s | %s | %s |\n", a.Env,
+			a.Scores[trace.Setup], a.Scores[trace.Development],
+			a.Scores[trace.AppSetup], a.Scores[trace.Manual])
+	}
+}
+
+// writeFigureMD renders a figure as a markdown table.
+func writeFigureMD(b *strings.Builder, fig *metrics.Figure) {
+	xsSet := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	fmt.Fprintf(b, "| %s |", fig.XLabel)
+	for _, s := range fig.Series {
+		fmt.Fprintf(b, " %s |", s.Label)
+	}
+	b.WriteString("\n|---|")
+	for range fig.Series {
+		b.WriteString("---:|")
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(b, "| %.0f |", x)
+		for _, s := range fig.Series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(b, " %.4g ± %.2g |", y.Mean, y.Stddev)
+			} else {
+				b.WriteString(" – |")
+			}
+		}
+		b.WriteString("\n")
+	}
+}

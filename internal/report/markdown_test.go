@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cloudhpc/internal/core"
+)
+
+func TestMarkdownReportComplete(t *testing.T) {
+	st, err := core.New(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Markdown(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## Usability (Table 3)",
+		"## AMG2023 costs (Table 4)",
+		"## Study spend (§3.4)",
+		"Figure 1 — Kripke",
+		"Figure 4b — LAMMPS (GPU)",
+		"## Hookup times (§3.2)",
+		"## GPU fleet audit (§3.3)",
+		"supermarket fish",
+		"## Failed runs",
+		"| azure-aks-cpu |", // a Table 3 row
+		"laghos",            // a known failure
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Markdown tables must be well-formed: every table row line starts
+	// and ends with a pipe.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
+			t.Fatalf("malformed table row: %q", line)
+		}
+	}
+	if len(md) < 5000 {
+		t.Fatalf("report suspiciously short: %d bytes", len(md))
+	}
+}

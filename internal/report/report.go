@@ -1,0 +1,135 @@
+// Package report renders the study's tables and figures as aligned text
+// and CSV — the output layer behind cmd/figures and the bench harness.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/metrics"
+	"cloudhpc/internal/network"
+)
+
+// Table1 renders the environment-characteristics matrix (paper Table 1).
+func Table1(envs []apps.EnvSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-28s %-10s %-12s\n", "Acc", "Environment", "Scheduler", "Containers")
+	for _, e := range envs {
+		containers := "No"
+		if e.ContainerRuntime != "" {
+			containers = "Yes (" + e.ContainerRuntime + ")"
+		}
+		note := ""
+		if e.Unavailable != "" {
+			note = "  [not deployed]"
+		}
+		fmt.Fprintf(&b, "%-4s %-28s %-10s %-12s%s\n", e.Acc, e.Label, e.Scheduler, containers, note)
+	}
+	return b.String()
+}
+
+// Table2 renders the nodes-and-network inventory (paper Table 2).
+func Table2(cat *cloud.Catalog) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-10s %-28s %-6s %-8s %-24s %-8s\n",
+		"Node Type", "Provider", "Processor/GPU", "Cores", "Memory", "Network", "Cost/Hr")
+	for _, it := range cat.All() {
+		proc := it.Processor
+		if it.GPUs > 0 {
+			proc = fmt.Sprintf("%s/%s", it.Processor, it.GPUModel)
+		}
+		cost := "–"
+		if it.HourlyUSD > 0 {
+			cost = fmt.Sprintf("$%.2f", it.HourlyUSD)
+		}
+		fmt.Fprintf(&b, "%-20s %-10s %-28s %-6d %-8s %-24s %-8s\n",
+			it.Name, it.Provider, proc, it.Cores, fmt.Sprintf("%dGB", it.MemoryGB), it.Fabric, cost)
+	}
+	return b.String()
+}
+
+// Table4 renders AMG2023 total costs by environment (paper Table 4).
+func Table4(rows []core.CostRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-6s %-10s %-10s\n", "Environment", "Acc", "Cost/Hr", "Total Cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %-6s $%-9.2f $%-9.2f\n", r.Label, r.Acc, r.RateUSD, r.TotalUSD)
+	}
+	return b.String()
+}
+
+// Figure renders a figure as an aligned table: one row per x value, one
+// column per series (mean ± stddev).
+func Figure(fig *metrics.Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s; higher-is-better=%v)\n", fig.Title, fig.YLabel, fig.HigherIsBetter)
+	xsSet := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	fmt.Fprintf(&b, "%-10s", fig.XLabel)
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, " %-28s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-10.0f", x)
+		for _, s := range fig.Series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(&b, " %-28s", fmt.Sprintf("%.4g ± %.3g", y.Mean, y.Stddev))
+			} else {
+				fmt.Fprintf(&b, " %-28s", "–")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FigureCSV renders a figure as CSV with columns x,label,mean,stddev,n.
+func FigureCSV(fig *metrics.Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x,series,mean,stddev,n\n")
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%g,%s,%g,%g,%d\n", p.X, s.Label, p.Y.Mean, p.Y.Stddev, p.Y.N)
+		}
+	}
+	return b.String()
+}
+
+// OSUSeries renders an OSU sweep (message size → value).
+func OSUSeries(title, unit string, series []network.OSUSample) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s)\n%-12s %s\n", title, unit, "bytes", "value")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-12.0f %.4g\n", s.Bytes, s.Value)
+	}
+	return b.String()
+}
+
+// Costs renders the per-cloud study spend (paper §3.4).
+func Costs(costs map[cloud.Provider]float64) string {
+	var b strings.Builder
+	provs := make([]string, 0, len(costs))
+	for p := range costs {
+		provs = append(provs, string(p))
+	}
+	sort.Strings(provs)
+	for _, p := range provs {
+		fmt.Fprintf(&b, "%-10s $%.2f\n", p, costs[cloud.Provider(p)])
+	}
+	return b.String()
+}

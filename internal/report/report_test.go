@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/metrics"
+	"cloudhpc/internal/network"
+	"cloudhpc/internal/sim"
+)
+
+func TestTable1ContainsAllEnvironments(t *testing.T) {
+	envs, err := apps.StudyEnvironments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table1(envs)
+	for _, want := range []string{"On-Premises A", "AWS ParallelCluster", "Azure CycleCloud",
+		"Google Compute Engine", "Google GKE", "Azure AKS", "AWS EKS", "Slurm", "LSF", "Flux",
+		"containerd", "singularity", "[not deployed]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2ContainsCatalog(t *testing.T) {
+	out := Table2(cloud.NewCatalog())
+	for _, want := range []string{"Hpc6a", "HB96rs v3", "c2d-standard-112", "p3dn.24xlarge",
+		"ND40rs v2", "n1-standard-32", "InfiniBand HDR", "EFA Gen1.5", "Omni-Path 100",
+		"$2.88", "$34.33", "–"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	rows := []core.CostRow{
+		{EnvKey: "azure-aks-gpu", Label: "Azure AKS", Acc: cloud.GPU, RateUSD: 22.03, TotalUSD: 13.82},
+		{EnvKey: "aws-eks-cpu", Label: "AWS EKS", Acc: cloud.CPU, RateUSD: 2.88, TotalUSD: 263.75},
+	}
+	out := Table4(rows)
+	for _, want := range []string{"Azure AKS", "$22.03", "$13.82", "AWS EKS", "$263.75"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &metrics.Figure{Title: "lammps", XLabel: "nodes", YLabel: "Matom/s", HigherIsBetter: true}
+	fig.Get("a").Add(32, metrics.Summary{Mean: 10, Stddev: 1, N: 5})
+	fig.Get("b").Add(64, metrics.Summary{Mean: 20, Stddev: 2, N: 5})
+	out := Figure(fig)
+	for _, want := range []string{"lammps", "nodes", "10 ± 1", "20 ± 2", "–"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+	csv := FigureCSV(fig)
+	if !strings.Contains(csv, "32,a,10,1,5") || !strings.Contains(csv, "64,b,20,2,5") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestOSUSeriesRendering(t *testing.T) {
+	m, err := network.Lookup(cloud.InfiniBandHDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := network.RunLatency(m, network.Path{Colocated: true}, 5, sim.NewStream(1, "osu"))
+	out := OSUSeries("osu_latency azure-cyclecloud", "µs", series)
+	if !strings.Contains(out, "osu_latency") || !strings.Contains(out, "1048576") {
+		t.Errorf("OSU series missing content:\n%s", out)
+	}
+}
+
+func TestCostsRendering(t *testing.T) {
+	out := Costs(map[cloud.Provider]float64{cloud.AWS: 31565, cloud.Azure: 31056, cloud.Google: 26482})
+	for _, want := range []string{"aws", "$31565.00", "azure", "google"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("costs missing %q:\n%s", want, out)
+		}
+	}
+}

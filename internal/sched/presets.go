@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// Presets for the study's environments (paper Table 1).
+
+// NewOnPremSlurm models cluster A: Slurm, shared machine, real queue
+// waits, and the occasional bad node that errors runs.
+func NewOnPremSlurm(s *sim.Simulation, log *trace.Log, env string, nodes int) *Scheduler {
+	return New(s, log, Config{
+		Kind: Slurm, Env: env, TotalNodes: nodes,
+		MeanQueueWait: 20 * time.Minute,
+		BadNodeProb:   0.015,
+		Backfill:      true, // the center's Slurm runs conservative backfill
+	})
+}
+
+// NewOnPremLSF models cluster B: LSF, shared machine, queue waits, bad
+// nodes.
+func NewOnPremLSF(s *sim.Simulation, log *trace.Log, env string, nodes int) *Scheduler {
+	return New(s, log, Config{
+		Kind: LSF, Env: env, TotalNodes: nodes,
+		MeanQueueWait: 30 * time.Minute,
+		BadNodeProb:   0.015,
+		Backfill:      true, // LSF backfills on cluster B
+	})
+}
+
+// NewCycleCloudSlurm models Azure CycleCloud: dedicated nodes, but job
+// submissions stall and must be monitored and kicked (paper §3.1 ascribes
+// high manual-intervention effort to exactly this).
+func NewCycleCloudSlurm(s *sim.Simulation, log *trace.Log, env string, nodes int) *Scheduler {
+	return New(s, log, Config{
+		Kind: Slurm, Env: env, TotalNodes: nodes,
+		StallProb:        0.25,
+		StallNoticeDelay: 10 * time.Minute,
+	})
+}
+
+// NewParallelClusterSlurm models AWS ParallelCluster: dedicated, smooth.
+func NewParallelClusterSlurm(s *sim.Simulation, log *trace.Log, env string, nodes int) *Scheduler {
+	return New(s, log, Config{Kind: Slurm, Env: env, TotalNodes: nodes})
+}
+
+// NewFlux models the Flux scheduler as deployed by the Flux Operator on
+// Kubernetes, or directly on Compute Engine VM clusters. Dedicated nodes,
+// no stalls; the k8s-specific friction lives in package k8s.
+func NewFlux(s *sim.Simulation, log *trace.Log, env string, nodes int) *Scheduler {
+	return New(s, log, Config{Kind: Flux, Env: env, TotalNodes: nodes})
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a unit of scheduled work in the simulation. Fn runs when the
+// clock reaches At. Events at the same virtual time run in the order they
+// were scheduled (FIFO), which keeps simulations deterministic.
+type Event struct {
+	At   time.Duration
+	Name string
+	Fn   func()
+
+	seq int // tie-breaker: insertion order
+}
+
+// eventHeap implements heap.Interface ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a priority queue of events keyed by virtual time.
+// The zero value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq int
+}
+
+// Schedule enqueues fn to run at virtual time at.
+func (q *EventQueue) Schedule(at time.Duration, name string, fn func()) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Name: name, Fn: fn, seq: q.seq})
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// PeekTime returns the virtual time of the next event. The boolean is false
+// when the queue is empty.
+func (q *EventQueue) PeekTime() (time.Duration, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the next event, or nil if the queue is empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}

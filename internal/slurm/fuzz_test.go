@@ -1,0 +1,32 @@
+package slurm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBatchScript hardens the sbatch parser: it must never panic and
+// must either reject a script or return self-consistent options.
+func FuzzParseBatchScript(f *testing.F) {
+	f.Add("#SBATCH --nodes=4\n#SBATCH --time=00:10:00\n")
+	f.Add("#SBATCH --job-name=amg2023\n#SBATCH --partition=pbatch\n")
+	f.Add("#SBATCH --ntasks-per-node=96\nsrun app\n")
+	f.Add("#SBATCH --nodes=\n")
+	f.Add("#SBATCH --time=1:2:3:4\n")
+	f.Add("#!/bin/bash\necho no directives\n")
+	f.Fuzz(func(t *testing.T, script string) {
+		opts, err := ParseBatchScript(script)
+		if err != nil {
+			return
+		}
+		if opts.Nodes <= 0 || opts.TasksPerNode <= 0 {
+			t.Fatalf("accepted options with non-positive shape: %+v", opts)
+		}
+		if opts.TimeLimit < 0 {
+			t.Fatalf("accepted negative time limit: %v", opts.TimeLimit)
+		}
+		if strings.ContainsAny(opts.JobName, "\n") {
+			t.Fatalf("job name contains newline: %q", opts.JobName)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+// Package slurm implements the batch front-end of the study's Slurm
+// environments (cluster A, AWS ParallelCluster, Azure CycleCloud):
+// sbatch scripts with #SBATCH directives, partitions, wall-time limits,
+// and the squeue/sinfo views the team watched to catch stalled jobs.
+package slurm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BatchOptions are the parsed #SBATCH directives of a job script.
+type BatchOptions struct {
+	JobName      string
+	Partition    string
+	Nodes        int
+	TasksPerNode int
+	TimeLimit    time.Duration
+}
+
+// ParseBatchScript extracts #SBATCH directives from a job script. It
+// understands the long-option forms the study's run scripts used:
+//
+//	#SBATCH --job-name=amg2023
+//	#SBATCH --nodes=256
+//	#SBATCH --ntasks-per-node=96
+//	#SBATCH --time=00:20:00
+//	#SBATCH --partition=pbatch
+func ParseBatchScript(script string) (BatchOptions, error) {
+	opts := BatchOptions{Nodes: 1, TasksPerNode: 1}
+	for i, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#SBATCH") {
+			continue
+		}
+		directive := strings.TrimSpace(strings.TrimPrefix(line, "#SBATCH"))
+		key, value, ok := strings.Cut(directive, "=")
+		if !ok {
+			return opts, fmt.Errorf("slurm: line %d: malformed directive %q", i+1, directive)
+		}
+		switch key {
+		case "--job-name":
+			opts.JobName = value
+		case "--partition":
+			opts.Partition = value
+		case "--nodes":
+			n, err := strconv.Atoi(value)
+			if err != nil || n <= 0 {
+				return opts, fmt.Errorf("slurm: line %d: bad --nodes %q", i+1, value)
+			}
+			opts.Nodes = n
+		case "--ntasks-per-node":
+			n, err := strconv.Atoi(value)
+			if err != nil || n <= 0 {
+				return opts, fmt.Errorf("slurm: line %d: bad --ntasks-per-node %q", i+1, value)
+			}
+			opts.TasksPerNode = n
+		case "--time":
+			d, err := parseWalltime(value)
+			if err != nil {
+				return opts, fmt.Errorf("slurm: line %d: %v", i+1, err)
+			}
+			opts.TimeLimit = d
+		default:
+			return opts, fmt.Errorf("slurm: line %d: unsupported directive %q", i+1, key)
+		}
+	}
+	return opts, nil
+}
+
+// parseWalltime parses HH:MM:SS, MM:SS, or plain minutes.
+func parseWalltime(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	var h, m, sec int
+	var err error
+	switch len(parts) {
+	case 1:
+		m, err = strconv.Atoi(parts[0])
+		if err != nil {
+			return 0, fmt.Errorf("slurm: bad walltime %q", s)
+		}
+	case 2:
+		if m, err = strconv.Atoi(parts[0]); err == nil {
+			sec, err = strconv.Atoi(parts[1])
+		}
+	case 3:
+		if h, err = strconv.Atoi(parts[0]); err == nil {
+			if m, err = strconv.Atoi(parts[1]); err == nil {
+				sec, err = strconv.Atoi(parts[2])
+			}
+		}
+	default:
+		return 0, fmt.Errorf("slurm: bad walltime %q", s)
+	}
+	if err != nil || h < 0 || m < 0 || sec < 0 {
+		return 0, fmt.Errorf("slurm: bad walltime %q", s)
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(sec)*time.Second, nil
+}

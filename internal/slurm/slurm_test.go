@@ -1,0 +1,210 @@
+package slurm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+const studyScript = `#!/bin/bash
+#SBATCH --job-name=amg2023
+#SBATCH --nodes=256
+#SBATCH --ntasks-per-node=96
+#SBATCH --time=00:20:00
+#SBATCH --partition=pbatch
+
+srun amg -P 4 4 4 -n 256 256 128
+`
+
+func TestParseBatchScript(t *testing.T) {
+	opts, err := ParseBatchScript(studyScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.JobName != "amg2023" || opts.Nodes != 256 || opts.TasksPerNode != 96 {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if opts.Partition != "pbatch" || opts.TimeLimit != 20*time.Minute {
+		t.Fatalf("opts = %+v", opts)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	opts, err := ParseBatchScript("#!/bin/bash\necho hi\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Nodes != 1 || opts.TasksPerNode != 1 || opts.TimeLimit != 0 {
+		t.Fatalf("defaults = %+v", opts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"#SBATCH --nodes=zero",
+		"#SBATCH --nodes=-2",
+		"#SBATCH --time=abc",
+		"#SBATCH --walrus=yes",
+		"#SBATCH --nodes 4", // missing '='
+	} {
+		if _, err := ParseBatchScript(bad); err == nil {
+			t.Fatalf("ParseBatchScript(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseWalltimeForms(t *testing.T) {
+	cases := map[string]time.Duration{
+		"15":       15 * time.Minute,
+		"90:30":    90*time.Minute + 30*time.Second,
+		"02:05:09": 2*time.Hour + 5*time.Minute + 9*time.Second,
+	}
+	for in, want := range cases {
+		got, err := parseWalltime(in)
+		if err != nil || got != want {
+			t.Fatalf("parseWalltime(%q) = %v, %v (want %v)", in, got, err, want)
+		}
+	}
+}
+
+func newCtl(nodes int) (*sim.Simulation, *trace.Log, *Controller) {
+	s := sim.New(1)
+	log := trace.NewLog()
+	return s, log, NewController(s, log, "onprem-a-cpu", Partition{Name: "pbatch", Nodes: nodes})
+}
+
+func TestSbatchRunsToCompletion(t *testing.T) {
+	s, _, c := newCtl(256)
+	var ended *Job
+	id, err := c.Sbatch(studyScript, 5*time.Minute, func(j *Job) { ended = j })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if ended == nil || ended.ID != id || ended.State != StateCompleted {
+		t.Fatalf("job end: %+v", ended)
+	}
+	if got := ended.Elapsed(s.Now()); got != 5*time.Minute {
+		t.Fatalf("elapsed = %v", got)
+	}
+}
+
+func TestWallLimitKill(t *testing.T) {
+	s, log, c := newCtl(256)
+	var final JobState
+	// Laghos beyond 64 cloud nodes: the body wants 45 minutes but the
+	// budget allows 20 — the controller kills it at the limit.
+	_, err := c.Sbatch(strings.Replace(studyScript, "amg2023", "laghos", 1), 45*time.Minute, func(j *Job) { final = j.State })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if final != StateTimeout {
+		t.Fatalf("state = %s, want TO", final)
+	}
+	if s.Now() != 20*time.Minute {
+		t.Fatalf("killed at %v, want the 20m limit", s.Now())
+	}
+	kills := log.Filter(func(e trace.Event) bool { return strings.Contains(e.Msg, "wall limit") })
+	if len(kills) != 1 {
+		t.Fatalf("wall-limit kill should be logged")
+	}
+}
+
+func TestFIFOBackfillPerPartition(t *testing.T) {
+	s, _, c := newCtl(100)
+	var order []int
+	mk := func(nodes int) int {
+		opts := BatchOptions{JobName: "j", Nodes: nodes, TasksPerNode: 1}
+		id, err := c.SubmitOpts(opts, time.Minute, func(j *Job) { order = append(order, j.ID) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a := mk(60)
+	b := mk(60)   // must wait for a
+	cID := mk(40) // fits alongside a immediately
+	s.Run()
+	_ = b
+	if len(order) != 3 {
+		t.Fatalf("ended %d jobs", len(order))
+	}
+	// a and c finish together at 1m; b finishes at 2m.
+	if order[2] != 2 {
+		t.Fatalf("job b should end last: %v (a=%d c=%d)", order, a, cID)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	_, _, c := newCtl(10)
+	if _, err := c.SubmitOpts(BatchOptions{Nodes: 11, TasksPerNode: 1}, time.Minute, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized job: %v", err)
+	}
+	if _, err := c.SubmitOpts(BatchOptions{Nodes: 1, TasksPerNode: 1, Partition: "ghost"}, time.Minute, nil); !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("unknown partition: %v", err)
+	}
+}
+
+func TestCancelPending(t *testing.T) {
+	s, _, c := newCtl(10)
+	c.SubmitOpts(BatchOptions{JobName: "hog", Nodes: 10, TasksPerNode: 1}, time.Hour, nil)
+	var cancelled *Job
+	id, _ := c.SubmitOpts(BatchOptions{JobName: "victim", Nodes: 10, TasksPerNode: 1}, time.Hour,
+		func(j *Job) { cancelled = j })
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if cancelled == nil || cancelled.State != StateFailed {
+		t.Fatalf("cancelled job: %+v", cancelled)
+	}
+	s.Run()
+	if j, _ := c.Job(id); j.State != StateFailed {
+		t.Fatalf("cancel overwritten: %s", j.State)
+	}
+	if err := c.Cancel(id); err == nil {
+		t.Fatalf("cancelling a terminal job must fail")
+	}
+	if err := c.Cancel(9999); err == nil {
+		t.Fatalf("cancelling unknown job must fail")
+	}
+}
+
+func TestSqueueSinfo(t *testing.T) {
+	s, _, c := newCtl(64)
+	c.SubmitOpts(BatchOptions{JobName: "lammps", Nodes: 64, TasksPerNode: 96}, time.Hour, nil)
+	c.SubmitOpts(BatchOptions{JobName: "waiting", Nodes: 64, TasksPerNode: 96}, time.Hour, nil)
+	sq := c.Squeue()
+	if !strings.Contains(sq, "lammps") || !strings.Contains(sq, " R ") || !strings.Contains(sq, "PD") {
+		t.Fatalf("squeue:\n%s", sq)
+	}
+	si := c.Sinfo()
+	if !strings.Contains(si, "pbatch") || !strings.Contains(si, "64") {
+		t.Fatalf("sinfo:\n%s", si)
+	}
+	s.Run()
+	if sq := c.Squeue(); strings.Contains(sq, "lammps") {
+		t.Fatalf("squeue should be empty after completion:\n%s", sq)
+	}
+}
+
+func TestMultiplePartitions(t *testing.T) {
+	s := sim.New(2)
+	log := trace.NewLog()
+	c := NewController(s, log, "env",
+		Partition{Name: "pbatch", Nodes: 32},
+		Partition{Name: "pdebug", Nodes: 4})
+	done := map[string]bool{}
+	c.SubmitOpts(BatchOptions{JobName: "big", Nodes: 32, TasksPerNode: 1, Partition: "pbatch"},
+		time.Minute, func(j *Job) { done["big"] = true })
+	c.SubmitOpts(BatchOptions{JobName: "small", Nodes: 4, TasksPerNode: 1, Partition: "pdebug"},
+		time.Minute, func(j *Job) { done["small"] = true })
+	s.Run()
+	if !done["big"] || !done["small"] {
+		t.Fatalf("partitions should run independently: %v", done)
+	}
+}

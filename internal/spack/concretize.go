@@ -1,0 +1,190 @@
+package spack
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Package is a repository entry: known versions (ascending), declared
+// variants with defaults, and dependencies.
+type Package struct {
+	Name      string
+	Versions  []string
+	Variants  map[string]bool // name → default
+	DependsOn []string
+}
+
+// Repo is the package repository the study's builds draw from.
+type Repo struct {
+	packages map[string]Package
+}
+
+// StudyRepo returns a repository covering the study's §2.7 stack.
+func StudyRepo() *Repo {
+	r := &Repo{packages: map[string]Package{}}
+	for _, p := range []Package{
+		{Name: "cmake", Versions: []string{"3.20.0", "3.23.1"}},
+		{Name: "openmpi", Versions: []string{"4.1.0", "4.1.2"}, DependsOn: []string{"cmake"}},
+		{Name: "hypre", Versions: []string{"2.28.0", "2.31.0"},
+			Variants:  map[string]bool{"mixedint": false, "bigint": false, "cuda": false},
+			DependsOn: []string{"openmpi"}},
+		{Name: "amg2023", Versions: []string{"1.0", "1.2"},
+			Variants: map[string]bool{"cuda": false}, DependsOn: []string{"hypre", "openmpi"}},
+		{Name: "mfem", Versions: []string{"4.6"}, DependsOn: []string{"hypre"}},
+		{Name: "laghos", Versions: []string{"3.1"}, DependsOn: []string{"mfem", "openmpi"}},
+		{Name: "lammps", Versions: []string{"20230802"}, Variants: map[string]bool{"reaxff": true, "cuda": false},
+			DependsOn: []string{"openmpi", "cmake"}},
+		{Name: "kripke", Versions: []string{"1.2.7"}, DependsOn: []string{"openmpi", "cmake"}},
+		{Name: "quicksilver", Versions: []string{"1.0"}, DependsOn: []string{"openmpi"}},
+		{Name: "minife", Versions: []string{"2.2.0"}, DependsOn: []string{"openmpi"}},
+	} {
+		r.packages[p.Name] = p
+	}
+	return r
+}
+
+// Lookup returns a package definition.
+func (r *Repo) Lookup(name string) (Package, error) {
+	p, ok := r.packages[name]
+	if !ok {
+		return Package{}, fmt.Errorf("spack: unknown package %q", name)
+	}
+	return p, nil
+}
+
+// Concrete is a fully resolved node: exact version, all variants decided,
+// dependencies concretized.
+type Concrete struct {
+	Name     string
+	Version  string
+	Variants map[string]bool
+	Deps     []*Concrete
+}
+
+// Hash returns a stable identity string for the concrete node, including
+// its dependency closure — the DAG hash. Two builds of the same package
+// against different dependency variants are different installs (e.g.
+// amg2023 against hypre+bigint vs hypre~bigint).
+func (c *Concrete) Hash() string {
+	keys := make([]string, 0, len(c.Variants))
+	for k := range c.Variants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := c.Name + "@" + c.Version
+	for _, k := range keys {
+		if c.Variants[k] {
+			s += "+" + k
+		} else {
+			s += "~" + k
+		}
+	}
+	if len(c.Deps) > 0 {
+		depHashes := make([]string, 0, len(c.Deps))
+		for _, d := range c.Deps {
+			depHashes = append(depHashes, d.Hash())
+		}
+		sort.Strings(depHashes)
+		sum := sha256.Sum256([]byte(strings.Join(depHashes, ";")))
+		s += "/" + hex.EncodeToString(sum[:4])
+	}
+	return s
+}
+
+// Errors from concretization.
+var (
+	ErrNoSuchVersion = errors.New("spack: requested version not in repository")
+	ErrNoSuchVariant = errors.New("spack: variant not declared by package")
+)
+
+// Concretize resolves a spec: picks the newest version satisfying the
+// request, fills variant defaults, applies ^dep constraints, and recurses.
+// The result shares nodes for identical sub-specs (a proper DAG).
+func (r *Repo) Concretize(spec Spec) (*Concrete, error) {
+	memo := map[string]*Concrete{}
+	return r.concretize(spec, constraintsOf(spec), memo)
+}
+
+// constraintsOf indexes a root spec's ^dep constraints by package name.
+func constraintsOf(spec Spec) map[string]Spec {
+	m := map[string]Spec{}
+	for _, d := range spec.Deps {
+		m[d.Name] = d
+	}
+	return m
+}
+
+func (r *Repo) concretize(spec Spec, constraints map[string]Spec, memo map[string]*Concrete) (*Concrete, error) {
+	pkg, err := r.Lookup(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	version := pkg.Versions[len(pkg.Versions)-1] // newest by default
+	if spec.Version != "" {
+		found := false
+		for _, v := range pkg.Versions {
+			if v == spec.Version {
+				version, found = v, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %s@%s (have %v)", ErrNoSuchVersion, spec.Name, spec.Version, pkg.Versions)
+		}
+	}
+
+	variants := map[string]bool{}
+	for k, def := range pkg.Variants {
+		variants[k] = def
+	}
+	for k, v := range spec.Variants {
+		if _, declared := pkg.Variants[k]; !declared {
+			return nil, fmt.Errorf("%w: %s has no variant %q", ErrNoSuchVariant, spec.Name, k)
+		}
+		variants[k] = v
+	}
+
+	node := &Concrete{Name: spec.Name, Version: version, Variants: variants}
+	for _, depName := range pkg.DependsOn {
+		depSpec := Spec{Name: depName, Variants: map[string]bool{}}
+		if c, ok := constraints[depName]; ok {
+			depSpec = c
+		}
+		dep, err := r.concretize(depSpec, constraints, memo)
+		if err != nil {
+			return nil, err
+		}
+		node.Deps = append(node.Deps, dep)
+	}
+	// Memoize on the full DAG hash so identical sub-specs share one node.
+	if existing, ok := memo[node.Hash()]; ok {
+		return existing, nil
+	}
+	memo[node.Hash()] = node
+	return node, nil
+}
+
+// BuildOrder returns the DAG in dependency-first topological order, each
+// node exactly once.
+func BuildOrder(root *Concrete) []*Concrete {
+	var order []*Concrete
+	seen := map[*Concrete]bool{}
+	var visit func(n *Concrete)
+	visit = func(n *Concrete) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, d := range n.Deps {
+			visit(d)
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	return order
+}

@@ -1,0 +1,29 @@
+package spack_test
+
+import (
+	"fmt"
+
+	"cloudhpc/internal/spack"
+)
+
+// Concretizing the study's AMG2023 GPU spec: the hypre +mixedint variant
+// is what keeps the build from segfaulting at scale (paper §2.8).
+func ExampleRepo_Concretize() {
+	repo := spack.StudyRepo()
+	spec, err := spack.Parse("amg2023 +cuda ^hypre +cuda +mixedint ^openmpi@4.1.2")
+	if err != nil {
+		panic(err)
+	}
+	concrete, err := repo.Concretize(spec)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range spack.BuildOrder(concrete) {
+		fmt.Println(n.Name + "@" + n.Version)
+	}
+	// Output:
+	// cmake@3.23.1
+	// openmpi@4.1.2
+	// hypre@2.31.0
+	// amg2023@1.2
+}

@@ -1,0 +1,29 @@
+package spack
+
+import "testing"
+
+// FuzzParse hardens the spec parser: no panics, and accepted specs must
+// round-trip through their canonical form.
+func FuzzParse(f *testing.F) {
+	f.Add("amg2023@1.2 +cuda ^hypre +mixedint")
+	f.Add("hypre")
+	f.Add("pkg@")
+	f.Add("a ~b +c ^d@1 ~e")
+	f.Add("^lonely")
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if sp.Name == "" {
+			t.Fatalf("accepted spec with empty name from %q", in)
+		}
+		re, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", sp.String(), err)
+		}
+		if re.String() != sp.String() {
+			t.Fatalf("canonical form unstable: %q vs %q", re.String(), sp.String())
+		}
+	})
+}

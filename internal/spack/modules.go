@@ -1,0 +1,108 @@
+package spack
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// Builder installs concretized DAGs on a bare-metal system and publishes
+// the results as environment modules — the on-premises workflow of the
+// study (build with Spack or from source, `module load`, submit).
+type Builder struct {
+	sim *sim.Simulation
+	log *trace.Log
+	env string
+
+	installed map[string]*Concrete
+	// AMGCorrectness mirrors the §2.8 discovery: AMG2023 CPU builds
+	// without hypre +bigint, and GPU (+cuda) builds without +mixedint,
+	// segfault at scale. Install reports the latent defect.
+}
+
+// NewBuilder returns a builder logging into the study trace.
+func NewBuilder(s *sim.Simulation, log *trace.Log, env string) *Builder {
+	return &Builder{sim: s, log: log, env: env, installed: make(map[string]*Concrete)}
+}
+
+// buildTime estimates one package compile.
+func buildTime(n *Concrete) time.Duration {
+	base := map[string]time.Duration{
+		"cmake": 6 * time.Minute, "openmpi": 18 * time.Minute, "hypre": 12 * time.Minute,
+		"mfem": 15 * time.Minute, "amg2023": 8 * time.Minute, "laghos": 10 * time.Minute,
+		"lammps": 25 * time.Minute, "kripke": 7 * time.Minute,
+		"quicksilver": 6 * time.Minute, "minife": 4 * time.Minute,
+	}
+	if d, ok := base[n.Name]; ok {
+		return d
+	}
+	return 10 * time.Minute
+}
+
+// Install builds the DAG dependency-first, skipping already-installed
+// hashes, and returns the install order plus any latent runtime defect
+// (empty when the build is sound).
+func (b *Builder) Install(root *Concrete) ([]string, string, error) {
+	var order []string
+	for _, n := range BuildOrder(root) {
+		if _, done := b.installed[n.Hash()]; done {
+			continue
+		}
+		b.sim.Clock.Advance(buildTime(n))
+		b.installed[n.Hash()] = n
+		order = append(order, n.Hash())
+		b.log.Addf(b.sim.Now(), b.env, trace.AppSetup, trace.Routine, "spack installed %s", n.Hash())
+	}
+	return order, b.latentDefect(root), nil
+}
+
+// latentDefect reports the AMG2023/hypre integer-width hazards.
+func (b *Builder) latentDefect(root *Concrete) string {
+	if root.Name != "amg2023" {
+		return ""
+	}
+	var hypre *Concrete
+	for _, d := range root.Deps {
+		if d.Name == "hypre" {
+			hypre = d
+		}
+	}
+	if hypre == nil {
+		return "amg2023 concretized without hypre"
+	}
+	cuda := root.Variants["cuda"]
+	switch {
+	case cuda && !hypre.Variants["mixedint"]:
+		return "segfault: GPU build needs hypre +mixedint (HYPRE_BigInt = long long int)"
+	case !cuda && !hypre.Variants["bigint"]:
+		return "segfault: CPU build needs hypre +bigint to solve larger systems"
+	}
+	return ""
+}
+
+// ModuleAvail lists installed module names, sorted — `module avail`.
+func (b *Builder) ModuleAvail() []string {
+	out := make([]string, 0, len(b.installed))
+	for h := range b.installed {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModuleLoad resolves a module and its dependency closure — `module load`.
+// It fails if the module was never installed.
+func (b *Builder) ModuleLoad(hash string) ([]string, error) {
+	n, ok := b.installed[hash]
+	if !ok {
+		return nil, fmt.Errorf("spack: module %q not installed", hash)
+	}
+	var loaded []string
+	for _, d := range BuildOrder(n) {
+		loaded = append(loaded, d.Hash())
+	}
+	return loaded, nil
+}

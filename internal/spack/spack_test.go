@@ -1,0 +1,257 @@
+package spack
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func TestParseSimple(t *testing.T) {
+	sp, err := Parse("amg2023@1.2 +cuda ^hypre@2.31.0 +mixedint ~bigint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "amg2023" || sp.Version != "1.2" || !sp.Variants["cuda"] {
+		t.Fatalf("root parsed wrong: %+v", sp)
+	}
+	if len(sp.Deps) != 1 {
+		t.Fatalf("deps = %d", len(sp.Deps))
+	}
+	dep := sp.Deps[0]
+	if dep.Name != "hypre" || dep.Version != "2.31.0" || !dep.Variants["mixedint"] || dep.Variants["bigint"] {
+		t.Fatalf("dep parsed wrong: %+v", dep)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "pkg@", "pkg bogus", "pkg ^"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	in := "amg2023@1.2 +cuda ^hypre +mixedint"
+	sp, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse(sp.String())
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", sp.String(), err)
+	}
+	if re.String() != sp.String() {
+		t.Fatalf("round trip unstable: %q vs %q", re.String(), sp.String())
+	}
+}
+
+func TestConcretizePicksNewestVersion(t *testing.T) {
+	r := StudyRepo()
+	sp, _ := Parse("hypre")
+	c, err := r.Concretize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != "2.31.0" {
+		t.Fatalf("version = %s, want newest 2.31.0", c.Version)
+	}
+	if c.Variants["mixedint"] || c.Variants["bigint"] {
+		t.Fatalf("defaults should be off: %+v", c.Variants)
+	}
+}
+
+func TestConcretizeRespectsConstraints(t *testing.T) {
+	r := StudyRepo()
+	sp, _ := Parse("amg2023 +cuda ^hypre +mixedint ^openmpi@4.1.2")
+	c, err := r.Concretize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hypre, ompi *Concrete
+	for _, n := range BuildOrder(c) {
+		switch n.Name {
+		case "hypre":
+			hypre = n
+		case "openmpi":
+			ompi = n
+		}
+	}
+	if hypre == nil || !hypre.Variants["mixedint"] {
+		t.Fatalf("hypre constraint lost: %+v", hypre)
+	}
+	if ompi == nil || ompi.Version != "4.1.2" {
+		t.Fatalf("openmpi constraint lost: %+v", ompi)
+	}
+}
+
+func TestConcretizeErrors(t *testing.T) {
+	r := StudyRepo()
+	sp, _ := Parse("hypre@9.9.9")
+	if _, err := r.Concretize(sp); !errors.Is(err, ErrNoSuchVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	sp, _ = Parse("hypre +warp")
+	if _, err := r.Concretize(sp); !errors.Is(err, ErrNoSuchVariant) {
+		t.Fatalf("bad variant: %v", err)
+	}
+	sp, _ = Parse("nonexistent")
+	if _, err := r.Concretize(sp); err == nil {
+		t.Fatalf("unknown package accepted")
+	}
+}
+
+func TestBuildOrderDependenciesFirst(t *testing.T) {
+	r := StudyRepo()
+	sp, _ := Parse("laghos")
+	c, err := r.Concretize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := BuildOrder(c)
+	pos := map[string]int{}
+	for i, n := range order {
+		if _, dup := pos[n.Name]; dup {
+			t.Fatalf("package %s built twice", n.Name)
+		}
+		pos[n.Name] = i
+	}
+	for _, pair := range [][2]string{{"cmake", "openmpi"}, {"openmpi", "hypre"}, {"hypre", "mfem"}, {"mfem", "laghos"}} {
+		if pos[pair[0]] > pos[pair[1]] {
+			t.Fatalf("%s must build before %s: %v", pair[0], pair[1], pos)
+		}
+	}
+	if order[len(order)-1].Name != "laghos" {
+		t.Fatalf("root must build last")
+	}
+}
+
+func TestSharedDependenciesAreOneNode(t *testing.T) {
+	// amg2023 depends on hypre and openmpi; hypre also depends on
+	// openmpi — the DAG must share the openmpi node.
+	r := StudyRepo()
+	sp, _ := Parse("amg2023")
+	c, err := r.Concretize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, n := range BuildOrder(c) {
+		if n.Name == "openmpi" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("openmpi appears %d times, want 1 (shared node)", count)
+	}
+}
+
+func TestAMGIntegerDefects(t *testing.T) {
+	s := sim.New(1)
+	b := NewBuilder(s, trace.NewLog(), "onprem-a-cpu")
+	r := StudyRepo()
+
+	// CPU build without +bigint: latent segfault (the study's discovery).
+	sp, _ := Parse("amg2023")
+	c, _ := r.Concretize(sp)
+	_, defect, err := b.Install(c)
+	if err != nil || !strings.Contains(defect, "bigint") {
+		t.Fatalf("CPU build defect = %q (%v)", defect, err)
+	}
+
+	// Correct CPU build.
+	sp, _ = Parse("amg2023 ^hypre +bigint")
+	c, _ = r.Concretize(sp)
+	if _, defect, _ = b.Install(c); defect != "" {
+		t.Fatalf("correct CPU build flagged: %q", defect)
+	}
+
+	// GPU build needs mixedint, not bigint.
+	sp, _ = Parse("amg2023 +cuda ^hypre +cuda")
+	c, _ = r.Concretize(sp)
+	if _, defect, _ = b.Install(c); !strings.Contains(defect, "mixedint") {
+		t.Fatalf("GPU build defect = %q", defect)
+	}
+	sp, _ = Parse("amg2023 +cuda ^hypre +cuda +mixedint")
+	c, _ = r.Concretize(sp)
+	if _, defect, _ = b.Install(c); defect != "" {
+		t.Fatalf("correct GPU build flagged: %q", defect)
+	}
+}
+
+func TestInstallSkipsInstalled(t *testing.T) {
+	s := sim.New(1)
+	b := NewBuilder(s, trace.NewLog(), "env")
+	r := StudyRepo()
+	sp, _ := Parse("kripke")
+	c, _ := r.Concretize(sp)
+	first, _, err := b.Install(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 { // cmake, openmpi, kripke
+		t.Fatalf("first install built %d packages: %v", len(first), first)
+	}
+	second, _, err := b.Install(c)
+	if err != nil || len(second) != 0 {
+		t.Fatalf("reinstall should be a no-op, built %v", second)
+	}
+	// A different app reuses the shared toolchain.
+	sp, _ = Parse("minife")
+	c, _ = r.Concretize(sp)
+	third, _, _ := b.Install(c)
+	if len(third) != 1 {
+		t.Fatalf("minife should only build itself, built %v", third)
+	}
+}
+
+func TestModules(t *testing.T) {
+	s := sim.New(1)
+	b := NewBuilder(s, trace.NewLog(), "env")
+	r := StudyRepo()
+	sp, _ := Parse("lammps")
+	c, _ := r.Concretize(sp)
+	b.Install(c)
+	avail := b.ModuleAvail()
+	if len(avail) != 3 {
+		t.Fatalf("module avail = %v", avail)
+	}
+	loaded, err := b.ModuleLoad(c.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 || loaded[len(loaded)-1] != c.Hash() {
+		t.Fatalf("module load closure = %v", loaded)
+	}
+	if _, err := b.ModuleLoad("ghost@1.0"); err == nil {
+		t.Fatalf("loading an uninstalled module must fail")
+	}
+}
+
+// Property: any parseable spec's canonical form re-parses to the same
+// canonical form (idempotent round trip) for a generated subset of specs.
+func TestCanonicalFormProperty(t *testing.T) {
+	names := []string{"hypre", "amg2023", "lammps", "openmpi"}
+	variants := []string{"cuda", "bigint", "mixedint", "reaxff"}
+	f := func(nameIdx, varIdx uint8, on bool) bool {
+		spec := names[int(nameIdx)%len(names)] + " "
+		if on {
+			spec += "+" + variants[int(varIdx)%len(variants)]
+		} else {
+			spec += "~" + variants[int(varIdx)%len(variants)]
+		}
+		sp, err := Parse(spec)
+		if err != nil {
+			return false
+		}
+		again, err := Parse(sp.String())
+		return err == nil && again.String() == sp.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

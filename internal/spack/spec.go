@@ -1,0 +1,108 @@
+// Package spack simulates the on-premises software build path of the
+// study: Spack specs with variants, a small package repository, a
+// concretizer that resolves a spec against it, and a builder that runs
+// the DAG in dependency order and exposes results as environment modules
+// (paper §2.7: "CPU and GPU variants of AMG2023 were built using the
+// Spack package manager, and all other applications were built from
+// respective open source repositories").
+package spack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec is a parsed package request: name@version with +/~variants and
+// ^dependency constraints, e.g.
+//
+//	amg2023@1.2 +cuda ^hypre@2.31 +mixedint
+type Spec struct {
+	Name     string
+	Version  string          // "" = any
+	Variants map[string]bool // +v → true, ~v → false
+	Deps     []Spec          // ^dep constraints
+}
+
+// Parse parses Spack's spec syntax (the subset the study used).
+func Parse(s string) (Spec, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("spack: empty spec")
+	}
+	root, rest, err := parseOne(fields)
+	if err != nil {
+		return Spec{}, err
+	}
+	for len(rest) > 0 {
+		if !strings.HasPrefix(rest[0], "^") {
+			return Spec{}, fmt.Errorf("spack: unexpected token %q (want ^dependency)", rest[0])
+		}
+		rest[0] = strings.TrimPrefix(rest[0], "^")
+		var dep Spec
+		dep, rest, err = parseOne(rest)
+		if err != nil {
+			return Spec{}, err
+		}
+		root.Deps = append(root.Deps, dep)
+	}
+	return root, nil
+}
+
+// parseOne parses "name@ver +v ~w" until the next ^dep or end.
+func parseOne(fields []string) (Spec, []string, error) {
+	head := fields[0]
+	sp := Spec{Variants: map[string]bool{}}
+	if at := strings.IndexByte(head, '@'); at >= 0 {
+		sp.Name, sp.Version = head[:at], head[at+1:]
+		if sp.Version == "" {
+			return Spec{}, nil, fmt.Errorf("spack: dangling @ in %q", head)
+		}
+	} else {
+		sp.Name = head
+	}
+	if sp.Name == "" {
+		return Spec{}, nil, fmt.Errorf("spack: spec with no package name")
+	}
+	i := 1
+	for ; i < len(fields); i++ {
+		f := fields[i]
+		switch {
+		case strings.HasPrefix(f, "+"):
+			sp.Variants[f[1:]] = true
+		case strings.HasPrefix(f, "~"):
+			sp.Variants[f[1:]] = false
+		case strings.HasPrefix(f, "^"):
+			return sp, fields[i:], nil
+		default:
+			return Spec{}, nil, fmt.Errorf("spack: unexpected token %q", f)
+		}
+	}
+	return sp, nil, nil
+}
+
+// String renders the spec canonically (sorted variants).
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Version != "" {
+		b.WriteByte('@')
+		b.WriteString(s.Version)
+	}
+	keys := make([]string, 0, len(s.Variants))
+	for k := range s.Variants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if s.Variants[k] {
+			b.WriteString(" +" + k)
+		} else {
+			b.WriteString(" ~" + k)
+		}
+	}
+	for _, d := range s.Deps {
+		b.WriteString(" ^" + d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// JSON export of the event log, for archiving alongside the study's other
+// artifacts and for external analysis.
+
+// eventJSON is the wire form: severity as a string, time in nanoseconds.
+type eventJSON struct {
+	AtNs     int64   `json:"at_ns"`
+	Env      string  `json:"env,omitempty"`
+	Category string  `json:"category"`
+	Severity string  `json:"severity"`
+	Msg      string  `json:"msg"`
+	Cost     float64 `json:"cost_usd,omitempty"`
+}
+
+// MarshalJSONL encodes the log as JSON lines in insertion order.
+func (l *Log) MarshalJSONL() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range l.Events() {
+		if err := enc.Encode(eventJSON{
+			AtNs: int64(e.At), Env: e.Env, Category: string(e.Category),
+			Severity: e.Severity.String(), Msg: e.Msg, Cost: e.Cost,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// severityFromString inverts Severity.String.
+func severityFromString(s string) (Severity, error) {
+	switch s {
+	case "routine":
+		return Routine, nil
+	case "unexpected":
+		return Unexpected, nil
+	case "blocking":
+		return Blocking, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown severity %q", s)
+	}
+}
+
+// UnmarshalJSONL rebuilds a log from JSON lines.
+func UnmarshalJSONL(data []byte) (*Log, error) {
+	l := NewLog()
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(sc.Bytes(), &ej); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		sev, err := severityFromString(ej.Severity)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		l.Add(Event{
+			At: time.Duration(ej.AtNs), Env: ej.Env, Category: Category(ej.Category),
+			Severity: sev, Msg: ej.Msg, Cost: ej.Cost,
+		})
+	}
+	return l, sc.Err()
+}

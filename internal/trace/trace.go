@@ -1,0 +1,171 @@
+// Package trace records the structured event log of a study run. Every
+// substrate appends events — cluster provisioning steps, scheduler actions,
+// container builds, debugging incidents — and the usability engine later
+// folds the log into the qualitative effort scores of the paper's Table 3.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Category classifies an event into one of the paper's four usability
+// assessment categories (paper §2.5), plus bookkeeping categories that do
+// not contribute to effort scoring.
+type Category string
+
+const (
+	// Setup covers testing, deployment, and configuration of an environment.
+	Setup Category = "setup"
+	// Development covers extra engineering needed to make an environment
+	// work at all (custom daemonsets, tool patches, Terraform work).
+	Development Category = "development"
+	// AppSetup covers building containers, images, and run parameters.
+	AppSetup Category = "application-setup"
+	// Manual covers interactions and monitoring needed mid-study.
+	Manual Category = "manual-intervention"
+	// Info events are bookkeeping and never count toward effort.
+	Info Category = "info"
+	// Billing events record spend; they never count toward effort.
+	Billing Category = "billing"
+)
+
+// Severity grades how much human effort an event represents.
+type Severity int
+
+const (
+	// Routine: the documented procedure worked.
+	Routine Severity = iota
+	// Unexpected: something needed debugging or a workaround.
+	Unexpected
+	// Blocking: significant development effort or an aborted attempt.
+	Blocking
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Routine:
+		return "routine"
+	case Unexpected:
+		return "unexpected"
+	case Blocking:
+		return "blocking"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Event is one entry in the study log.
+type Event struct {
+	At       time.Duration // virtual time
+	Env      string        // environment key, e.g. "aws-eks-gpu"
+	Category Category
+	Severity Severity
+	Msg      string
+	Cost     float64 // direct dollar cost attributable to the event, if any
+}
+
+// Log is an append-only event log. It is safe for concurrent use so that
+// parallel experiment runners can share one log.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Add appends an event.
+func (l *Log) Add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Addf appends an event with a formatted message and no cost.
+func (l *Log) Addf(at time.Duration, env string, cat Category, sev Severity, format string, args ...any) {
+	l.Add(Event{At: at, Env: env, Category: cat, Severity: sev, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of all events in insertion order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len reports the number of events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// ByEnv returns events for one environment, in insertion order.
+func (l *Log) ByEnv(env string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Env == env {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Filter returns events matching the predicate, in insertion order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Envs returns the sorted set of environment keys present in the log.
+func (l *Log) Envs() []string {
+	set := map[string]bool{}
+	for _, e := range l.Events() {
+		if e.Env != "" {
+			set[e.Env] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalCost sums the Cost field of every event, optionally restricted to a
+// single environment ("" means all).
+func (l *Log) TotalCost(env string) float64 {
+	var sum float64
+	for _, e := range l.Events() {
+		if env == "" || e.Env == env {
+			sum += e.Cost
+		}
+	}
+	return sum
+}
+
+// Render formats the log as a human-readable transcript, one event per line.
+func (l *Log) Render() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%10s  %-24s %-20s %-10s %s", e.At, e.Env, e.Category, e.Severity, e.Msg)
+		if e.Cost != 0 {
+			fmt.Fprintf(&b, " ($%.2f)", e.Cost)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

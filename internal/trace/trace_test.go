@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := NewLog()
+	l.Addf(time.Second, "aws-eks-cpu", Setup, Routine, "cluster %d up", 1)
+	l.Add(Event{At: 2 * time.Second, Env: "aks-gpu", Category: Development, Severity: Blocking, Msg: "daemonset", Cost: 12.5})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Msg != "cluster 1 up" {
+		t.Fatalf("Addf formatting broken: %q", evs[0].Msg)
+	}
+	if evs[1].Cost != 12.5 {
+		t.Fatalf("cost lost: %v", evs[1].Cost)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	l := NewLog()
+	l.Addf(0, "e", Info, Routine, "a")
+	evs := l.Events()
+	evs[0].Msg = "mutated"
+	if l.Events()[0].Msg != "a" {
+		t.Fatalf("Events leaked internal slice")
+	}
+}
+
+func TestByEnvAndEnvs(t *testing.T) {
+	l := NewLog()
+	l.Addf(0, "a", Setup, Routine, "x")
+	l.Addf(0, "b", Setup, Routine, "y")
+	l.Addf(0, "a", Manual, Unexpected, "z")
+	if got := len(l.ByEnv("a")); got != 2 {
+		t.Fatalf("ByEnv(a) = %d events, want 2", got)
+	}
+	envs := l.Envs()
+	if len(envs) != 2 || envs[0] != "a" || envs[1] != "b" {
+		t.Fatalf("Envs = %v, want [a b]", envs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := NewLog()
+	l.Addf(0, "e", Setup, Routine, "ok")
+	l.Addf(0, "e", Setup, Blocking, "bad")
+	hard := l.Filter(func(e Event) bool { return e.Severity >= Unexpected })
+	if len(hard) != 1 || hard[0].Msg != "bad" {
+		t.Fatalf("Filter returned %v", hard)
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	l := NewLog()
+	l.Add(Event{Env: "a", Category: Billing, Cost: 10})
+	l.Add(Event{Env: "b", Category: Billing, Cost: 5})
+	if got := l.TotalCost(""); got != 15 {
+		t.Fatalf("TotalCost(all) = %v, want 15", got)
+	}
+	if got := l.TotalCost("a"); got != 10 {
+		t.Fatalf("TotalCost(a) = %v, want 10", got)
+	}
+}
+
+func TestRenderContainsFields(t *testing.T) {
+	l := NewLog()
+	l.Add(Event{At: time.Minute, Env: "gke-cpu", Category: Setup, Severity: Unexpected, Msg: "quota retry", Cost: 3})
+	out := l.Render()
+	for _, want := range []string{"gke-cpu", "setup", "unexpected", "quota retry", "$3.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Addf(0, "e", Info, Routine, "event")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 3200 {
+		t.Fatalf("concurrent adds lost events: %d", l.Len())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{Routine: "routine", Unexpected: "unexpected", Blocking: "blocking", Severity(9): "severity(9)"}
+	for sev, want := range cases {
+		if sev.String() != want {
+			t.Fatalf("Severity(%d).String() = %q, want %q", int(sev), sev.String(), want)
+		}
+	}
+}

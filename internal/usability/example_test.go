@@ -1,0 +1,28 @@
+package usability_test
+
+import (
+	"fmt"
+
+	"cloudhpc/internal/trace"
+	"cloudhpc/internal/usability"
+)
+
+// Scores are derived from the event trace by the paper's rubric: the
+// documented procedure working is low, debugging is medium, significant
+// development is high.
+func ExampleScorer_Score() {
+	log := trace.NewLog()
+	log.Addf(0, "azure-aks-gpu", trace.Setup, trace.Unexpected,
+		"node exposes 7/8 GPUs; releasing re-allocates the same node")
+	log.Addf(0, "azure-aks-gpu", trace.Development, trace.Blocking,
+		"custom InfiniBand daemonset had to be developed")
+
+	a := usability.NewScorer().Score(log, "azure-aks-gpu")
+	fmt.Println("setup:      ", a.Scores[trace.Setup])
+	fmt.Println("development:", a.Scores[trace.Development])
+	fmt.Println("app setup:  ", a.Scores[trace.AppSetup])
+	// Output:
+	// setup:       medium
+	// development: high
+	// app setup:   low
+}
