@@ -9,7 +9,7 @@
 package cloudhpc
 
 import (
-	"sync"
+	"fmt"
 	"testing"
 	"time"
 
@@ -22,31 +22,22 @@ import (
 	"cloudhpc/internal/usability"
 )
 
-// The full study is shared across benchmarks; regenerating artifacts from
-// the cached dataset is what each bench times (plus one bench that times
-// the full study itself).
-var (
-	benchOnce sync.Once
-	benchRes  *core.Results
-)
-
+// The full study is shared across benchmarks via core.CachedRunFull;
+// regenerating artifacts from the cached dataset is what each bench times
+// (plus the benches below that time the full study itself).
 func studyResults(b *testing.B) *core.Results {
 	b.Helper()
-	benchOnce.Do(func() {
-		st, err := core.New(2025)
-		if err != nil {
-			panic(err)
-		}
-		benchRes, err = st.RunFull()
-		if err != nil {
-			panic(err)
-		}
-	})
-	return benchRes
+	res, err := core.CachedRunFull(2025)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
 }
 
 // BenchmarkFullStudy times the entire 13-environment, 11-application,
-// 5-iteration study — the producer of every artifact below.
+// 5-iteration study — the producer of every artifact below — at the
+// default worker count (one shard per environment over runtime.NumCPU()
+// workers).
 func BenchmarkFullStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		st, err := core.New(uint64(2025 + i))
@@ -58,6 +49,29 @@ func BenchmarkFullStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(res.Runs)), "runs")
+	}
+}
+
+// BenchmarkFullStudyWorkers sweeps the executor's worker count. The
+// dataset is byte-identical across the sweep (see the core determinism
+// tests); only the wall time changes, roughly in proportion to available
+// cores until the longest single environment shard dominates.
+func BenchmarkFullStudyWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := core.New(uint64(2025 + i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Opts.Workers = workers
+				res, err := st.RunFull()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(res.Runs)), "runs")
+			}
+		})
 	}
 }
 

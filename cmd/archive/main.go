@@ -23,11 +23,7 @@ func main() {
 	verify := flag.Bool("verify", true, "pull every artifact back and verify digests")
 	flag.Parse()
 
-	st, err := core.New(*seed)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := st.RunFull()
+	res, err := core.CachedRunFull(*seed)
 	if err != nil {
 		fatal(err)
 	}

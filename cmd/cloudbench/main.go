@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/report"
@@ -23,7 +24,8 @@ func main() {
 	showTrace := flag.Bool("trace", false, "dump the full event trace")
 	pause := flag.Duration("pause", 0, "pause between cluster sizes for cost reporting to catch up (§4.2)")
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first (§4.2)")
-	abortOverBudget := flag.Bool("abort-over-budget", false, "stop an environment when provider spend exceeds its budget")
+	abortOverBudget := flag.Bool("abort-over-budget", false, "stop an environment when its spend exceeds its share of the provider budget")
+	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
 	flag.Parse()
 
 	st, err := core.New(*seed)
@@ -34,6 +36,7 @@ func main() {
 	st.Opts.PauseBetweenScales = *pause
 	st.Opts.TestClusters = *testClusters
 	st.Opts.AbortOverBudget = *abortOverBudget
+	st.Opts.Workers = *workers
 	res, err := st.RunFull()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cloudbench:", err)
@@ -58,9 +61,16 @@ func main() {
 		funnel.Attempted, funnel.Built, funnel.Usable, funnel.Failed)
 
 	fmt.Println("\n== Failures ==")
-	for env, byApp := range res.FailureSummary() {
-		for app, n := range byApp {
-			fmt.Printf("%-26s %-12s %d failed runs\n", env, app, n)
+	fails := res.FailureSummary()
+	for _, spec := range res.Envs { // canonical matrix order, not map order
+		byApp := fails[spec.Key]
+		apps := make([]string, 0, len(byApp))
+		for app := range byApp {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		for _, app := range apps {
+			fmt.Printf("%-26s %-12s %d failed runs\n", spec.Key, app, byApp[app])
 		}
 	}
 

@@ -26,11 +26,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit figures as CSV")
 	flag.Parse()
 
-	st, err := core.New(*seed)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := st.RunFull()
+	// Every artifact below derives from one cached study execution.
+	res, err := core.CachedRunFull(*seed)
 	if err != nil {
 		fatal(err)
 	}

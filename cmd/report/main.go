@@ -20,15 +20,25 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	pause := flag.Duration("pause", 0, "pause between scales for cost reporting (e.g. 26h)")
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first")
+	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
 	flag.Parse()
 
-	st, err := core.New(*seed)
-	if err != nil {
-		fatal(err)
+	var res *core.Results
+	var err error
+	if *pause == 0 && !*testClusters && *workers == 0 {
+		// Default options: share the process-wide cached dataset.
+		res, err = core.CachedRunFull(*seed)
+	} else {
+		var st *core.Study
+		st, err = core.New(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		st.Opts.PauseBetweenScales = *pause
+		st.Opts.TestClusters = *testClusters
+		st.Opts.Workers = *workers
+		res, err = st.RunFull()
 	}
-	st.Opts.PauseBetweenScales = *pause
-	st.Opts.TestClusters = *testClusters
-	res, err := st.RunFull()
 	if err != nil {
 		fatal(err)
 	}

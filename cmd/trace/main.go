@@ -34,11 +34,7 @@ func main() {
 		fatal(fmt.Errorf("unknown severity %q", *severity))
 	}
 
-	st, err := core.New(*seed)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := st.RunFull()
+	res, err := core.CachedRunFull(*seed)
 	if err != nil {
 		fatal(err)
 	}

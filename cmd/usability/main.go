@@ -20,11 +20,7 @@ func main() {
 	evidence := flag.Bool("evidence", false, "print the events behind each score")
 	flag.Parse()
 
-	st, err := core.New(*seed)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := st.RunFull()
+	res, err := core.CachedRunFull(*seed)
 	if err != nil {
 		fatal(err)
 	}

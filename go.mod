@@ -1,0 +1,3 @@
+module cloudhpc
+
+go 1.22

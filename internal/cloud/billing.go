@@ -3,6 +3,7 @@ package cloud
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"cloudhpc/internal/sim"
@@ -12,6 +13,9 @@ import (
 // Meter accrues instance-hour charges per environment and models the
 // per-provider cost-reporting lag the paper warns about (§4.2: usage data
 // may not appear until the next day, so overspending is hard to catch).
+// A Meter is safe for concurrent use: budget accounting is serialized by an
+// internal mutex so parallel environment runners can share one instance or
+// merge private ones afterwards (see Merge).
 type Meter struct {
 	sim *sim.Simulation
 	log *trace.Log
@@ -19,6 +23,7 @@ type Meter struct {
 	// ReportingLag is how stale each provider's billing view is.
 	ReportingLag map[Provider]time.Duration
 
+	mu      sync.Mutex
 	charges []charge
 	budgets map[Provider]float64
 }
@@ -48,10 +53,49 @@ func NewMeter(s *sim.Simulation, log *trace.Log) *Meter {
 }
 
 // SetBudget sets the per-cloud budget ($49,000 per cloud in the study).
-func (m *Meter) SetBudget(p Provider, usd float64) { m.budgets[p] = usd }
+func (m *Meter) SetBudget(p Provider, usd float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budgets[p] = usd
+}
 
 // Budget returns the configured budget for a provider (0 if unset).
-func (m *Meter) Budget(p Provider) float64 { return m.budgets[p] }
+func (m *Meter) Budget(p Provider) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budgets[p]
+}
+
+// Budgets returns a copy of every configured budget. Environment shards use
+// it to inherit the parent study's budgets, including test overrides.
+func (m *Meter) Budgets() map[Provider]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Provider]float64, len(m.budgets))
+	for p, b := range m.budgets {
+		out[p] = b
+	}
+	return out
+}
+
+// Merge appends every charge of src with its timestamp shifted forward by
+// shift, preserving src's charge order. It is the billing half of sharded
+// study execution: each shard meters into a private Meter on a timeline
+// starting at zero, and the merger lays the shards end to end. Budgets and
+// reporting lags of src are not copied — the receiver keeps its own.
+func (m *Meter) Merge(src *Meter, shift time.Duration) {
+	src.mu.Lock()
+	charges := make([]charge, len(src.charges))
+	copy(charges, src.charges)
+	src.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range charges {
+		c.at += shift
+		m.charges = append(m.charges, c)
+	}
+}
 
 // ChargeNodeHours bills a cluster: nodes × duration × hourly rate.
 // It returns the charged amount.
@@ -60,7 +104,9 @@ func (m *Meter) ChargeNodeHours(env string, it InstanceType, nodes int, d time.D
 	if amount == 0 {
 		return 0
 	}
+	m.mu.Lock()
 	m.charges = append(m.charges, charge{at: m.sim.Now(), prov: it.Provider, env: env, amount: amount, note: note})
+	m.mu.Unlock()
 	m.log.Add(trace.Event{
 		At: m.sim.Now(), Env: env, Category: trace.Billing, Severity: trace.Routine,
 		Msg:  fmt.Sprintf("charge: %d × %s × %.2fh (%s)", nodes, it.Name, d.Hours(), note),
@@ -72,7 +118,9 @@ func (m *Meter) ChargeNodeHours(env string, it InstanceType, nodes int, d time.D
 // Charge records an arbitrary amount (e.g. wasted spend while waiting for
 // nodes that never provisioned).
 func (m *Meter) Charge(p Provider, env string, usd float64, note string) {
+	m.mu.Lock()
 	m.charges = append(m.charges, charge{at: m.sim.Now(), prov: p, env: env, amount: usd, note: note})
+	m.mu.Unlock()
 	m.log.Add(trace.Event{
 		At: m.sim.Now(), Env: env, Category: trace.Billing, Severity: trace.Unexpected,
 		Msg: note, Cost: usd,
@@ -81,6 +129,12 @@ func (m *Meter) Charge(p Provider, env string, usd float64, note string) {
 
 // Spend returns total actual spend for a provider ("" sums all providers).
 func (m *Meter) Spend(p Provider) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spendLocked(p)
+}
+
+func (m *Meter) spendLocked(p Provider) float64 {
 	var sum float64
 	for _, c := range m.charges {
 		if p == "" || c.prov == p {
@@ -92,6 +146,8 @@ func (m *Meter) Spend(p Provider) float64 {
 
 // SpendByEnv returns total spend keyed by environment.
 func (m *Meter) SpendByEnv() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[string]float64)
 	for _, c := range m.charges {
 		out[c.env] += c.amount
@@ -104,6 +160,8 @@ func (m *Meter) SpendByEnv() map[string]float64 {
 func (m *Meter) ReportedSpend(p Provider) float64 {
 	lag := m.ReportingLag[p]
 	horizon := m.sim.Now() - lag
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var sum float64
 	for _, c := range m.charges {
 		if c.prov == p && c.at <= horizon {
@@ -121,8 +179,10 @@ func (m *Meter) UnreportedSpend(p Provider) float64 {
 
 // OverBudget reports whether actual spend exceeds the budget (if set).
 func (m *Meter) OverBudget(p Provider) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	b, ok := m.budgets[p]
-	return ok && m.Spend(p) > b
+	return ok && m.spendLocked(p) > b
 }
 
 // Statement renders a per-environment cost summary sorted by total cost

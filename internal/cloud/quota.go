@@ -3,6 +3,7 @@ package cloud
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"cloudhpc/internal/sim"
@@ -38,10 +39,14 @@ type QuotaPolicy struct {
 	GuaranteesCapacity bool
 }
 
-// QuotaManager tracks granted quota per (provider, accelerator).
+// QuotaManager tracks granted quota per (provider, accelerator). It is safe
+// for concurrent use: grant bookkeeping is serialized by an internal mutex
+// so parallel environment runners can share one instance.
 type QuotaManager struct {
-	sim      *sim.Simulation
-	log      *trace.Log
+	sim *sim.Simulation
+	log *trace.Log
+
+	mu       sync.Mutex
 	policies map[Provider]map[Accelerator]QuotaPolicy
 	granted  map[Provider]map[Accelerator]int
 	asked    map[Provider]map[Accelerator]time.Duration // when quota was requested
@@ -75,6 +80,8 @@ func NewQuotaManager(s *sim.Simulation, log *trace.Log) *QuotaManager {
 
 // SetPolicy overrides the policy for one (provider, accelerator).
 func (qm *QuotaManager) SetPolicy(p Provider, acc Accelerator, pol QuotaPolicy) {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
 	if qm.policies[p] == nil {
 		qm.policies[p] = make(map[Accelerator]QuotaPolicy)
 	}
@@ -83,12 +90,15 @@ func (qm *QuotaManager) SetPolicy(p Provider, acc Accelerator, pol QuotaPolicy) 
 
 // Policy returns the active policy for one (provider, accelerator).
 func (qm *QuotaManager) Policy(p Provider, acc Accelerator) QuotaPolicy {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
 	return qm.policies[p][acc]
 }
 
 // Request asks for quota of n nodes. The grant is recorded immediately but
 // only becomes usable per the policy's delays.
 func (qm *QuotaManager) Request(p Provider, acc Accelerator, n int) {
+	qm.mu.Lock()
 	if qm.granted[p] == nil {
 		qm.granted[p] = make(map[Accelerator]int)
 		qm.asked[p] = make(map[Accelerator]time.Duration)
@@ -99,8 +109,9 @@ func (qm *QuotaManager) Request(p Provider, acc Accelerator, n int) {
 	if _, ok := qm.asked[p][acc]; !ok {
 		qm.asked[p][acc] = qm.sim.Now()
 	}
-	sev := trace.Routine
 	pol := qm.policies[p][acc]
+	qm.mu.Unlock()
+	sev := trace.Routine
 	if pol.ReservationWindow > 0 {
 		sev = trace.Unexpected // waiting on a capacity block is friction
 	}
@@ -110,6 +121,8 @@ func (qm *QuotaManager) Request(p Provider, acc Accelerator, n int) {
 
 // Granted returns the currently granted quota.
 func (qm *QuotaManager) Granted(p Provider, acc Accelerator) int {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
 	return qm.granted[p][acc]
 }
 
@@ -117,6 +130,8 @@ func (qm *QuotaManager) Granted(p Provider, acc Accelerator) int {
 // ErrReservationPending outside a reservation window and ErrQuotaExceeded
 // when the ask exceeds the grant.
 func (qm *QuotaManager) Check(p Provider, acc Accelerator, n int) error {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
 	pol := qm.policies[p][acc]
 	asked, requested := qm.asked[p][acc]
 	if !requested {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"cloudhpc/internal/cloud"
@@ -131,6 +132,14 @@ func NewBuilder(s *sim.Simulation, log *trace.Log) *Builder {
 	return &Builder{sim: s, log: log}
 }
 
+// Absorb appends src's build funnel (built images and failed specs) to the
+// receiver, preserving src's order. The study merger uses it to fold
+// per-shard builders into the study-wide funnel counts.
+func (b *Builder) Absorb(src *Builder) {
+	b.Built = append(b.Built, src.Built...)
+	b.Failed = append(b.Failed, src.Failed...)
+}
+
 // buildTime estimates one container build.
 func (b *Builder) buildTime(spec Spec) time.Duration {
 	d := 12 * time.Minute
@@ -210,8 +219,11 @@ func envOf(s Spec) string {
 }
 
 // Registry is an OCI-style registry ("ORAS" in the study: job output and
-// containers pushed alongside the repository).
+// containers pushed alongside the repository). It is safe for concurrent
+// use: pushes and pulls are serialized by an internal mutex so parallel
+// environment runners can share one instance or merge private ones.
 type Registry struct {
+	mu     sync.Mutex
 	images map[string]Image
 	pulls  map[string]int
 }
@@ -222,10 +234,16 @@ func NewRegistry() *Registry {
 }
 
 // Push stores an image under its tag.
-func (r *Registry) Push(img Image) { r.images[img.Spec.Tag()] = img }
+func (r *Registry) Push(img Image) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.images[img.Spec.Tag()] = img
+}
 
 // Pull retrieves an image by tag, counting the pull.
 func (r *Registry) Pull(tag string) (Image, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	img, ok := r.images[tag]
 	if !ok {
 		return Image{}, fmt.Errorf("containers: tag %q not in registry", tag)
@@ -235,16 +253,46 @@ func (r *Registry) Pull(tag string) (Image, error) {
 }
 
 // Pulls reports how many times a tag has been pulled.
-func (r *Registry) Pulls(tag string) int { return r.pulls[tag] }
+func (r *Registry) Pulls(tag string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pulls[tag]
+}
 
 // Tags lists stored tags, sorted.
 func (r *Registry) Tags() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.images))
 	for t := range r.images {
 		out = append(out, t)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Merge copies every image and pull count of src into the receiver. The
+// study merger uses it to fold per-shard registries into the study-wide one.
+func (r *Registry) Merge(src *Registry) {
+	src.mu.Lock()
+	images := make(map[string]Image, len(src.images))
+	pulls := make(map[string]int, len(src.pulls))
+	for t, img := range src.images {
+		images[t] = img
+	}
+	for t, n := range src.pulls {
+		pulls[t] = n
+	}
+	src.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for t, img := range images {
+		r.images[t] = img
+	}
+	for t, n := range pulls {
+		r.pulls[t] += n
+	}
 }
 
 // SingularityPull converts an OCI image for a VM environment. The paper's

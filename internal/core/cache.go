@@ -1,0 +1,48 @@
+package core
+
+import "sync"
+
+// The cached-dataset layer: one full-study execution per seed, shared by
+// every consumer that only needs the default-options dataset (the root
+// benchmark harness regenerating tables and figures, cmd/figures,
+// cmd/report, cmd/trace, and the examples). The study takes a few hundred
+// milliseconds; the artifacts derived from it take microseconds — without
+// the cache every artifact would pay the study again.
+//
+// The map lock is held only for entry lookup; each entry runs its study
+// under its own sync.Once, so concurrent calls for different seeds execute
+// in parallel while duplicate same-seed calls coalesce onto one run.
+var (
+	cacheMu sync.Mutex
+	cache   = map[uint64]*cacheEntry{}
+)
+
+type cacheEntry struct {
+	once sync.Once
+	res  *Results
+	err  error
+}
+
+// CachedRunFull returns the default-options study dataset for seed,
+// executing it on first use and memoizing it for the life of the process.
+// The returned Results are shared: treat them as read-only. Callers that
+// need non-default Options must build a Study and call RunFull themselves.
+func CachedRunFull(seed uint64) (*Results, error) {
+	cacheMu.Lock()
+	e, ok := cache[seed]
+	if !ok {
+		e = &cacheEntry{}
+		cache[seed] = e
+	}
+	cacheMu.Unlock()
+
+	e.once.Do(func() {
+		st, err := New(seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = st.RunFull()
+	})
+	return e.res, e.err
+}

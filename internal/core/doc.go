@@ -1,0 +1,33 @@
+// Package core orchestrates the full study: it provisions every
+// environment at every scale, builds the per-cloud containers, deploys the
+// Flux Operator on the Kubernetes services, runs all 11 applications for
+// five iterations per scale, meters the spend, and aggregates the records
+// into the paper's tables and figures.
+//
+// # Execution model
+//
+// The study's environments are mutually independent, so RunFull executes
+// them as shards over a worker pool (Options.Workers, default
+// runtime.NumCPU()). Each shard owns a complete private substrate set — a
+// sim.Simulation (virtual clock, event queue, named RNG streams derived
+// from the study's root seed), a trace.Log, and its own meter, quota
+// manager, provisioner, builder, and registry — so no mutable state is
+// shared between concurrently running environments.
+//
+// # Determinism
+//
+// Every random draw a shard makes comes from a stream named for its
+// environment ("core/run/<env>", "cloud/provision/<env>",
+// "sched/<env>", ...), and streams are derived from (seed, name) alone.
+// A shard's output therefore depends only on the root seed and its spec,
+// never on goroutine scheduling. The merge step stitches shard results,
+// logs, and charges together in the canonical matrix order of Study.Envs,
+// shifting each shard's virtual timestamps by the summed duration of the
+// shards before it — reconstructing one sequential campaign timeline. The
+// result: RunFull's dataset is byte-identical for every worker count, and
+// two runs with the same seed are byte-identical full stop.
+//
+// CachedRunFull memoizes the default-options dataset per seed so that
+// benchmarks, commands, and examples regenerating multiple artifacts share
+// a single study execution.
+package core

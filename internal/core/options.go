@@ -9,9 +9,15 @@ import (
 	"cloudhpc/internal/trace"
 )
 
-// Options turn on the operational disciplines the paper's §4.2 suggests.
-// The zero value reproduces the study as it was actually run.
+// Options turn on the operational disciplines the paper's §4.2 suggests,
+// plus the executor's concurrency knob. The zero value reproduces the study
+// as it was actually run (with one shard per environment dispatched over
+// all available CPUs — the dataset is identical for every worker count).
 type Options struct {
+	// Workers bounds the number of environment shards executing at once.
+	// Zero or negative means runtime.NumCPU(). The results do not depend on
+	// this value — only the wall-clock time of RunFull does.
+	Workers int
 	// PauseBetweenScales inserts a wait after each cluster size so that
 	// lagged cost reporting catches up before committing to the next,
 	// larger (more expensive) size — "Operating on a cloud environment
@@ -24,10 +30,14 @@ type Options struct {
 	TestClusters bool
 	// TestClusterNodes sizes the shakeout cluster (default 2).
 	TestClusterNodes int
-	// AbortOverBudget stops an environment when the provider's *actual*
-	// spend exceeds its budget. Without it, overspend is only discovered
-	// after the reporting lag — "it is very difficult to fix overspending
-	// retroactively."
+	// AbortOverBudget stops an environment when spend exceeds the
+	// provider's budget. Without it, overspend is only discovered after
+	// the reporting lag — "it is very difficult to fix overspending
+	// retroactively." Under sharded execution concurrent environments
+	// cannot observe each other's spend, so the provider budget is split
+	// evenly across the provider's deployable cloud environments and each
+	// shard aborts against its share — the provider-wide cap holds in
+	// aggregate.
 	AbortOverBudget bool
 }
 
@@ -35,27 +45,27 @@ type Options struct {
 var ErrBudgetExhausted = fmt.Errorf("core: provider budget exhausted")
 
 // applyPause implements PauseBetweenScales.
-func (st *Study) applyPause(spec apps.EnvSpec) {
-	if st.Opts.PauseBetweenScales <= 0 || spec.OnPrem() {
+func (sh *shard) applyPause() {
+	if sh.opts.PauseBetweenScales <= 0 || sh.spec.OnPrem() {
 		return
 	}
-	st.Sim.Clock.Advance(st.Opts.PauseBetweenScales)
-	st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
+	sh.sim.Clock.Advance(sh.opts.PauseBetweenScales)
+	sh.log.Addf(sh.sim.Now(), sh.spec.Key, trace.Info, trace.Routine,
 		"paused %v for cost reporting to catch up (reported $%.2f of $%.2f actual)",
-		st.Opts.PauseBetweenScales,
-		st.Meter.ReportedSpend(spec.Provider), st.Meter.Spend(spec.Provider))
+		sh.opts.PauseBetweenScales,
+		sh.meter.ReportedSpend(sh.spec.Provider), sh.meter.Spend(sh.spec.Provider))
 }
 
 // checkBudget implements AbortOverBudget.
-func (st *Study) checkBudget(spec apps.EnvSpec) error {
-	if !st.Opts.AbortOverBudget || spec.OnPrem() {
+func (sh *shard) checkBudget() error {
+	if !sh.opts.AbortOverBudget || sh.spec.OnPrem() {
 		return nil
 	}
-	if st.Meter.OverBudget(spec.Provider) {
-		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Manual, trace.Blocking,
-			"aborting: %s spend $%.0f exceeds budget $%.0f",
-			spec.Provider, st.Meter.Spend(spec.Provider), st.Meter.Budget(spec.Provider))
-		return fmt.Errorf("%w: %s at $%.0f", ErrBudgetExhausted, spec.Provider, st.Meter.Spend(spec.Provider))
+	if sh.meter.OverBudget(sh.spec.Provider) {
+		sh.log.Addf(sh.sim.Now(), sh.spec.Key, trace.Manual, trace.Blocking,
+			"aborting: %s spend $%.0f exceeds this environment's budget share $%.0f",
+			sh.spec.Provider, sh.meter.Spend(sh.spec.Provider), sh.meter.Budget(sh.spec.Provider))
+		return fmt.Errorf("%w: %s at $%.0f", ErrBudgetExhausted, sh.spec.Provider, sh.meter.Spend(sh.spec.Provider))
 	}
 	return nil
 }
@@ -63,30 +73,30 @@ func (st *Study) checkBudget(spec apps.EnvSpec) error {
 // shakeout implements TestClusters: a tiny cluster, one quick run of the
 // cheapest benchmark, teardown. Failures here are exactly what the test
 // cluster exists to absorb.
-func (st *Study) shakeout(spec apps.EnvSpec) {
-	if !st.Opts.TestClusters || spec.OnPrem() {
+func (sh *shard) shakeout() {
+	if !sh.opts.TestClusters || sh.spec.OnPrem() {
 		return
 	}
-	nodes := st.Opts.TestClusterNodes
+	nodes := sh.opts.TestClusterNodes
 	if nodes <= 0 {
 		nodes = 2
 	}
-	cluster, err := st.Prov.Provision(cloud.ProvisionRequest{
-		Env: spec.Key, Type: spec.Instance, Nodes: nodes,
-		Kubernetes: spec.Kubernetes, AllowSpareNode: spec.Provider == cloud.Azure,
+	cluster, err := sh.prov.Provision(cloud.ProvisionRequest{
+		Env: sh.spec.Key, Type: sh.spec.Instance, Nodes: nodes,
+		Kubernetes: sh.spec.Kubernetes, AllowSpareNode: sh.spec.Provider == cloud.Azure,
 	})
 	if err != nil {
-		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Setup, trace.Unexpected,
+		sh.log.Addf(sh.sim.Now(), sh.spec.Key, trace.Setup, trace.Unexpected,
 			"test cluster failed (better now than at full size): %v", err)
 		return
 	}
-	rng := st.Sim.Stream("core/shakeout/" + spec.Key)
+	rng := sh.sim.Stream("core/shakeout/" + sh.spec.Key)
 	stream := apps.NewStream()
-	r := stream.Run(spec.Env, nodes, rng)
-	st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
+	r := stream.Run(sh.spec.Env, nodes, rng)
+	sh.log.Addf(sh.sim.Now(), sh.spec.Key, trace.Info, trace.Routine,
 		"test cluster shakeout: stream triad %.1f %s on %d nodes", r.FOM, r.Unit, nodes)
-	st.Sim.Clock.Advance(10 * time.Minute)
-	if err := st.Prov.Teardown(cluster); err != nil {
-		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Setup, trace.Unexpected, "test teardown: %v", err)
+	sh.sim.Clock.Advance(10 * time.Minute)
+	if err := sh.prov.Teardown(cluster); err != nil {
+		sh.log.Addf(sh.sim.Now(), sh.spec.Key, trace.Setup, trace.Unexpected, "test teardown: %v", err)
 	}
 }

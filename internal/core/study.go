@@ -1,21 +1,14 @@
-// Package core orchestrates the full study: it provisions every
-// environment at every scale, builds the per-cloud containers, deploys the
-// Flux Operator on the Kubernetes services, runs all 11 applications for
-// five iterations per scale, meters the spend, and aggregates the records
-// into the paper's tables and figures.
 package core
 
 import (
-	"errors"
-	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"cloudhpc/internal/apps"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/containers"
-	"cloudhpc/internal/k8s"
 	"cloudhpc/internal/network"
-	"cloudhpc/internal/sched"
 	"cloudhpc/internal/sim"
 	"cloudhpc/internal/trace"
 )
@@ -26,20 +19,23 @@ const Iterations = 5
 // BudgetPerCloudUSD is the per-cloud budget (paper §2.1).
 const BudgetPerCloudUSD = 49000
 
-// Study wires every substrate together.
+// Study wires the study configuration together. The top-level substrates
+// are the merge targets of a run: after RunFull, Log, Meter, Builder, and
+// Registry hold the stitched-together view of every environment shard.
+// Provisioners, quota managers, and placement services are per-shard
+// concerns and are constructed inside the shards. Models and Hookup are
+// shared across shards read-only; Models may be replaced before RunFull to
+// study a subset of the applications.
 type Study struct {
-	Opts      Options
-	Sim       *sim.Simulation
-	Log       *trace.Log
-	Meter     *cloud.Meter
-	Quota     *cloud.QuotaManager
-	Placement *cloud.PlacementService
-	Prov      *cloud.Provisioner
-	Builder   *containers.Builder
-	Registry  *containers.Registry
-	Hookup    *network.HookupModel
-	Envs      []apps.EnvSpec
-	Models    []apps.Model
+	Opts     Options
+	Sim      *sim.Simulation
+	Log      *trace.Log
+	Meter    *cloud.Meter
+	Builder  *containers.Builder
+	Registry *containers.Registry
+	Hookup   *network.HookupModel
+	Envs     []apps.EnvSpec
+	Models   []apps.Model
 }
 
 // RunRecord is one application execution in the study dataset.
@@ -74,9 +70,6 @@ func New(seed uint64) (*Study, error) {
 	s := sim.New(seed)
 	log := trace.NewLog()
 	meter := cloud.NewMeter(s, log)
-	quota := cloud.NewQuotaManager(s, log)
-	placement := cloud.NewPlacementService(s, log)
-	prov := cloud.NewProvisioner(s, log, meter, quota, placement)
 	envs, err := apps.StudyEnvironments()
 	if err != nil {
 		return nil, err
@@ -85,271 +78,107 @@ func New(seed uint64) (*Study, error) {
 		meter.SetBudget(p, BudgetPerCloudUSD)
 	}
 	return &Study{
-		Sim:       s,
-		Log:       log,
-		Meter:     meter,
-		Quota:     quota,
-		Placement: placement,
-		Prov:      prov,
-		Builder:   containers.NewBuilder(s, log),
-		Registry:  containers.NewRegistry(),
-		Hookup:    network.NewHookupModel(),
-		Envs:      envs,
-		Models:    apps.All(),
+		Sim:      s,
+		Log:      log,
+		Meter:    meter,
+		Builder:  containers.NewBuilder(s, log),
+		Registry: containers.NewRegistry(),
+		Hookup:   network.NewHookupModel(),
+		Envs:     envs,
+		Models:   apps.All(),
 	}, nil
 }
 
 // RunFull executes the whole study and returns the dataset.
+//
+// Execution is sharded: every environment of the matrix runs as an
+// independent shard with its own virtual clock, event queue, RNG streams,
+// and substrate instances, dispatched over a pool of Options.Workers
+// goroutines (default runtime.NumCPU()). Because a shard's behaviour
+// depends only on the root seed and its own environment spec, and the
+// merge below always stitches shards together in the matrix order of
+// st.Envs, the returned Results — run records, trace, and billing — are
+// byte-identical for every worker count.
+//
+// RunFull is intended to be called once per Study: it merges the shards
+// into st.Log, st.Meter, st.Builder, and st.Registry.
 func (st *Study) RunFull() (*Results, error) {
+	workers := st.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(st.Envs) {
+		workers = len(st.Envs)
+	}
+
+	shards := make([]*shard, len(st.Envs))
+	for i, spec := range st.Envs {
+		shards[i] = st.newShard(spec)
+	}
+
+	jobs := make(chan *shard)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range jobs {
+				sh.run()
+			}
+		}()
+	}
+	for _, sh := range shards {
+		jobs <- sh
+	}
+	close(jobs)
+	wg.Wait()
+
+	return st.merge(shards)
+}
+
+// merge stitches the finished shards into one dataset in canonical matrix
+// order, laying the per-shard virtual timelines end to end: shard i's
+// events and charges are shifted by the summed duration of shards 0..i-1,
+// reconstructing the single sequential timeline the paper's study actually
+// lived through (environments run one after another over weeks, so the
+// freshest charges at study end belong to the last environments of the
+// matrix — which is what the cost-reporting-lag model needs). The offsets
+// depend only on the shards' own deterministic durations, never on
+// scheduling, so the merged output is identical for any worker count.
+func (st *Study) merge(shards []*shard) (*Results, error) {
 	res := &Results{
 		Log: st.Log, Meter: st.Meter, Envs: st.Envs,
 		ECCOn:   make(map[string]float64),
 		Hookups: make(map[string]map[int]time.Duration),
 	}
-
-	// Request quotas up front (one spare Azure GPU node, anticipating the
-	// defective-node issue).
-	st.Quota.Request(cloud.AWS, cloud.CPU, 256)
-	st.Quota.Request(cloud.AWS, cloud.GPU, 32)
-	st.Quota.Request(cloud.Azure, cloud.CPU, 256)
-	st.Quota.Request(cloud.Azure, cloud.GPU, 33)
-	st.Quota.Request(cloud.Google, cloud.CPU, 256)
-	st.Quota.Request(cloud.Google, cloud.GPU, 32)
-	st.Quota.Request(cloud.OnPrem, cloud.CPU, 1544) // cluster A capacity
-	st.Quota.Request(cloud.OnPrem, cloud.GPU, 795)  // cluster B capacity
-
-	for _, spec := range st.Envs {
-		if spec.Unavailable != "" {
-			st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
-				"environment not deployed: %s", spec.Unavailable)
-			continue
+	var offset time.Duration
+	var firstErr error
+	for _, sh := range shards {
+		st.Log.AppendShifted(sh.log, offset)
+		st.Meter.Merge(sh.meter, offset)
+		st.Builder.Absorb(sh.build)
+		st.Registry.Merge(sh.reg)
+		res.Runs = append(res.Runs, sh.res.Runs...)
+		res.Findings = append(res.Findings, sh.res.Findings...)
+		for k, v := range sh.res.ECCOn {
+			res.ECCOn[k] = v
 		}
-		if err := st.runEnvironment(spec, res); err != nil {
-			return nil, fmt.Errorf("core: environment %s: %w", spec.Key, err)
+		for k, v := range sh.res.Hookups {
+			res.Hookups[k] = v
 		}
+		if sh.err != nil && firstErr == nil {
+			firstErr = sh.err
+		}
+		offset += sh.sim.Now()
+	}
+	// Leave the study clock at end-of-study so lag-dependent views
+	// (ReportedSpend, UnreportedSpend) read as they would have at the end
+	// of the real campaign.
+	if offset > st.Sim.Now() {
+		st.Sim.Clock.AdvanceTo(offset)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return res, nil
-}
-
-// runEnvironment executes all scales and apps for one environment.
-func (st *Study) runEnvironment(spec apps.EnvSpec, res *Results) error {
-	ScriptedIncidents(st.Log, st.Sim.Now(), spec)
-	images := st.buildContainers(spec)
-	st.shakeout(spec)
-	maxNodes := apps.MaxNodesFor(spec)
-
-	for _, nodes := range spec.Scales {
-		if nodes > maxNodes {
-			st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
-				"size %d skipped: inability to get GPUs", nodes)
-			continue
-		}
-		if err := st.checkBudget(spec); err != nil {
-			return nil // environment aborted; the log explains why
-		}
-		if err := st.runScale(spec, nodes, images, res); err != nil {
-			return err
-		}
-		st.applyPause(spec)
-	}
-	return nil
-}
-
-// buildContainers builds one container per app for cloud environments.
-// On-premises builds happen on the machine itself and are covered by the
-// scripted bare-metal incident.
-func (st *Study) buildContainers(spec apps.EnvSpec) map[string]containers.Image {
-	images := make(map[string]containers.Image)
-	if spec.OnPrem() {
-		return images
-	}
-	for _, m := range st.Models {
-		img, err := st.Builder.Build(containers.CorrectSpec(m.Name(), spec.Provider, spec.Acc))
-		if err != nil {
-			continue // e.g. the Laghos GPU CUDA conflict
-		}
-		st.Registry.Push(img)
-		images[m.Name()] = img
-	}
-	return images
-}
-
-// runScale brings up one cluster size, runs every app ×Iterations, and
-// tears the cluster down ("each cluster size was deployed independently to
-// be more cost effective").
-func (st *Study) runScale(spec apps.EnvSpec, nodes int, images map[string]containers.Image, res *Results) error {
-	scheduler, cluster, err := st.deploy(spec, nodes)
-	if err != nil {
-		return err
-	}
-
-	rng := st.Sim.Stream("core/run/" + spec.Key)
-	for _, m := range st.Models {
-		iters := Iterations
-		if spec.Key == "azure-aks-cpu" && nodes == 256 && m.Name() == "lammps" {
-			iters = 1 // 8.82-minute hookup: only one run was performed
-			st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
-				"lammps at size 256: single run due to long hookup time")
-		}
-		if _, needsImage := images[m.Name()]; !needsImage && !spec.OnPrem() && spec.ContainerRuntime != "" {
-			// No container could be built (Laghos GPU): nothing to run.
-			res.Runs = append(res.Runs, RunRecord{
-				EnvKey: spec.Key, App: m.Name(), Nodes: nodes,
-				Err: apps.ErrNotSupported, Unit: m.Unit(),
-			})
-			continue
-		}
-		for it := 0; it < iters; it++ {
-			rec := st.runOnce(spec, m, nodes, it, scheduler, rng)
-			res.Runs = append(res.Runs, rec)
-			if hk, ok := res.Hookups[spec.Key]; ok {
-				hk[nodes] = rec.Hookup
-			} else {
-				res.Hookups[spec.Key] = map[int]time.Duration{nodes: rec.Hookup}
-			}
-		}
-	}
-
-	// Per-env fleet audits at the largest deployed size.
-	if cluster != nil && nodes == apps.MaxNodesFor(spec) {
-		st.audit(spec, cluster, res)
-	}
-
-	if cluster != nil {
-		return st.Prov.Teardown(cluster)
-	}
-	return nil
-}
-
-// deploy provisions a cluster (cloud) or opens a queue (on-prem) and
-// returns the environment's scheduler.
-func (st *Study) deploy(spec apps.EnvSpec, nodes int) (*sched.Scheduler, *cloud.Cluster, error) {
-	if spec.OnPrem() {
-		if spec.Acc == cloud.GPU {
-			return sched.NewOnPremLSF(st.Sim, st.Log, spec.Key, nodes), nil, nil
-		}
-		return sched.NewOnPremSlurm(st.Sim, st.Log, spec.Key, nodes), nil, nil
-	}
-
-	// AWS GPU capacity only exists inside the late-month reservation
-	// window; the team was "on call" for it.
-	if err := st.Quota.Check(spec.Provider, spec.Acc, nodes); errors.Is(err, cloud.ErrReservationPending) {
-		pol := st.Quota.Policy(spec.Provider, spec.Acc)
-		if start, ok := pol.NextWindowStart(st.Sim.Now()); ok && start > st.Sim.Now() {
-			st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Routine,
-				"waiting for capacity block at %v", start)
-			st.Sim.Clock.AdvanceTo(start)
-		}
-	}
-
-	cluster, err := st.Prov.Provision(cloud.ProvisionRequest{
-		Env: spec.Key, Type: spec.Instance, Nodes: nodes,
-		Kubernetes: spec.Kubernetes, AllowSpareNode: spec.Provider == cloud.Azure,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-
-	if spec.Kubernetes {
-		scheduler, err := st.deployKubernetes(spec, cluster)
-		return scheduler, cluster, err
-	}
-
-	// VM cluster: pull the containers once via Singularity on the shared
-	// filesystem before spawning workers (suggested practice, §4.2).
-	for _, tag := range st.Registry.Tags() {
-		_, _ = containers.SingularityPull(st.Sim, st.Registry, tag, nodes, true)
-	}
-	var scheduler *sched.Scheduler
-	switch {
-	case spec.Provider == cloud.AWS:
-		scheduler = sched.NewParallelClusterSlurm(st.Sim, st.Log, spec.Key, nodes)
-	case spec.Provider == cloud.Azure:
-		scheduler = sched.NewCycleCloudSlurm(st.Sim, st.Log, spec.Key, nodes)
-	default: // Google Compute Engine runs Flux on VMs
-		scheduler = sched.NewFlux(st.Sim, st.Log, spec.Key, nodes)
-	}
-	return scheduler, cluster, nil
-}
-
-// deployKubernetes stands up the managed service, daemonsets, and the Flux
-// Operator MiniCluster.
-func (st *Study) deployKubernetes(spec apps.EnvSpec, cluster *cloud.Cluster) (*sched.Scheduler, error) {
-	svc, err := k8s.ServiceFor(spec.Provider)
-	if err != nil {
-		return nil, err
-	}
-	kc := k8s.NewCluster(st.Sim, st.Log, spec.Key, svc, cluster)
-	switch svc {
-	case k8s.EKS:
-		kc.Apply(k8s.EFADevicePlugin)
-	case k8s.AKS:
-		kc.Apply(k8s.AKSInfiniBandInstall)
-	}
-	if spec.Acc == cloud.GPU {
-		kc.Apply(k8s.NVIDIADevicePlugin)
-	}
-	mc, err := kc.DeployFluxOperator()
-	if errors.Is(err, k8s.ErrCNIPrefixExhausted) {
-		// The study's fix: patch the CNI daemonset for prefix delegation.
-		kc.Apply(k8s.CNIPrefixDelegation)
-		mc, err = kc.DeployFluxOperator()
-	}
-	if err != nil {
-		return nil, err
-	}
-	return mc.Scheduler, nil
-}
-
-// runOnce submits one application run through the environment's scheduler
-// and records the outcome.
-func (st *Study) runOnce(spec apps.EnvSpec, m apps.Model, nodes, iter int, scheduler *sched.Scheduler, rng *sim.Stream) RunRecord {
-	result := m.Run(spec.Env, nodes, rng)
-	hookup := st.Hookup.Hookup(spec.Provider, spec.Acc, spec.Kubernetes, nodes, rng)
-
-	job := &sched.Job{Name: fmt.Sprintf("%s-%d", m.Name(), iter), Nodes: nodes, Duration: result.Wall, Hookup: hookup}
-	if err := scheduler.Submit(job); err != nil {
-		return RunRecord{EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter, Err: err, Unit: result.Unit}
-	}
-	st.Sim.Run()
-
-	rec := RunRecord{
-		EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter,
-		FOM: result.FOM, Unit: result.Unit, Err: result.Err,
-		Wall: result.Wall, Hookup: hookup,
-		CostUSD: float64(nodes) * result.Wall.Hours() * spec.Instance.HourlyUSD,
-	}
-	if rec.Err == nil && job.State == sched.Failed {
-		rec.Err = job.Err
-	}
-	return rec
-}
-
-// audit runs the single-node fleet audit and the Mixbench ECC survey on
-// the largest cluster of an environment.
-func (st *Study) audit(spec apps.EnvSpec, cluster *cloud.Cluster, res *Results) {
-	rng := st.Sim.Stream("core/audit/" + spec.Key)
-	var reports []apps.Report
-	for _, n := range cluster.Nodes {
-		reports = append(reports, apps.Collect(n, rng))
-	}
-	findings := apps.Audit(cluster.Nodes, reports)
-	for _, f := range findings {
-		st.Log.Addf(st.Sim.Now(), spec.Key, trace.Info, trace.Unexpected,
-			"supermarket fish: node %s %s", f.NodeID, f.Detail)
-	}
-	res.Findings = append(res.Findings, findings...)
-
-	if spec.Acc == cloud.GPU {
-		on, total := 0, 0
-		for _, n := range cluster.Nodes {
-			total += n.VisibleGPUs
-			if n.ECCEnabled {
-				on += n.VisibleGPUs
-			}
-		}
-		if total > 0 {
-			res.ECCOn[spec.Key] = float64(on) / float64(total)
-		}
-	}
 }

@@ -5,6 +5,14 @@
 // Nothing in this package touches the wall clock. Two simulations built with
 // the same seed and the same sequence of operations produce byte-identical
 // results, which is what makes the study tables reproducible.
+//
+// A Simulation and its Clock are single-owner: they are not safe for
+// concurrent use, and the concurrent study executor in package core never
+// shares them — each environment shard constructs its own Simulation from
+// the study's root seed. Determinism across shards comes from Stream's
+// derivation rule: a stream is seeded by (root seed, name) only, so any
+// simulation with the same seed observes the same draws for the same
+// name, no matter when or on which goroutine it asks.
 package sim
 
 import (

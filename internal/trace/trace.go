@@ -2,6 +2,13 @@
 // substrate appends events — cluster provisioning steps, scheduler actions,
 // container builds, debugging incidents — and the usability engine later
 // folds the log into the qualitative effort scores of the paper's Table 3.
+//
+// A Log is safe for concurrent use: all methods take an internal mutex, so
+// parallel experiment runners may share one instance. The concurrent study
+// executor in package core instead gives every environment shard a private
+// Log and stitches the shards together afterwards with AppendShifted, which
+// both preserves per-environment event order and keeps the merged transcript
+// independent of goroutine scheduling.
 package trace
 
 import (
@@ -89,6 +96,23 @@ func (l *Log) Add(e Event) {
 // Addf appends an event with a formatted message and no cost.
 func (l *Log) Addf(at time.Duration, env string, cat Category, sev Severity, format string, args ...any) {
 	l.Add(Event{At: at, Env: env, Category: cat, Severity: sev, Msg: fmt.Sprintf(format, args...)})
+}
+
+// AppendShifted appends every event of src with its timestamp shifted
+// forward by shift. It is the merge half of sharded study execution: each
+// environment shard records into a private log on its own virtual timeline
+// starting at zero, and the merger lays the shards end to end by passing
+// the accumulated duration of all earlier shards as shift. src is read via
+// its own lock, so a quiescent shard log may be merged while other shards
+// are still writing to theirs.
+func (l *Log) AppendShifted(src *Log, shift time.Duration) {
+	events := src.Events()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range events {
+		e.At += shift
+		l.events = append(l.events, e)
+	}
 }
 
 // Events returns a copy of all events in insertion order.
