@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"cloudhpc/internal/chaos"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/report"
 	"cloudhpc/internal/usability"
@@ -26,7 +27,14 @@ func main() {
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first (§4.2)")
 	abortOverBudget := flag.Bool("abort-over-budget", false, "stop an environment when its spend exceeds its share of the provider budget")
 	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
+	chaosArg := flag.String("chaos", "", `fault-injection plan: "default" or a plan file path`)
 	flag.Parse()
+
+	plan, err := chaos.LoadPlan(*chaosArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudbench:", err)
+		os.Exit(1)
+	}
 
 	st, err := core.New(*seed)
 	if err != nil {
@@ -37,6 +45,7 @@ func main() {
 	st.Opts.TestClusters = *testClusters
 	st.Opts.AbortOverBudget = *abortOverBudget
 	st.Opts.Workers = *workers
+	st.Opts.Chaos = plan
 	res, err := st.RunFull()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cloudbench:", err)
@@ -79,6 +88,11 @@ func main() {
 		for _, f := range res.Findings {
 			fmt.Printf("%s: %s\n", f.NodeID, f.Detail)
 		}
+	}
+
+	if len(res.Incidents) > 0 {
+		fmt.Printf("\n== Fault injection (%d incidents) ==\n", len(res.Incidents))
+		fmt.Print(report.Recovery(res.Recovery))
 	}
 
 	if *showTrace {

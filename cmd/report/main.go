@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	report [-seed N] [-o report.md]
+//	report [-seed N] [-o report.md] [-chaos default|FILE]
 package main
 
 import (
@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"cloudhpc/internal/chaos"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/report"
 )
@@ -21,11 +22,16 @@ func main() {
 	pause := flag.Duration("pause", 0, "pause between scales for cost reporting (e.g. 26h)")
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first")
 	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
+	chaosArg := flag.String("chaos", "", `fault-injection plan: "default" or a plan file path (adds a recovery section to the report)`)
 	flag.Parse()
 
+	plan, err := chaos.LoadPlan(*chaosArg)
+	if err != nil {
+		fatal(err)
+	}
+
 	var res *core.Results
-	var err error
-	if *pause == 0 && !*testClusters && *workers == 0 {
+	if *pause == 0 && !*testClusters && *workers == 0 && plan.Empty() {
 		// Default options: share the process-wide cached dataset.
 		res, err = core.CachedRunFull(*seed)
 	} else {
@@ -37,6 +43,7 @@ func main() {
 		st.Opts.PauseBetweenScales = *pause
 		st.Opts.TestClusters = *testClusters
 		st.Opts.Workers = *workers
+		st.Opts.Chaos = plan
 		res, err = st.RunFull()
 	}
 	if err != nil {

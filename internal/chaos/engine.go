@@ -1,0 +1,289 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cloudhpc/internal/network"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+// Incident is one injected fault together with its recovery cost. The
+// study merger shifts At onto the serialized campaign timeline and
+// surfaces incidents through core.Results.
+type Incident struct {
+	At     time.Duration
+	Env    string
+	Kind   Kind
+	Detail string
+	// LostNodeHours is compute paid for but thrown away recovering from
+	// the fault (preempted partial runs, degraded stretch time).
+	LostNodeHours float64
+	// RequeuedJobs counts jobs resubmitted because of the fault.
+	RequeuedJobs int
+	// BillingDeltaUSD estimates the extra spend the fault caused at the
+	// environment's node-hour rate.
+	BillingDeltaUSD float64
+}
+
+// Accounting aggregates recovery costs across incidents. The study merger
+// folds per-shard accountings into Results.Recovery in matrix order.
+type Accounting struct {
+	Preemptions      int
+	RequeuedJobs     int
+	Stockouts        int
+	QuotaRevocations int
+	DegradedRuns     int
+	PullRetries      int
+	LostNodeHours    float64
+	BillingDeltaUSD  float64
+}
+
+// Add folds b into a.
+func (a *Accounting) Add(b Accounting) {
+	a.Preemptions += b.Preemptions
+	a.RequeuedJobs += b.RequeuedJobs
+	a.Stockouts += b.Stockouts
+	a.QuotaRevocations += b.QuotaRevocations
+	a.DegradedRuns += b.DegradedRuns
+	a.PullRetries += b.PullRetries
+	a.LostNodeHours += b.LostNodeHours
+	a.BillingDeltaUSD += b.BillingDeltaUSD
+}
+
+// Empty reports whether no faults were injected at all.
+func (a Accounting) Empty() bool { return a == Accounting{} }
+
+// Engine injects one environment's share of a Plan. Every decision is
+// drawn from the stream "chaos/<env>" of the shard's simulation, so a
+// chaotic run is exactly as deterministic as a fault-free one: the same
+// (seed, plan, env) always yields the same faults at the same virtual
+// times, regardless of worker count or goroutine scheduling.
+//
+// All methods are safe on a nil *Engine (they report "no fault"), which
+// is how fault-free shards run with zero chaos overhead and zero extra
+// random draws. Methods are also safe for concurrent use — the sharded
+// executor is single-threaded per engine, but external composers (race
+// tests, shared-substrate harnesses) may hammer one engine from many
+// goroutines.
+type Engine struct {
+	env  string
+	rate float64 // node-hour USD of the environment's instance type
+	sim  *sim.Simulation
+	log  *trace.Log
+
+	mu        sync.Mutex
+	rng       *sim.Stream
+	rules     map[Kind]Rule
+	pullFails map[string]int // consecutive transient failures per tag
+	incidents []Incident
+	acct      Accounting
+}
+
+// NewEngine builds the fault injector for one environment shard.
+// nodeHourUSD prices recovery accounting (0 for on-premises). A nil or
+// empty plan, or one with no rules matching env, yields a nil engine —
+// callers can attach it unconditionally.
+func NewEngine(p *Plan, env string, nodeHourUSD float64, s *sim.Simulation, log *trace.Log) *Engine {
+	if p.Empty() {
+		return nil
+	}
+	matched := p.RulesFor(env)
+	if len(matched) == 0 {
+		return nil
+	}
+	rules := make(map[Kind]Rule, len(matched))
+	for _, r := range matched {
+		rr := r
+		rr.normalize()
+		rules[r.Kind] = rr
+	}
+	return &Engine{
+		env:       env,
+		rate:      nodeHourUSD,
+		sim:       s,
+		log:       log,
+		rng:       s.Stream("chaos/" + env),
+		rules:     rules,
+		pullFails: make(map[string]int),
+	}
+}
+
+// Env returns the environment key the engine injects for ("" when nil).
+func (e *Engine) Env() string {
+	if e == nil {
+		return ""
+	}
+	return e.env
+}
+
+// record appends an incident, folds it into the accounting counters given
+// by bump, and writes a trace event. Must be called with e.mu held.
+func (e *Engine) record(inc Incident, bump func(*Accounting)) {
+	inc.At = e.sim.Now()
+	inc.Env = e.env
+	e.incidents = append(e.incidents, inc)
+	bump(&e.acct)
+	e.acct.LostNodeHours += inc.LostNodeHours
+	e.acct.RequeuedJobs += inc.RequeuedJobs
+	e.acct.BillingDeltaUSD += inc.BillingDeltaUSD
+	e.log.Addf(inc.At, e.env, trace.Manual, trace.Unexpected, "chaos %s: %s", inc.Kind, inc.Detail)
+}
+
+// Stockout implements the provisioner capacity hook
+// (cloud.CapacityInjector): it reports whether bring-up attempt number
+// attempt (1-based) hits a transient capacity stockout, and how long to
+// back off before retrying. After Retries consecutive stockouts the
+// provider "finds" capacity and the attempt succeeds.
+func (e *Engine) Stockout(nodes, attempt int) (time.Duration, bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.rules[Stockout]
+	if !ok || attempt > r.Retries {
+		return 0, false
+	}
+	if !e.rng.Bernoulli(r.Prob) {
+		return 0, false
+	}
+	backoff := r.Backoff << (attempt - 1)
+	e.record(Incident{
+		Kind:   Stockout,
+		Detail: fmt.Sprintf("capacity stockout for %d nodes (attempt %d); backing off %v", nodes, attempt, backoff),
+	}, func(a *Accounting) { a.Stockouts++ })
+	return backoff, true
+}
+
+// JobFault implements the scheduler hook (sched.FaultInjector): consulted
+// once per started job, it reports whether the job is preempted by a spot
+// reclaim, the fraction of its duration completed when the reclaim
+// strikes, and whether the scheduler should requeue it.
+func (e *Engine) JobFault(name string, nodes int, dur time.Duration) (frac float64, requeue, ok bool) {
+	if e == nil {
+		return 0, false, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, found := e.rules[SpotReclaim]
+	if !found || !e.rng.Bernoulli(r.Prob) {
+		return 0, false, false
+	}
+	lost := float64(nodes) * (time.Duration(r.Frac * float64(dur))).Hours()
+	requeue = !r.DropOnReclaim
+	requeued := 0
+	if requeue {
+		requeued = 1
+	}
+	e.record(Incident{
+		Kind: SpotReclaim,
+		Detail: fmt.Sprintf("spot reclaim killed job %q at %d%% on %d nodes (requeue=%v)",
+			name, int(r.Frac*100), nodes, requeue),
+		LostNodeHours:   lost,
+		RequeuedJobs:    requeued,
+		BillingDeltaUSD: lost * e.rate,
+	}, func(a *Accounting) { a.Preemptions++ })
+	return r.Frac, requeue, true
+}
+
+// QuotaRevocation is consulted once per cluster scale: it reports whether
+// the provider claws back part of the environment's granted quota, how
+// many nodes it withdraws, and how long until a re-requested grant is
+// usable.
+func (e *Engine) QuotaRevocation(scaleNodes int) (revoke int, regrant time.Duration, ok bool) {
+	if e == nil {
+		return 0, 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, found := e.rules[QuotaRevoke]
+	if !found || !e.rng.Bernoulli(r.Prob) {
+		return 0, 0, false
+	}
+	e.record(Incident{
+		Kind: QuotaRevoke,
+		Detail: fmt.Sprintf("provider revoked %d nodes of granted quota before the %d-node scale; re-grant in %v",
+			r.Nodes, scaleNodes, r.Regrant),
+	}, func(a *Accounting) { a.QuotaRevocations++ })
+	return r.Nodes, r.Regrant, true
+}
+
+// DegradeRun is consulted once per application run with the healthy wall
+// and hookup times; when the run hits a degraded network window it
+// returns both stretched per the rule's latency/bandwidth multipliers.
+// The stretch is priced as lost node-hours at the environment's rate.
+func (e *Engine) DegradeRun(nodes int, wall, hookup time.Duration) (time.Duration, time.Duration) {
+	if e == nil {
+		return wall, hookup
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, found := e.rules[NetDegrade]
+	if !found || !e.rng.Bernoulli(r.Prob) {
+		return wall, hookup
+	}
+	deg := network.Degradation{Latency: r.Latency, Bandwidth: r.Bandwidth}
+	newWall, newHookup := deg.ApplyBandwidth(wall), deg.ApplyLatency(hookup)
+	lost := float64(nodes) * (newWall - wall + newHookup - hookup).Hours()
+	e.record(Incident{
+		Kind: NetDegrade,
+		Detail: fmt.Sprintf("degraded interconnect (latency ×%g, bandwidth ÷%g): hookup %v→%v, wall %v→%v on %d nodes",
+			r.Latency, r.Bandwidth, hookup.Round(time.Millisecond), newHookup.Round(time.Millisecond),
+			wall.Round(time.Second), newWall.Round(time.Second), nodes),
+		LostNodeHours:   lost,
+		BillingDeltaUSD: lost * e.rate,
+	}, func(a *Accounting) { a.DegradedRuns++ })
+	return newWall, newHookup
+}
+
+// PullFault implements the registry hook (containers.PullInjector): it
+// reports whether this pull of tag fails transiently and how long to back
+// off. At most Retries consecutive pulls of one tag fail before the
+// registry recovers, so retry loops always terminate.
+func (e *Engine) PullFault(tag string) (time.Duration, bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, found := e.rules[PullFail]
+	if !found {
+		return 0, false
+	}
+	if e.pullFails[tag] >= r.Retries || !e.rng.Bernoulli(r.Prob) {
+		e.pullFails[tag] = 0
+		return 0, false
+	}
+	e.pullFails[tag]++
+	backoff := r.Backoff << (e.pullFails[tag] - 1)
+	e.record(Incident{
+		Kind:   PullFail,
+		Detail: fmt.Sprintf("registry pull of %q failed transiently (consecutive failure %d); backing off %v", tag, e.pullFails[tag], backoff),
+	}, func(a *Accounting) { a.PullRetries++ })
+	return backoff, true
+}
+
+// Incidents returns a copy of the injected incidents in injection order.
+func (e *Engine) Incidents() []Incident {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Incident, len(e.incidents))
+	copy(out, e.incidents)
+	return out
+}
+
+// Accounting returns the engine's recovery totals so far.
+func (e *Engine) Accounting() Accounting {
+	if e == nil {
+		return Accounting{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.acct
+}

@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/trace"
+)
+
+func testEngine(t *testing.T, planText, env string, seed uint64) *Engine {
+	t.Helper()
+	p, err := ParsePlan(planText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(p, env, 10.0, sim.New(seed), trace.NewLog())
+}
+
+func TestNewEngineNilForNonMatchingPlan(t *testing.T) {
+	t.Parallel()
+	p, err := ParsePlan("spot-reclaim env=azure-* prob=0.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(1)
+	if e := NewEngine(p, "aws-eks-cpu", 10, s, trace.NewLog()); e != nil {
+		t.Fatal("engine should be nil when no rule targets the environment")
+	}
+	if e := NewEngine(nil, "aws-eks-cpu", 10, s, trace.NewLog()); e != nil {
+		t.Fatal("engine should be nil for a nil plan")
+	}
+	if e := NewEngine(p, "azure-aks-cpu", 10, s, trace.NewLog()); e == nil {
+		t.Fatal("engine should exist when a rule matches")
+	}
+}
+
+func TestNilEngineIsInert(t *testing.T) {
+	t.Parallel()
+	var e *Engine
+	if _, hit := e.Stockout(32, 1); hit {
+		t.Fatal("nil engine injected a stockout")
+	}
+	if _, _, ok := e.JobFault("j", 4, time.Minute); ok {
+		t.Fatal("nil engine injected a job fault")
+	}
+	if _, _, ok := e.QuotaRevocation(32); ok {
+		t.Fatal("nil engine injected a revocation")
+	}
+	if w, h := e.DegradeRun(4, time.Minute, time.Second); w != time.Minute || h != time.Second {
+		t.Fatal("nil engine degraded a run")
+	}
+	if _, fail := e.PullFault("tag"); fail {
+		t.Fatal("nil engine injected a pull failure")
+	}
+	if e.Incidents() != nil || !e.Accounting().Empty() || e.Env() != "" {
+		t.Fatal("nil engine should report nothing")
+	}
+}
+
+// TestEngineDeterminism is the chaos analogue of the executor's core
+// guarantee: the same (seed, plan, env) triple must produce the same
+// fault sequence, draw for draw.
+func TestEngineDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() []Incident {
+		e := testEngine(t, DefaultPlanText, "aws-eks-cpu", 42)
+		for i := 0; i < 50; i++ {
+			e.Stockout(32, 1)
+			e.JobFault("job", 32, 30*time.Minute)
+			e.QuotaRevocation(64)
+			e.DegradeRun(32, 30*time.Minute, 10*time.Second)
+			e.PullFault("amg2023-aws-CPU")
+		}
+		return e.Incidents()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("expected some incidents from 50 rounds of the default plan")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("incident counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("incident %d diverged:\n  a: %+v\n  b: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPullFaultConsecutiveCap(t *testing.T) {
+	t.Parallel()
+	// prob=1: every pull fails — but never more than Retries in a row, so
+	// retry loops always terminate.
+	e := testEngine(t, "pull-fail prob=1 retries=2 backoff=30s\n", "aws-eks-cpu", 7)
+	fails := 0
+	for i := 0; i < 3; i++ {
+		if _, fail := e.PullFault("tag"); fail {
+			fails++
+		} else {
+			break
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("got %d consecutive failures, want exactly 2 (the retries cap)", fails)
+	}
+	// After the forced success the counter resets and failures resume.
+	if _, fail := e.PullFault("tag"); !fail {
+		t.Fatal("failure sequence should restart after the cap reset")
+	}
+}
+
+func TestStockoutRespectsAttemptCap(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, "stockout prob=1 retries=3 backoff=10m\n", "aws-eks-cpu", 7)
+	for attempt := 1; attempt <= 3; attempt++ {
+		backoff, hit := e.Stockout(32, attempt)
+		if !hit {
+			t.Fatalf("attempt %d should stock out at prob=1", attempt)
+		}
+		want := 10 * time.Minute << (attempt - 1)
+		if backoff != want {
+			t.Fatalf("attempt %d backoff = %v, want %v (exponential)", attempt, backoff, want)
+		}
+	}
+	if _, hit := e.Stockout(32, 4); hit {
+		t.Fatal("attempt beyond the retries cap must succeed")
+	}
+	if acct := e.Accounting(); acct.Stockouts != 3 {
+		t.Fatalf("accounting recorded %d stockouts, want 3", acct.Stockouts)
+	}
+}
+
+func TestJobFaultAccounting(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, "spot-reclaim prob=1 frac=0.5 requeue=true\n", "aws-eks-cpu", 7)
+	frac, requeue, ok := e.JobFault("lammps-0", 16, 2*time.Hour)
+	if !ok || frac != 0.5 || !requeue {
+		t.Fatalf("JobFault = (%v, %v, %v), want (0.5, true, true)", frac, requeue, ok)
+	}
+	acct := e.Accounting()
+	if acct.Preemptions != 1 || acct.RequeuedJobs != 1 {
+		t.Fatalf("accounting: %+v", acct)
+	}
+	// 16 nodes × 1h lost (half of 2h) = 16 node-hours, at $10/h = $160.
+	if acct.LostNodeHours != 16 {
+		t.Fatalf("lost node-hours = %v, want 16", acct.LostNodeHours)
+	}
+	if acct.BillingDeltaUSD != 160 {
+		t.Fatalf("billing delta = %v, want 160", acct.BillingDeltaUSD)
+	}
+}
+
+// TestCodeBuiltRuleRequeuesByDefault guards the zero-value contract: a
+// Rule literal built in code (not parsed) must behave like the plan-file
+// line "spot-reclaim prob=1" — reclaimed jobs are requeued.
+func TestCodeBuiltRuleRequeuesByDefault(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Rules: []Rule{{Kind: SpotReclaim, Prob: 1}}}
+	e := NewEngine(p, "aws-eks-cpu", 10, sim.New(7), trace.NewLog())
+	_, requeue, ok := e.JobFault("job", 4, time.Hour)
+	if !ok || !requeue {
+		t.Fatalf("JobFault requeue = %v (ok=%v), want true — the zero value must mean requeue", requeue, ok)
+	}
+	if acct := e.Accounting(); acct.RequeuedJobs != 1 {
+		t.Fatalf("RequeuedJobs = %d, want 1", acct.RequeuedJobs)
+	}
+}
+
+func TestDegradeRunStretches(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, "net-degrade prob=1 latency=3 bandwidth=2\n", "google-gke-cpu", 7)
+	wall, hookup := e.DegradeRun(8, 10*time.Minute, 10*time.Second)
+	if wall != 20*time.Minute {
+		t.Fatalf("wall = %v, want 20m (bandwidth ×2)", wall)
+	}
+	if hookup != 30*time.Second {
+		t.Fatalf("hookup = %v, want 30s (latency ×3)", hookup)
+	}
+	if acct := e.Accounting(); acct.DegradedRuns != 1 || acct.LostNodeHours <= 0 {
+		t.Fatalf("accounting: %+v", acct)
+	}
+}
+
+// TestEngineConcurrentUse exercises every fault path from many goroutines
+// for the race detector. The sharded executor is single-threaded per
+// engine, but the engine's contract is full concurrency safety (shared
+// registries and quota managers may be hammered from test harnesses).
+func TestEngineConcurrentUse(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, DefaultPlanText, "aws-eks-cpu", 11)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Stockout(32, 1)
+				e.JobFault("job", 8, time.Hour)
+				e.QuotaRevocation(32)
+				e.DegradeRun(8, time.Hour, time.Second)
+				e.PullFault("tag")
+				e.Incidents()
+				e.Accounting()
+			}
+		}()
+	}
+	wg.Wait()
+	acct := e.Accounting()
+	if len(e.Incidents()) == 0 || acct.Empty() {
+		t.Fatal("concurrent hammering should have injected something")
+	}
+}

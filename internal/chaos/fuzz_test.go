@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPlanParse hardens the scenario-config parser: it must never panic,
+// and any plan it accepts must be normalized (in-range probabilities,
+// positive backoffs where relevant) and round-trip exactly through
+// String() — the property the golden chaos datasets depend on.
+func FuzzPlanParse(f *testing.F) {
+	f.Add(DefaultPlanText)
+	f.Add("spot-reclaim prob=0.5\n")
+	f.Add("stockout env=aws-* prob=0.1 retries=3 backoff=10m\n")
+	f.Add("quota-revoke env=azure-* prob=0.1 nodes=16 regrant=2h\n")
+	f.Add("net-degrade prob=0.2 latency=2.5 bandwidth=1.15\n")
+	f.Add("pull-fail prob=1 retries=2 backoff=45s\n")
+	f.Add("# comment only\n")
+	f.Add("spot-reclaim prob=NaN\n")
+	f.Add("spot-reclaim prob=1e308\n")
+	f.Add("stockout prob=0.1 backoff=9223372036854775807ns\n")
+	f.Add("pull-fail prob=0.1 retries=-1\n")
+	f.Add("net-degrade prob=0.1 latency=+Inf\n")
+	f.Add("spot-reclaim env=* prob=0.1 frac=0.999999999\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePlan(src)
+		if err != nil {
+			return
+		}
+		if len(p.Rules) == 0 {
+			t.Fatal("accepted a plan with no rules")
+		}
+		for _, r := range p.Rules {
+			if !validKind(r.Kind) {
+				t.Fatalf("accepted unknown kind %q", r.Kind)
+			}
+			if !(r.Prob >= 0 && r.Prob <= 1) {
+				t.Fatalf("accepted out-of-range prob %v", r.Prob)
+			}
+			if err := r.validate(); err != nil {
+				t.Fatalf("accepted rule fails its own validation: %v", err)
+			}
+			if strings.ContainsAny(r.Env, " \t\n") {
+				t.Fatalf("accepted env pattern with whitespace: %q", r.Env)
+			}
+		}
+		// Accepted plans round-trip exactly through String().
+		again, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("String() output does not re-parse: %v\n%s", err, p.String())
+		}
+		if len(again.Rules) != len(p.Rules) {
+			t.Fatalf("round trip changed rule count: %d vs %d", len(again.Rules), len(p.Rules))
+		}
+		for i := range p.Rules {
+			if p.Rules[i] != again.Rules[i] {
+				t.Fatalf("rule %d did not round-trip:\n  in:  %+v\n  out: %+v", i, p.Rules[i], again.Rules[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,436 @@
+// Package chaos is the deterministic fault-injection engine of the study
+// simulator. It perturbs a running study with scenario events — spot node
+// reclaims, provisioner capacity stockouts, quota revocations, transient
+// network degradation, and container-registry pull failures — without
+// breaking the executor's core guarantee that the dataset is a pure
+// function of (seed, plan, environment matrix).
+//
+// The design mirrors the sharded executor's determinism argument: every
+// fault decision an environment experiences is drawn from the named stream
+// "chaos/<env>" of that shard's private simulation, so the chaotic dataset
+// is byte-identical for every worker count, exactly like the fault-free
+// one. A Plan is shared read-only across shards; each shard owns a private
+// Engine that records its incidents and recovery accounting, merged back
+// in canonical matrix order by the study merger.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names a fault scenario class.
+type Kind string
+
+const (
+	// SpotReclaim preempts running jobs the way a spot/preemptible node
+	// reclaim does: the job dies partway through and is re-queued.
+	SpotReclaim Kind = "spot-reclaim"
+	// Stockout makes the provisioner's capacity pool transiently empty:
+	// bring-up attempts are rejected and retried with exponential backoff.
+	Stockout Kind = "stockout"
+	// QuotaRevoke withdraws part of a granted quota mid-study; the
+	// environment must re-request and wait for the re-grant.
+	QuotaRevoke Kind = "quota-revoke"
+	// NetDegrade applies transient latency/bandwidth multipliers to a run:
+	// hookup time stretches by the latency factor and application wall time
+	// by the bandwidth factor.
+	NetDegrade Kind = "net-degrade"
+	// PullFail makes container-registry pulls fail transiently; pulls are
+	// retried with exponential backoff.
+	PullFail Kind = "pull-fail"
+)
+
+// Kinds lists every fault kind, in plan-file order.
+var Kinds = []Kind{SpotReclaim, Stockout, QuotaRevoke, NetDegrade, PullFail}
+
+func validKind(k Kind) bool {
+	for _, v := range Kinds {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule schedules one fault scenario against a set of environments. Only
+// the fields relevant to the rule's Kind are consulted; the rest are
+// ignored. Zero-valued relevant fields are replaced by per-kind defaults
+// when the rule is normalized (ParsePlan and NewEngine both normalize).
+type Rule struct {
+	Kind Kind
+	// Env selects target environments: an exact key ("aws-eks-cpu"), a
+	// prefix glob ("azure-*"), or "*" for every environment.
+	Env string
+	// Prob is the per-opportunity probability of the fault firing, in
+	// [0, 1]. An opportunity is one job start (SpotReclaim), one bring-up
+	// attempt (Stockout), one cluster scale (QuotaRevoke), one run
+	// (NetDegrade), or one registry pull (PullFail).
+	Prob float64
+
+	// Frac is the fraction of the run completed when a reclaim strikes
+	// (SpotReclaim; default 0.5).
+	Frac float64
+	// DropOnReclaim leaves reclaimed jobs dead instead of resubmitting
+	// them (SpotReclaim). The zero value requeues — the managed-spot
+	// default — both for code-built rules and for plan files; write
+	// "requeue=false" to model unmanaged spot usage.
+	DropOnReclaim bool
+
+	// Retries caps consecutive transient failures before the operation is
+	// allowed to succeed (Stockout default 3, PullFail default 2).
+	Retries int
+	// Backoff is the base retry backoff, doubling per consecutive failure
+	// (Stockout default 10m, PullFail default 30s).
+	Backoff time.Duration
+
+	// Nodes is how much granted quota a revocation withdraws
+	// (QuotaRevoke; default 8).
+	Nodes int
+	// Regrant is how long until a re-requested grant is usable again
+	// (QuotaRevoke; default 1h).
+	Regrant time.Duration
+
+	// Latency multiplies hookup time while degraded (NetDegrade;
+	// default 2.0).
+	Latency float64
+	// Bandwidth divides effective bandwidth while degraded, stretching
+	// application wall time by the same factor (NetDegrade; default 1.0 —
+	// latency-only degradation).
+	Bandwidth float64
+}
+
+// normalize fills per-kind defaults into zero-valued relevant fields.
+func (r *Rule) normalize() {
+	if r.Env == "" {
+		r.Env = "*"
+	}
+	switch r.Kind {
+	case SpotReclaim:
+		if r.Frac == 0 {
+			r.Frac = 0.5
+		}
+	case Stockout:
+		if r.Retries == 0 {
+			r.Retries = 3
+		}
+		if r.Backoff == 0 {
+			r.Backoff = 10 * time.Minute
+		}
+	case QuotaRevoke:
+		if r.Nodes == 0 {
+			r.Nodes = 8
+		}
+		if r.Regrant == 0 {
+			r.Regrant = time.Hour
+		}
+	case NetDegrade:
+		if r.Latency == 0 {
+			r.Latency = 2.0
+		}
+		if r.Bandwidth == 0 {
+			r.Bandwidth = 1.0
+		}
+	case PullFail:
+		if r.Retries == 0 {
+			r.Retries = 2
+		}
+		if r.Backoff == 0 {
+			r.Backoff = 30 * time.Second
+		}
+	}
+}
+
+// validate rejects rules that cannot be drawn from deterministically.
+// Only the fields relevant to the rule's Kind are checked — a normalized
+// rule leaves irrelevant fields at their zero values.
+func (r Rule) validate() error {
+	if !validKind(r.Kind) {
+		return fmt.Errorf("chaos: unknown fault kind %q", r.Kind)
+	}
+	if !(r.Prob >= 0 && r.Prob <= 1) { // also rejects NaN
+		return fmt.Errorf("chaos: %s: prob %v outside [0, 1]", r.Kind, r.Prob)
+	}
+	if strings.ContainsAny(r.Env, " \t\n") {
+		return fmt.Errorf("chaos: env pattern %q contains whitespace", r.Env)
+	}
+	switch r.Kind {
+	case SpotReclaim:
+		if !(r.Frac > 0 && r.Frac < 1) {
+			return fmt.Errorf("chaos: %s: frac %v outside (0, 1)", r.Kind, r.Frac)
+		}
+	case Stockout, PullFail:
+		if r.Retries < 1 || r.Retries > 16 {
+			return fmt.Errorf("chaos: %s: retries %d outside [1, 16]", r.Kind, r.Retries)
+		}
+		if r.Backoff <= 0 || r.Backoff > 24*time.Hour {
+			return fmt.Errorf("chaos: %s: backoff %v outside (0, 24h]", r.Kind, r.Backoff)
+		}
+	case QuotaRevoke:
+		if r.Nodes < 1 || r.Nodes > 1<<20 {
+			return fmt.Errorf("chaos: %s: nodes %d outside [1, 2^20]", r.Kind, r.Nodes)
+		}
+		if r.Regrant <= 0 || r.Regrant > 30*24*time.Hour {
+			return fmt.Errorf("chaos: %s: regrant %v outside (0, 30d]", r.Kind, r.Regrant)
+		}
+	case NetDegrade:
+		if !(r.Latency >= 1 && r.Latency <= 1000) {
+			return fmt.Errorf("chaos: %s: latency factor %v outside [1, 1000]", r.Kind, r.Latency)
+		}
+		if !(r.Bandwidth >= 1 && r.Bandwidth <= 1000) {
+			return fmt.Errorf("chaos: %s: bandwidth factor %v outside [1, 1000]", r.Kind, r.Bandwidth)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the rule targets the environment key. The
+// empty pattern matches everything, like "*" — so zero-valued code-built
+// rules target the whole matrix.
+func (r Rule) Matches(env string) bool {
+	switch {
+	case r.Env == "" || r.Env == "*":
+		return true
+	case strings.HasSuffix(r.Env, "*"):
+		return strings.HasPrefix(env, strings.TrimSuffix(r.Env, "*"))
+	default:
+		return r.Env == env
+	}
+}
+
+// Plan is a full fault-injection scenario: an ordered rule list. For each
+// fault kind and environment, the first matching rule wins, so specific
+// rules should precede catch-alls.
+type Plan struct {
+	Rules []Rule
+}
+
+// RulesFor returns the effective rule per fault kind for one environment
+// (first match wins), in Kinds order.
+func (p *Plan) RulesFor(env string) []Rule {
+	if p == nil {
+		return nil
+	}
+	var out []Rule
+	for _, k := range Kinds {
+		for _, r := range p.Rules {
+			if r.Kind == k && r.Matches(env) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p *Plan) Empty() bool { return p == nil || len(p.Rules) == 0 }
+
+// String renders the plan back into parseable plan-file syntax, with every
+// relevant field explicit. ParsePlan(p.String()) reproduces p exactly for
+// any normalized plan.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range p.Rules {
+		fmt.Fprintf(&b, "%s env=%s prob=%s", r.Kind, r.Env, trimFloat(r.Prob))
+		switch r.Kind {
+		case SpotReclaim:
+			fmt.Fprintf(&b, " frac=%s requeue=%v", trimFloat(r.Frac), !r.DropOnReclaim)
+		case Stockout, PullFail:
+			fmt.Fprintf(&b, " retries=%d backoff=%s", r.Retries, r.Backoff)
+		case QuotaRevoke:
+			fmt.Fprintf(&b, " nodes=%d regrant=%s", r.Nodes, r.Regrant)
+		case NetDegrade:
+			fmt.Fprintf(&b, " latency=%s bandwidth=%s", trimFloat(r.Latency), trimFloat(r.Bandwidth))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ParsePlan parses plan-file syntax: one rule per line,
+//
+//	<kind> [key=value ...]
+//
+// with '#' comments and blank lines ignored. Keys are env, prob, frac,
+// requeue, retries, backoff, nodes, regrant, latency, bandwidth; durations
+// use Go syntax ("10m", "1h30m"). Unknown kinds, unknown keys, repeated
+// keys, and out-of-range values are errors. Parsed rules are normalized
+// (per-kind defaults filled in) and validated.
+func ParsePlan(src string) (*Plan, error) {
+	p := &Plan{}
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		r := Rule{Kind: Kind(fields[0])}
+		if !validKind(r.Kind) {
+			return nil, fmt.Errorf("chaos: line %d: unknown fault kind %q", lineNo+1, fields[0])
+		}
+		seen := map[string]bool{}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok || key == "" || val == "" {
+				return nil, fmt.Errorf("chaos: line %d: malformed field %q (want key=value)", lineNo+1, f)
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("chaos: line %d: repeated key %q", lineNo+1, key)
+			}
+			seen[key] = true
+			if key != "env" && key != "prob" && !kindKeys[r.Kind][key] {
+				return nil, fmt.Errorf("chaos: line %d: key %q is not valid for %s", lineNo+1, key, r.Kind)
+			}
+			if err := r.setField(key, val); err != nil {
+				return nil, fmt.Errorf("chaos: line %d: %v", lineNo+1, err)
+			}
+		}
+		r.normalize()
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("chaos: plan contains no rules")
+	}
+	return p, nil
+}
+
+// kindKeys maps each fault kind to its relevant keys beyond the common
+// env/prob pair. Irrelevant keys are parse errors, which keeps plans
+// honest and makes ParsePlan/String an exact round trip.
+var kindKeys = map[Kind]map[string]bool{
+	SpotReclaim: {"frac": true, "requeue": true},
+	Stockout:    {"retries": true, "backoff": true},
+	QuotaRevoke: {"nodes": true, "regrant": true},
+	NetDegrade:  {"latency": true, "bandwidth": true},
+	PullFail:    {"retries": true, "backoff": true},
+}
+
+// setField assigns one key=value pair onto the rule.
+func (r *Rule) setField(key, val string) error {
+	switch key {
+	case "env":
+		r.Env = val
+		return nil
+	case "prob":
+		return parseFloat(val, &r.Prob)
+	case "frac":
+		return parseFloat(val, &r.Frac)
+	case "latency":
+		return parseFloat(val, &r.Latency)
+	case "bandwidth":
+		return parseFloat(val, &r.Bandwidth)
+	case "requeue":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("requeue: %v", err)
+		}
+		r.DropOnReclaim = !b
+		return nil
+	case "retries":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("retries: %v", err)
+		}
+		r.Retries = n
+		return nil
+	case "nodes":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("nodes: %v", err)
+		}
+		r.Nodes = n
+		return nil
+	case "backoff":
+		return parseDuration(val, &r.Backoff)
+	case "regrant":
+		return parseDuration(val, &r.Regrant)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+}
+
+func parseFloat(val string, dst *float64) error {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	*dst = f
+	return nil
+}
+
+func parseDuration(val string, dst *time.Duration) error {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return err
+	}
+	*dst = d
+	return nil
+}
+
+// DefaultPlanText is the built-in scenario ("default" to LoadPlan): a
+// moderately hostile fleet day — occasional spot reclaims everywhere,
+// capacity stockouts, an Azure quota clawback, degraded Google network
+// paths, and flaky registry pulls.
+const DefaultPlanText = `# built-in default chaos scenario
+spot-reclaim  env=*        prob=0.08 frac=0.5 requeue=true
+stockout      env=*        prob=0.15 retries=3 backoff=10m
+quota-revoke  env=azure-*  prob=0.10 nodes=16 regrant=2h
+net-degrade   env=google-* prob=0.20 latency=2.5 bandwidth=1.15
+pull-fail     env=*        prob=0.20 retries=2 backoff=45s
+`
+
+// DefaultPlan returns the built-in scenario.
+func DefaultPlan() *Plan {
+	p, err := ParsePlan(DefaultPlanText)
+	if err != nil {
+		panic("chaos: default plan does not parse: " + err.Error())
+	}
+	return p
+}
+
+// LoadPlan resolves a command-line -chaos argument: "" yields a nil plan
+// (no injection), "default" the built-in scenario, and anything else is
+// read as a plan file path.
+func LoadPlan(arg string) (*Plan, error) {
+	switch arg {
+	case "":
+		return nil, nil
+	case "default":
+		return DefaultPlan(), nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reading plan: %w", err)
+	}
+	p, err := ParsePlan(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", arg, err)
+	}
+	return p, nil
+}
+
+// Targets returns the sorted fault kinds the plan can inject for an
+// environment — a convenience for reports and tests.
+func (p *Plan) Targets(env string) []Kind {
+	var out []Kind
+	for _, r := range p.RulesFor(env) {
+		out = append(out, r.Kind)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

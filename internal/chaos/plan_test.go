@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	t.Parallel()
+	p, err := ParsePlan(DefaultPlanText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 5 {
+		t.Fatalf("default plan has %d rules, want 5", len(p.Rules))
+	}
+	// String() emits parseable syntax that reproduces the plan exactly.
+	again, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing String() output: %v", err)
+	}
+	if len(again.Rules) != len(p.Rules) {
+		t.Fatalf("round trip lost rules: %d vs %d", len(again.Rules), len(p.Rules))
+	}
+	for i := range p.Rules {
+		if p.Rules[i] != again.Rules[i] {
+			t.Errorf("rule %d round-trip mismatch:\n  in:  %+v\n  out: %+v", i, p.Rules[i], again.Rules[i])
+		}
+	}
+}
+
+func TestParsePlanDefaults(t *testing.T) {
+	t.Parallel()
+	p, err := ParsePlan("spot-reclaim prob=0.5\nstockout prob=0.1\nquota-revoke prob=0.1\nnet-degrade prob=0.1\npull-fail prob=0.1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[Kind]Rule{}
+	for _, r := range p.Rules {
+		byKind[r.Kind] = r
+	}
+	if r := byKind[SpotReclaim]; r.Frac != 0.5 || r.DropOnReclaim || r.Env != "*" {
+		t.Errorf("spot-reclaim defaults wrong: %+v", r)
+	}
+	if r := byKind[Stockout]; r.Retries != 3 || r.Backoff != 10*time.Minute {
+		t.Errorf("stockout defaults wrong: %+v", r)
+	}
+	if r := byKind[QuotaRevoke]; r.Nodes != 8 || r.Regrant != time.Hour {
+		t.Errorf("quota-revoke defaults wrong: %+v", r)
+	}
+	if r := byKind[NetDegrade]; r.Latency != 2.0 || r.Bandwidth != 1.0 {
+		t.Errorf("net-degrade defaults wrong: %+v", r)
+	}
+	if r := byKind[PullFail]; r.Retries != 2 || r.Backoff != 30*time.Second {
+		t.Errorf("pull-fail defaults wrong: %+v", r)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	t.Parallel()
+	for _, src := range []string{
+		"",                                  // no rules
+		"# only a comment\n",                // no rules
+		"meteor-strike prob=0.5",            // unknown kind
+		"spot-reclaim prob=2",               // prob out of range
+		"spot-reclaim prob=-0.1",            // negative prob
+		"spot-reclaim prob=NaN",             // NaN never compares true
+		"spot-reclaim prob=0.5 frac=1.5",    // frac out of range
+		"spot-reclaim prob=0.5 prob=0.6",    // repeated key
+		"spot-reclaim prob",                 // malformed field
+		"spot-reclaim color=red",            // unknown key
+		"stockout prob=0.1 retries=99",      // retries out of range
+		"stockout prob=0.1 backoff=-5m",     // negative backoff
+		"stockout prob=0.1 backoff=1y",      // unparseable duration
+		"quota-revoke prob=0.1 nodes=-4",    // negative nodes
+		"net-degrade prob=0.1 latency=0.5",  // speedup is not degradation
+		"net-degrade prob=0.1 latency=1e9",  // absurd factor
+		"pull-fail prob=0.1 retries=banana", // unparseable int
+	} {
+		if _, err := ParsePlan(src); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParsePlanCommentsAndBlanks(t *testing.T) {
+	t.Parallel()
+	p, err := ParsePlan("# header\n\n  \nspot-reclaim prob=0.1 # trailing comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 || p.Rules[0].Kind != SpotReclaim {
+		t.Fatalf("unexpected rules: %+v", p.Rules)
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		pattern, env string
+		want         bool
+	}{
+		{"*", "aws-eks-cpu", true},
+		{"aws-*", "aws-eks-cpu", true},
+		{"aws-*", "azure-aks-cpu", false},
+		{"aws-eks-cpu", "aws-eks-cpu", true},
+		{"aws-eks-cpu", "aws-eks-gpu", false},
+		{"azure-*", "azure-cyclecloud-gpu", true},
+	}
+	for _, c := range cases {
+		r := Rule{Env: c.pattern}
+		if got := r.Matches(c.env); got != c.want {
+			t.Errorf("Matches(%q, %q) = %v, want %v", c.pattern, c.env, got, c.want)
+		}
+	}
+}
+
+func TestRulesForFirstMatchWins(t *testing.T) {
+	t.Parallel()
+	p, err := ParsePlan("net-degrade env=azure-* prob=0.9 latency=10\nnet-degrade env=* prob=0.1 latency=2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := p.RulesFor("azure-aks-cpu")
+	if len(rules) != 1 || rules[0].Latency != 10 {
+		t.Fatalf("specific rule should win: %+v", rules)
+	}
+	rules = p.RulesFor("aws-eks-cpu")
+	if len(rules) != 1 || rules[0].Latency != 2 {
+		t.Fatalf("catch-all should apply elsewhere: %+v", rules)
+	}
+}
+
+func TestLoadPlan(t *testing.T) {
+	t.Parallel()
+	if p, err := LoadPlan(""); err != nil || p != nil {
+		t.Fatalf(`LoadPlan("") = %v, %v; want nil plan`, p, err)
+	}
+	if p, err := LoadPlan("default"); err != nil || p.Empty() {
+		t.Fatalf(`LoadPlan("default") = %v, %v; want the built-in plan`, p, err)
+	}
+	if _, err := LoadPlan("/does/not/exist.chaos"); err == nil {
+		t.Fatal("LoadPlan of a missing file should fail")
+	}
+	f := t.TempDir() + "/plan.chaos"
+	if err := os.WriteFile(f, []byte("pull-fail prob=0.3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 || p.Rules[0].Kind != PullFail {
+		t.Fatalf("unexpected plan from file: %+v", p.Rules)
+	}
+}
+
+func TestPlanTargets(t *testing.T) {
+	t.Parallel()
+	p := DefaultPlan()
+	got := p.Targets("azure-aks-cpu")
+	want := []Kind{PullFail, QuotaRevoke, SpotReclaim, Stockout}
+	if len(got) != len(want) {
+		t.Fatalf("Targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Targets = %v, want %v", got, want)
+		}
+	}
+	if ts := p.Targets("google-gke-gpu"); len(ts) != 4 || !containsKind(ts, NetDegrade) {
+		t.Fatalf("google targets = %v, want net-degrade among 4", ts)
+	}
+}
+
+func containsKind(ks []Kind, k Kind) bool {
+	for _, v := range ks {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlanEmpty(t *testing.T) {
+	t.Parallel()
+	var p *Plan
+	if !p.Empty() {
+		t.Fatal("nil plan should be empty")
+	}
+	if (&Plan{}).Empty() != true {
+		t.Fatal("zero plan should be empty")
+	}
+	if DefaultPlan().Empty() {
+		t.Fatal("default plan should not be empty")
+	}
+	if strings.TrimSpace(p.String()) != "" {
+		t.Fatal("nil plan should render empty")
+	}
+}

@@ -17,6 +17,7 @@ func newAS(seed uint64) (*sim.Simulation, *Meter, *Autoscaler) {
 }
 
 func TestScaleUpPaysDelayAndMoney(t *testing.T) {
+	t.Parallel()
 	s, meter, as := newAS(1)
 	if err := as.SetDemand(16); err != nil {
 		t.Fatal(err)
@@ -37,6 +38,7 @@ func TestScaleUpPaysDelayAndMoney(t *testing.T) {
 }
 
 func TestScaleDownAfterIdleTimeout(t *testing.T) {
+	t.Parallel()
 	s, _, as := newAS(2)
 	as.SetDemand(8)
 	s.Run()
@@ -52,6 +54,7 @@ func TestScaleDownAfterIdleTimeout(t *testing.T) {
 }
 
 func TestMinWorkersFloor(t *testing.T) {
+	t.Parallel()
 	s, _, as := newAS(3)
 	as.MinWorkers = 1 // the persistent head
 	as.SetDemand(4)
@@ -64,6 +67,7 @@ func TestMinWorkersFloor(t *testing.T) {
 }
 
 func TestMaxWorkersCap(t *testing.T) {
+	t.Parallel()
 	s, _, as := newAS(4)
 	as.MaxWorkers = 10
 	as.SetDemand(500)
@@ -74,6 +78,7 @@ func TestMaxWorkersCap(t *testing.T) {
 }
 
 func TestDemandDuringBootCoalesces(t *testing.T) {
+	t.Parallel()
 	s, _, as := newAS(5)
 	as.SetDemand(4)
 	as.SetDemand(8) // more demand while the first batch boots
@@ -88,6 +93,7 @@ func TestDemandDuringBootCoalesces(t *testing.T) {
 }
 
 func TestBusyWorkDefersScaleDown(t *testing.T) {
+	t.Parallel()
 	s, _, as := newAS(6)
 	as.SetDemand(4)
 	s.Run()
@@ -106,6 +112,7 @@ func TestBusyWorkDefersScaleDown(t *testing.T) {
 }
 
 func TestRunBusyRejectsOversubscription(t *testing.T) {
+	t.Parallel()
 	s, _, as := newAS(7)
 	as.SetDemand(2)
 	s.Run()
@@ -118,6 +125,7 @@ func TestRunBusyRejectsOversubscription(t *testing.T) {
 }
 
 func TestAutoscalerChurnCostVsStatic(t *testing.T) {
+	t.Parallel()
 	// §4.1 quantified: frequent small batches make the autoscaler pay
 	// boot + idle-linger per batch; a static pool pays constant uptime.
 	// For dense work the static pool wins; the formulas in autoscale.go

@@ -10,6 +10,7 @@ import (
 )
 
 func TestChargeNodeHours(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	m := NewMeter(s, trace.NewLog())
 	it := InstanceType{Name: "Hpc6a", Provider: AWS, HourlyUSD: 2.88}
@@ -24,6 +25,7 @@ func TestChargeNodeHours(t *testing.T) {
 }
 
 func TestOnPremIsFree(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	m := NewMeter(s, trace.NewLog())
 	it := InstanceType{Name: "dell", Provider: OnPrem, HourlyUSD: 0}
@@ -33,6 +35,7 @@ func TestOnPremIsFree(t *testing.T) {
 }
 
 func TestReportingLagHidesRecentCharges(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	m := NewMeter(s, trace.NewLog())
 	it := InstanceType{Name: "Hpc6a", Provider: AWS, HourlyUSD: 2.88}
@@ -50,6 +53,7 @@ func TestReportingLagHidesRecentCharges(t *testing.T) {
 }
 
 func TestBudgetTracking(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	m := NewMeter(s, trace.NewLog())
 	m.SetBudget(Azure, 49000)
@@ -67,6 +71,7 @@ func TestBudgetTracking(t *testing.T) {
 }
 
 func TestStatementSortedAscending(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	m := NewMeter(s, trace.NewLog())
 	m.Charge(AWS, "expensive", 100, "x")
@@ -84,6 +89,7 @@ func TestStatementSortedAscending(t *testing.T) {
 }
 
 func TestAutoscaleVsStaticCosts(t *testing.T) {
+	t.Parallel()
 	it := InstanceType{HourlyUSD: 3.0}
 	// Infrequent bursts with long idle: autoscaling should win.
 	bursty := []WorkloadPhase{
@@ -107,6 +113,7 @@ func TestAutoscaleVsStaticCosts(t *testing.T) {
 }
 
 func TestExactStaticIgnoresIdle(t *testing.T) {
+	t.Parallel()
 	it := InstanceType{HourlyUSD: 2.0}
 	plan := []WorkloadPhase{{Width: 10, Busy: time.Hour, Idle: 100 * time.Hour}}
 	if got, want := ExactStaticCost(it, plan), 20.0; math.Abs(got-want) > 1e-9 {

@@ -3,6 +3,7 @@ package cloud
 import "testing"
 
 func TestCatalogHasAllTable2Rows(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	if got := len(c.All()); got != 8 {
 		t.Fatalf("catalog has %d entries, want 8 (Table 2 distinct SKUs)", got)
@@ -41,6 +42,7 @@ func TestCatalogHasAllTable2Rows(t *testing.T) {
 }
 
 func TestCatalogLookupUnknown(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	if _, err := c.Lookup(AWS, "nope"); err == nil {
 		t.Fatalf("expected error for unknown type")
@@ -48,6 +50,7 @@ func TestCatalogLookupUnknown(t *testing.T) {
 }
 
 func TestGoogleCPUCoreDisadvantage(t *testing.T) {
+	t.Parallel()
 	// The paper repeatedly flags that Google CPU instances had 56 cores vs
 	// 96 on AWS/Azure; the catalog must preserve that.
 	c := NewCatalog()
@@ -60,6 +63,7 @@ func TestGoogleCPUCoreDisadvantage(t *testing.T) {
 }
 
 func TestOnPremGPUNodeHas4GPUs(t *testing.T) {
+	t.Parallel()
 	// Cluster B has 4 GPUs/node vs 8 on cloud — the study compares sizes
 	// 8/16/32/64 on B to 4/8/16/32 on cloud because of this.
 	c := NewCatalog()
@@ -79,6 +83,7 @@ func TestOnPremGPUNodeHas4GPUs(t *testing.T) {
 }
 
 func TestV100MemoryVariants(t *testing.T) {
+	t.Parallel()
 	// Google Cloud and cluster B have 16GB V100s; AWS and Azure have 32GB.
 	// The study sized problems for the 16GB variant.
 	c := NewCatalog()
@@ -95,6 +100,7 @@ func TestV100MemoryVariants(t *testing.T) {
 }
 
 func TestNodeDefectPredicates(t *testing.T) {
+	t.Parallel()
 	it := InstanceType{GPUs: 8, Cores: 48}
 	n := Node{Type: it, VisibleGPUs: 7, VisibleCores: 48}
 	if !n.DefectiveGPU() {
@@ -110,6 +116,7 @@ func TestNodeDefectPredicates(t *testing.T) {
 }
 
 func TestClusterAggregates(t *testing.T) {
+	t.Parallel()
 	it := InstanceType{GPUs: 8, Cores: 48}
 	c := Cluster{Type: it}
 	for i := 0; i < 4; i++ {

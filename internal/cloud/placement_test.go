@@ -14,6 +14,7 @@ func newPlacement() (*PlacementService, *trace.Log) {
 }
 
 func TestAWSPlacementAlwaysFull(t *testing.T) {
+	t.Parallel()
 	ps, _ := newPlacement()
 	for _, n := range []int{32, 64, 128, 256} {
 		r := ps.Request(AWS, "aws-pc-cpu", n, false)
@@ -24,6 +25,7 @@ func TestAWSPlacementAlwaysFull(t *testing.T) {
 }
 
 func TestAzureProximityFailsAtOrAbove100(t *testing.T) {
+	t.Parallel()
 	ps, log := newPlacement()
 	ok := ps.Request(Azure, "azure-aks-cpu", 64, true)
 	if !ok.Full() {
@@ -46,6 +48,7 @@ func TestAzureProximityFailsAtOrAbove100(t *testing.T) {
 }
 
 func TestGKECompactLimit(t *testing.T) {
+	t.Parallel()
 	ps, _ := newPlacement()
 	r := ps.Request(Google, "google-gke-cpu", 128, true)
 	if !r.Full() {
@@ -61,6 +64,7 @@ func TestGKECompactLimit(t *testing.T) {
 }
 
 func TestComputeEngineNoCompact(t *testing.T) {
+	t.Parallel()
 	ps, _ := newPlacement()
 	r := ps.Request(Google, "google-ce-cpu", 32, false)
 	if r.Kind != NoPlacement || r.Colocated != 0 {
@@ -69,6 +73,7 @@ func TestComputeEngineNoCompact(t *testing.T) {
 }
 
 func TestOnPremPlacementImplicit(t *testing.T) {
+	t.Parallel()
 	ps, _ := newPlacement()
 	r := ps.Request(OnPrem, "onprem-cpu", 256, false)
 	if !r.Full() {
@@ -77,6 +82,7 @@ func TestOnPremPlacementImplicit(t *testing.T) {
 }
 
 func TestPlacementFullZeroRequested(t *testing.T) {
+	t.Parallel()
 	var r PlacementResult
 	if r.Full() {
 		t.Fatalf("zero-value placement must not report Full")

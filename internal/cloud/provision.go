@@ -12,6 +12,17 @@ import (
 // ErrProvisionFailed is returned when a cluster cannot be brought up.
 var ErrProvisionFailed = errors.New("cloud: provisioning failed")
 
+// CapacityInjector decides transient capacity stockouts at provisioning
+// time — the injected analogue of a provider's pool running dry. The
+// provisioner consults it once per bring-up attempt (1-based) and, while
+// it reports a stockout, waits out the returned backoff and retries.
+// Implementations must eventually stop reporting stockouts for a request
+// and must be safe for concurrent use. A nil injector means capacity is
+// always available.
+type CapacityInjector interface {
+	Stockout(nodes, attempt int) (backoff time.Duration, stockout bool)
+}
+
 // ProvisionRequest asks for a cluster.
 type ProvisionRequest struct {
 	Env        string // trace key, e.g. "aws-eks-gpu"
@@ -33,6 +44,10 @@ type Provisioner struct {
 	meter     *Meter
 	quota     *QuotaManager
 	placement *PlacementService
+
+	// Capacity, when non-nil, injects transient stockouts into bring-up
+	// attempts (the chaos engine implements it).
+	Capacity CapacityInjector
 
 	counter int
 
@@ -105,6 +120,22 @@ func (p *Provisioner) Provision(req ProvisionRequest) (*Cluster, error) {
 		return nil, err
 	}
 	rng := p.sim.Stream("cloud/provision/" + req.Env)
+
+	// Injected capacity stockouts: the pool is transiently dry, so the
+	// request is rejected and retried with backoff. No nodes come up, so
+	// nothing is charged — the cost is pure wall-clock (and, under a
+	// reservation window, possibly the window itself).
+	if p.Capacity != nil {
+		for attempt := 1; ; attempt++ {
+			backoff, stockout := p.Capacity.Stockout(req.Nodes, attempt)
+			if !stockout {
+				break
+			}
+			p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Unexpected,
+				"capacity stockout: %d-node request rejected (attempt %d); retrying in %v", req.Nodes, attempt, backoff)
+			p.sim.Clock.Advance(backoff)
+		}
+	}
 
 	// Provider-specific first-attempt failures.
 	if req.Type.Provider == AWS && req.Kubernetes && acc == GPU && p.EKSPlacementGroupBug {

@@ -22,6 +22,7 @@ func harness(seed uint64) (*sim.Simulation, *trace.Log, *Meter, *QuotaManager, *
 }
 
 func TestProvisionHappyPathGKE(t *testing.T) {
+	t.Parallel()
 	_, _, _, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(Google, "c2d-standard-112")
 	quota.Request(Google, CPU, 256)
@@ -41,6 +42,7 @@ func TestProvisionHappyPathGKE(t *testing.T) {
 }
 
 func TestProvisionWithoutQuotaFails(t *testing.T) {
+	t.Parallel()
 	_, _, _, _, prov, cat := harness(1)
 	it, _ := cat.Lookup(Google, "c2d-standard-112")
 	_, err := prov.Provision(ProvisionRequest{Env: "google-gke-cpu", Type: it, Nodes: 8, Kubernetes: true})
@@ -50,6 +52,7 @@ func TestProvisionWithoutQuotaFails(t *testing.T) {
 }
 
 func TestAWSGPUReservationWindow(t *testing.T) {
+	t.Parallel()
 	s, _, _, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(AWS, "p3dn.24xlarge")
 	quota.Request(AWS, GPU, 32)
@@ -75,6 +78,7 @@ func TestAWSGPUReservationWindow(t *testing.T) {
 }
 
 func TestEKSPlacementGroupBugChargesAndRecovers(t *testing.T) {
+	t.Parallel()
 	s, log, meter, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(AWS, "p3dn.24xlarge")
 	quota.Request(AWS, GPU, 32)
@@ -102,6 +106,7 @@ func TestEKSPlacementGroupBugChargesAndRecovers(t *testing.T) {
 }
 
 func TestEKS256StuckProvisioningOnRecreation(t *testing.T) {
+	t.Parallel()
 	_, log, meter, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(AWS, "Hpc6a")
 	quota.Request(AWS, CPU, 256)
@@ -132,6 +137,7 @@ func TestEKS256StuckProvisioningOnRecreation(t *testing.T) {
 }
 
 func TestSupermarketFishDeterministic(t *testing.T) {
+	t.Parallel()
 	_, _, _, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(Azure, "HB96rs v3")
 	quota.Request(Azure, CPU, 512)
@@ -154,6 +160,7 @@ func TestSupermarketFishDeterministic(t *testing.T) {
 }
 
 func TestAzureGPUDefectNeedsSpareQuota(t *testing.T) {
+	t.Parallel()
 	// Without spare quota, the sticky 7/8-GPU node kills the bring-up.
 	_, _, _, quota, prov, cat := harness(3)
 	it, _ := cat.Lookup(Azure, "ND40rs v2")
@@ -176,6 +183,7 @@ func TestAzureGPUDefectNeedsSpareQuota(t *testing.T) {
 }
 
 func TestAzureECCInconsistency(t *testing.T) {
+	t.Parallel()
 	_, _, _, quota, prov, cat := harness(7)
 	quota.Request(Azure, GPU, 33)
 	quota.Request(Google, GPU, 32)
@@ -206,6 +214,7 @@ func TestAzureECCInconsistency(t *testing.T) {
 }
 
 func TestTeardownChargesLifetimeOnce(t *testing.T) {
+	t.Parallel()
 	s, _, meter, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(Google, "c2d-standard-112")
 	quota.Request(Google, CPU, 64)
@@ -229,6 +238,7 @@ func TestTeardownChargesLifetimeOnce(t *testing.T) {
 }
 
 func TestProvisionRejectsZeroNodes(t *testing.T) {
+	t.Parallel()
 	_, _, _, _, prov, cat := harness(1)
 	it, _ := cat.Lookup(AWS, "Hpc6a")
 	if _, err := prov.Provision(ProvisionRequest{Env: "x", Type: it, Nodes: 0}); err == nil {
@@ -237,6 +247,7 @@ func TestProvisionRejectsZeroNodes(t *testing.T) {
 }
 
 func TestBootLatencyGrowsWithSize(t *testing.T) {
+	t.Parallel()
 	s, _, _, quota, prov, cat := harness(1)
 	it, _ := cat.Lookup(Google, "c2d-standard-112")
 	quota.Request(Google, CPU, 256)

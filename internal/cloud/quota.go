@@ -119,6 +119,34 @@ func (qm *QuotaManager) Request(p Provider, acc Accelerator, n int) {
 		"requested quota for %d %s nodes", n, acc)
 }
 
+// Revoke withdraws up to n nodes of granted quota — the injected analogue
+// of a provider clawing back a grant mid-study. It returns how much was
+// actually revoked (never below zero remaining). A later Request restores
+// the grant; the request timestamp is reset so any GrantDelay applies
+// again, exactly as if the team had to re-file the ask.
+func (qm *QuotaManager) Revoke(p Provider, acc Accelerator, n int) int {
+	qm.mu.Lock()
+	if n < 0 || qm.granted[p] == nil {
+		qm.mu.Unlock()
+		return 0
+	}
+	have := qm.granted[p][acc]
+	revoked := n
+	if revoked > have {
+		revoked = have
+	}
+	qm.granted[p][acc] = have - revoked
+	if revoked > 0 {
+		delete(qm.asked[p], acc)
+	}
+	qm.mu.Unlock()
+	if revoked > 0 {
+		qm.log.Addf(qm.sim.Now(), envKey(p, acc), trace.Manual, trace.Unexpected,
+			"quota revoked: %d of %d granted %s nodes withdrawn", revoked, have, acc)
+	}
+	return revoked
+}
+
 // Granted returns the currently granted quota.
 func (qm *QuotaManager) Granted(p Provider, acc Accelerator) int {
 	qm.mu.Lock()

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func TestQuotaGrantAndCheck(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	qm := NewQuotaManager(s, trace.NewLog())
 	qm.Request(Google, CPU, 256)
@@ -25,6 +27,7 @@ func TestQuotaGrantAndCheck(t *testing.T) {
 }
 
 func TestQuotaCheckWithoutRequest(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	qm := NewQuotaManager(s, trace.NewLog())
 	if err := qm.Check(Azure, GPU, 8); !errors.Is(err, ErrQuotaExceeded) {
@@ -33,6 +36,7 @@ func TestQuotaCheckWithoutRequest(t *testing.T) {
 }
 
 func TestQuotaRequestIsMonotonic(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	qm := NewQuotaManager(s, trace.NewLog())
 	qm.Request(Azure, GPU, 33)
@@ -43,6 +47,7 @@ func TestQuotaRequestIsMonotonic(t *testing.T) {
 }
 
 func TestGrantDelay(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	qm := NewQuotaManager(s, trace.NewLog())
 	qm.SetPolicy(Google, GPU, QuotaPolicy{GrantDelay: 2 * time.Hour, GuaranteesCapacity: true})
@@ -56,7 +61,72 @@ func TestGrantDelay(t *testing.T) {
 	}
 }
 
+func TestQuotaRevoke(t *testing.T) {
+	t.Parallel()
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	qm.Request(Azure, CPU, 256)
+	if got := qm.Revoke(Azure, CPU, 100); got != 100 {
+		t.Fatalf("Revoke = %d, want 100", got)
+	}
+	if qm.Granted(Azure, CPU) != 156 {
+		t.Fatalf("granted after revoke = %d, want 156", qm.Granted(Azure, CPU))
+	}
+	// Revoking more than remains clamps; the grant never goes negative.
+	if got := qm.Revoke(Azure, CPU, 500); got != 156 {
+		t.Fatalf("clamped Revoke = %d, want 156", got)
+	}
+	if qm.Granted(Azure, CPU) != 0 {
+		t.Fatalf("granted after clamped revoke = %d, want 0", qm.Granted(Azure, CPU))
+	}
+	// A revocation voids the original ask: provisioning must fail until
+	// the quota is re-requested.
+	if err := qm.Check(Azure, CPU, 32); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Check after full revocation = %v, want ErrQuotaExceeded", err)
+	}
+	qm.Request(Azure, CPU, 256)
+	if err := qm.Check(Azure, CPU, 256); err != nil {
+		t.Fatalf("Check after re-request: %v", err)
+	}
+	// Revoking from an untouched (provider, accelerator) is a no-op.
+	if got := qm.Revoke(Google, GPU, 5); got != 0 {
+		t.Fatalf("Revoke on empty grant = %d, want 0", got)
+	}
+	if got := qm.Revoke(Azure, CPU, -3); got != 0 {
+		t.Fatalf("negative Revoke = %d, want 0", got)
+	}
+}
+
+// TestQuotaManagerConcurrentRevoke hammers the revocation path together
+// with grants and checks from many goroutines; run with -race (the CI
+// race matrix does) to prove the new fault path is lock-correct.
+func TestQuotaManagerConcurrentRevoke(t *testing.T) {
+	t.Parallel()
+	s := sim.New(1)
+	qm := NewQuotaManager(s, trace.NewLog())
+	qm.Request(AWS, CPU, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				qm.Request(AWS, CPU, 1<<20)
+				qm.Revoke(AWS, CPU, 64)
+				qm.Granted(AWS, CPU)
+				_ = qm.Check(AWS, CPU, 32)
+				qm.Policy(AWS, CPU)
+			}
+		}()
+	}
+	wg.Wait()
+	if g := qm.Granted(AWS, CPU); g < 0 || g > 1<<20 {
+		t.Fatalf("granted quota out of range after concurrent revokes: %d", g)
+	}
+}
+
 func TestAWSGPUPolicyIsWindowed(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	qm := NewQuotaManager(s, trace.NewLog())
 	pol := qm.Policy(AWS, GPU)

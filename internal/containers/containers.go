@@ -218,19 +218,53 @@ func envOf(s Spec) string {
 	return fmt.Sprintf("%s-%s", s.Provider, s.Accelerator)
 }
 
+// PullInjector decides transient registry-pull failures (the chaos
+// engine implements it). The registry consults it once per pull; a
+// reported fault fails that pull with a *TransientPullError carrying the
+// backoff to wait before retrying. Implementations must eventually stop
+// failing a tag so retry loops terminate, and must be safe for
+// concurrent use. A nil injector means pulls never fail transiently.
+type PullInjector interface {
+	PullFault(tag string) (backoff time.Duration, fail bool)
+}
+
+// TransientPullError reports a registry pull that failed transiently and
+// should be retried after Backoff.
+type TransientPullError struct {
+	Tag     string
+	Backoff time.Duration
+}
+
+func (e *TransientPullError) Error() string {
+	return fmt.Sprintf("containers: transient pull failure for %q (retry in %v)", e.Tag, e.Backoff)
+}
+
 // Registry is an OCI-style registry ("ORAS" in the study: job output and
 // containers pushed alongside the repository). It is safe for concurrent
 // use: pushes and pulls are serialized by an internal mutex so parallel
 // environment runners can share one instance or merge private ones.
 type Registry struct {
-	mu     sync.Mutex
-	images map[string]Image
-	pulls  map[string]int
+	mu          sync.Mutex
+	images      map[string]Image
+	pulls       map[string]int
+	failedPulls map[string]int
+	faults      PullInjector
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{images: make(map[string]Image), pulls: make(map[string]int)}
+	return &Registry{
+		images:      make(map[string]Image),
+		pulls:       make(map[string]int),
+		failedPulls: make(map[string]int),
+	}
+}
+
+// SetFaults attaches (or, with nil, detaches) a pull-failure injector.
+func (r *Registry) SetFaults(inj PullInjector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = inj
 }
 
 // Push stores an image under its tag.
@@ -240,23 +274,45 @@ func (r *Registry) Push(img Image) {
 	r.images[img.Spec.Tag()] = img
 }
 
-// Pull retrieves an image by tag, counting the pull.
+// Pull retrieves an image by tag, counting the pull. When a fault
+// injector is attached the pull may instead fail with a
+// *TransientPullError; callers retry after its Backoff (see
+// SingularityPull). The injector is consulted outside the registry lock
+// so implementations may take their own locks freely.
 func (r *Registry) Pull(tag string) (Image, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	img, ok := r.images[tag]
+	inj := r.faults
+	r.mu.Unlock()
 	if !ok {
 		return Image{}, fmt.Errorf("containers: tag %q not in registry", tag)
 	}
+	if inj != nil {
+		if backoff, fail := inj.PullFault(tag); fail {
+			r.mu.Lock()
+			r.failedPulls[tag]++
+			r.mu.Unlock()
+			return Image{}, &TransientPullError{Tag: tag, Backoff: backoff}
+		}
+	}
+	r.mu.Lock()
 	r.pulls[tag]++
+	r.mu.Unlock()
 	return img, nil
 }
 
-// Pulls reports how many times a tag has been pulled.
+// Pulls reports how many times a tag has been pulled successfully.
 func (r *Registry) Pulls(tag string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pulls[tag]
+}
+
+// FailedPulls reports how many pulls of a tag failed transiently.
+func (r *Registry) FailedPulls(tag string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failedPulls[tag]
 }
 
 // Tags lists stored tags, sorted.
@@ -271,17 +327,22 @@ func (r *Registry) Tags() []string {
 	return out
 }
 
-// Merge copies every image and pull count of src into the receiver. The
-// study merger uses it to fold per-shard registries into the study-wide one.
+// Merge copies every image and pull count (successful and failed) of src
+// into the receiver. The study merger uses it to fold per-shard
+// registries into the study-wide one.
 func (r *Registry) Merge(src *Registry) {
 	src.mu.Lock()
 	images := make(map[string]Image, len(src.images))
 	pulls := make(map[string]int, len(src.pulls))
+	failed := make(map[string]int, len(src.failedPulls))
 	for t, img := range src.images {
 		images[t] = img
 	}
 	for t, n := range src.pulls {
 		pulls[t] = n
+	}
+	for t, n := range src.failedPulls {
+		failed[t] = n
 	}
 	src.mu.Unlock()
 
@@ -293,15 +354,36 @@ func (r *Registry) Merge(src *Registry) {
 	for t, n := range pulls {
 		r.pulls[t] += n
 	}
+	for t, n := range failed {
+		r.failedPulls[t] += n
+	}
 }
+
+// maxPullAttempts bounds the retry loop against injectors that never
+// recover; well-behaved injectors cap consecutive failures far lower.
+const maxPullAttempts = 64
 
 // SingularityPull converts an OCI image for a VM environment. The paper's
 // suggested practice: on shared filesystems, pull once *before* spawning
-// worker nodes; pulling per-node multiplies the cost.
+// worker nodes; pulling per-node multiplies the cost. Transient pull
+// failures (injected via the registry's PullInjector) are retried after
+// their backoff, burning virtual wall-clock but nothing else.
 func SingularityPull(s *sim.Simulation, r *Registry, tag string, nodes int, sharedFS bool) (Image, error) {
-	img, err := r.Pull(tag)
-	if err != nil {
-		return Image{}, err
+	var img Image
+	for attempt := 1; ; attempt++ {
+		var err error
+		img, err = r.Pull(tag)
+		if err == nil {
+			break
+		}
+		var tpe *TransientPullError
+		if !errors.As(err, &tpe) {
+			return Image{}, err
+		}
+		if attempt >= maxPullAttempts {
+			return Image{}, fmt.Errorf("containers: pull of %q still failing after %d attempts: %w", tag, attempt, err)
+		}
+		s.Clock.Advance(tpe.Backoff)
 	}
 	per := 90 * time.Second // conversion + pull
 	if sharedFS {

@@ -2,7 +2,9 @@ package containers
 
 import (
 	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/sim"
@@ -15,6 +17,7 @@ func newBuilder() (*sim.Simulation, *Builder) {
 }
 
 func TestStudyStackVersions(t *testing.T) {
+	t.Parallel()
 	// Paper §2.7 pins these exactly.
 	if StudyStack.FluxCore != "0.61.2" || StudyStack.OpenMPI != "4.1.2" ||
 		StudyStack.Libfabric != "1.21.1" || StudyStack.FluxSecurity != "0.11.0" ||
@@ -25,6 +28,7 @@ func TestStudyStackVersions(t *testing.T) {
 }
 
 func TestLaghosGPUBuildImpossible(t *testing.T) {
+	t.Parallel()
 	_, b := newBuilder()
 	_, err := b.Build(Spec{App: "laghos", Provider: cloud.Google, Accelerator: cloud.GPU})
 	if !errors.Is(err, ErrBuildConflict) {
@@ -40,6 +44,7 @@ func TestLaghosGPUBuildImpossible(t *testing.T) {
 }
 
 func TestAMGIntegerFlagDefects(t *testing.T) {
+	t.Parallel()
 	_, b := newBuilder()
 	gpuWrong, err := b.Build(Spec{App: "amg2023", Provider: cloud.Google, Accelerator: cloud.GPU})
 	if err != nil || gpuWrong.Defect == "" {
@@ -60,6 +65,7 @@ func TestAMGIntegerFlagDefects(t *testing.T) {
 }
 
 func TestProviderNetworkLinkage(t *testing.T) {
+	t.Parallel()
 	_, b := newBuilder()
 	aws, _ := b.Build(Spec{App: "lammps", Provider: cloud.AWS, Accelerator: cloud.CPU})
 	if aws.Defect == "" {
@@ -81,6 +87,7 @@ func TestProviderNetworkLinkage(t *testing.T) {
 }
 
 func TestAzureBuildsAreExpensive(t *testing.T) {
+	t.Parallel()
 	s, b := newBuilder()
 	t0 := s.Now()
 	b.Build(CorrectSpec("minife", cloud.Google, cloud.CPU))
@@ -94,6 +101,7 @@ func TestAzureBuildsAreExpensive(t *testing.T) {
 }
 
 func TestRegistryPushPull(t *testing.T) {
+	t.Parallel()
 	_, b := newBuilder()
 	r := NewRegistry()
 	img, _ := b.Build(CorrectSpec("kripke", cloud.AWS, cloud.CPU))
@@ -117,6 +125,7 @@ func TestRegistryPushPull(t *testing.T) {
 }
 
 func TestSingularitySharedFSPullOnce(t *testing.T) {
+	t.Parallel()
 	s, b := newBuilder()
 	r := NewRegistry()
 	img, _ := b.Build(CorrectSpec("stream", cloud.Azure, cloud.CPU))
@@ -136,7 +145,111 @@ func TestSingularitySharedFSPullOnce(t *testing.T) {
 	}
 }
 
+// flakyPulls fails every pull until the tag has failed `fails` times,
+// then succeeds — a deterministic stand-in for the chaos engine's
+// consecutive-failure cap.
+type flakyPulls struct {
+	mu    sync.Mutex
+	fails int
+	seen  map[string]int
+}
+
+func (f *flakyPulls) PullFault(tag string) (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen == nil {
+		f.seen = map[string]int{}
+	}
+	if f.seen[tag] >= f.fails {
+		f.seen[tag] = 0
+		return 0, false
+	}
+	f.seen[tag]++
+	return 30 * time.Second, true
+}
+
+func TestRegistryTransientPullFailure(t *testing.T) {
+	t.Parallel()
+	_, b := newBuilder()
+	r := NewRegistry()
+	img, _ := b.Build(CorrectSpec("kripke", cloud.AWS, cloud.CPU))
+	r.Push(img)
+	r.SetFaults(&flakyPulls{fails: 2})
+
+	var tpe *TransientPullError
+	if _, err := r.Pull(img.Spec.Tag()); !errors.As(err, &tpe) {
+		t.Fatalf("first pull = %v, want TransientPullError", err)
+	}
+	if tpe.Backoff != 30*time.Second || tpe.Tag != img.Spec.Tag() {
+		t.Fatalf("unexpected transient error: %+v", tpe)
+	}
+	if _, err := r.Pull(img.Spec.Tag()); !errors.As(err, &tpe) {
+		t.Fatalf("second pull = %v, want TransientPullError", err)
+	}
+	if _, err := r.Pull(img.Spec.Tag()); err != nil {
+		t.Fatalf("third pull should succeed: %v", err)
+	}
+	if r.FailedPulls(img.Spec.Tag()) != 2 || r.Pulls(img.Spec.Tag()) != 1 {
+		t.Fatalf("counts: %d failed, %d ok; want 2, 1",
+			r.FailedPulls(img.Spec.Tag()), r.Pulls(img.Spec.Tag()))
+	}
+}
+
+func TestSingularityPullRetriesThroughFaults(t *testing.T) {
+	t.Parallel()
+	s, b := newBuilder()
+	r := NewRegistry()
+	img, _ := b.Build(CorrectSpec("stream", cloud.Azure, cloud.CPU))
+	r.Push(img)
+	r.SetFaults(&flakyPulls{fails: 3})
+
+	t0 := s.Now()
+	got, err := SingularityPull(s, r, img.Spec.Tag(), 64, true)
+	if err != nil {
+		t.Fatalf("SingularityPull through transient faults: %v", err)
+	}
+	if got.Spec.App != "stream" {
+		t.Fatalf("pulled wrong image: %+v", got.Spec)
+	}
+	// Three 30s backoffs plus the 90s shared-FS pull itself.
+	if want := 3*30*time.Second + 90*time.Second; s.Now()-t0 != want {
+		t.Fatalf("retry wall-clock = %v, want %v", s.Now()-t0, want)
+	}
+}
+
+// TestRegistryConcurrentPullFaults drives the fault path from many
+// goroutines; run with -race (the CI race matrix does) to prove the new
+// path keeps the registry lock-correct.
+func TestRegistryConcurrentPullFaults(t *testing.T) {
+	t.Parallel()
+	_, b := newBuilder()
+	r := NewRegistry()
+	img, _ := b.Build(CorrectSpec("lammps", cloud.AWS, cloud.CPU))
+	r.Push(img)
+	r.SetFaults(&flakyPulls{fails: 1})
+	tag := img.Spec.Tag()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_, _ = r.Pull(tag)
+				r.Pulls(tag)
+				r.FailedPulls(tag)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Pulls(tag)+r.FailedPulls(tag) != 8*500 {
+		t.Fatalf("pull accounting lost updates: %d ok + %d failed != %d",
+			r.Pulls(tag), r.FailedPulls(tag), 8*500)
+	}
+}
+
 func TestBestUCXConfig(t *testing.T) {
+	t.Parallel()
 	aks := BestUCXConfig("aks")
 	if aks["UCX_TLS"] != "ib" || aks["UCX_UNIFIED_MODE"] != "y" || aks["OMPI_MCA_btl"] != "^openib" {
 		t.Fatalf("AKS UCX config wrong: %v", aks)
@@ -151,6 +264,7 @@ func TestBestUCXConfig(t *testing.T) {
 }
 
 func TestBuildFunnel(t *testing.T) {
+	t.Parallel()
 	_, b := newBuilder()
 	b.Build(CorrectSpec("lammps", cloud.AWS, cloud.CPU))                      // usable
 	b.Build(Spec{App: "lammps", Provider: cloud.AWS, Accelerator: cloud.CPU}) // defective (no libfabric)
@@ -162,6 +276,7 @@ func TestBuildFunnel(t *testing.T) {
 }
 
 func TestSpecTagAndFlags(t *testing.T) {
+	t.Parallel()
 	s := CorrectSpec("amg2023", cloud.Azure, cloud.GPU)
 	if s.Tag() != "amg2023-azure-GPU" {
 		t.Fatalf("Tag = %q", s.Tag())

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/trace"
+)
+
+// pinnedIncident is one expected scripted narrative event.
+type pinnedIncident struct {
+	cat trace.Category
+	sev trace.Severity
+	msg string
+}
+
+// TestScriptedIncidentsPinned pins the narrative events per environment —
+// the concrete §3.1 experiences the generic substrates cannot produce.
+// The table is keyed by environment key and covers every provider ×
+// orchestration combination in the matrix, so a refactor of the switch in
+// ScriptedIncidents cannot silently drop, reorder, or reword the story.
+func TestScriptedIncidentsPinned(t *testing.T) {
+	t.Parallel()
+	want := map[string][]pinnedIncident{
+		// AWS ParallelCluster (Slurm on VMs): custom build.
+		"aws-parallelcluster-cpu": {
+			{trace.Setup, trace.Unexpected, "ParallelCluster required a custom build and multi-step configuration"},
+		},
+		"aws-parallelcluster-gpu": {
+			{trace.Setup, trace.Unexpected, "ParallelCluster required a custom build and multi-step configuration"},
+		},
+		// AWS EKS (Flux on Kubernetes): eksctl bugs.
+		"aws-eks-cpu": {
+			{trace.Development, trace.Blocking, "eksctl bugs: erroneously created placement group and a missing cleanup step broke provisioning; custom build of the tool required"},
+		},
+		"aws-eks-gpu": {
+			{trace.Development, trace.Blocking, "eksctl bugs: erroneously created placement group and a missing cleanup step broke provisioning; custom build of the tool required"},
+		},
+		// Azure CycleCloud (Slurm on VMs): deployment + container bases.
+		"azure-cyclecloud-cpu": {
+			{trace.Setup, trace.Blocking, "CycleCloud deployment took over a day; interfaces went out of sync with the Azure portal"},
+			{trace.AppSetup, trace.Blocking, "Azure container bases (UCX, proprietary hpcx/hcoll/sharp) were challenging to build; best UCX transports found empirically"},
+		},
+		"azure-cyclecloud-gpu": {
+			{trace.Setup, trace.Blocking, "CycleCloud deployment took over a day; interfaces went out of sync with the Azure portal"},
+			{trace.AppSetup, trace.Blocking, "Azure container bases (UCX, proprietary hpcx/hcoll/sharp) were challenging to build; best UCX transports found empirically"},
+		},
+		// Azure AKS (Flux on Kubernetes): daemonset + container development.
+		"azure-aks-cpu": {
+			{trace.Setup, trace.Unexpected, "multiple stages of commands required to bring up clusters"},
+			{trace.Development, trace.Blocking, "custom container base for proprietary software (hpcx, hcoll, sharp) and a custom InfiniBand daemonset had to be developed"},
+			{trace.AppSetup, trace.Blocking, "Azure container bases were challenging to build; best performance needed OMPI_MCA_btl=^openib with UCX unified mode over ib"},
+		},
+		"azure-aks-gpu": {
+			{trace.Setup, trace.Unexpected, "multiple stages of commands required to bring up clusters"},
+			{trace.Development, trace.Blocking, "custom container base for proprietary software (hpcx, hcoll, sharp) and a custom InfiniBand daemonset had to be developed"},
+			{trace.AppSetup, trace.Blocking, "Azure container bases were challenging to build; best performance needed OMPI_MCA_btl=^openib with UCX unified mode over ib"},
+		},
+		// Google Compute Engine (Flux on VMs): Cluster Toolkit friction.
+		"google-computeengine-cpu": {
+			{trace.Setup, trace.Unexpected, "could not customize configuration files for Cluster Toolkit"},
+			{trace.Development, trace.Unexpected, "developed custom Terraform deployments for Flux Framework (GPU/Slurm issues with Cluster Toolkit)"},
+		},
+		"google-computeengine-gpu": {
+			{trace.Setup, trace.Unexpected, "could not customize configuration files for Cluster Toolkit"},
+			{trace.Development, trace.Unexpected, "developed custom Terraform deployments for Flux Framework (GPU/Slurm issues with Cluster Toolkit)"},
+		},
+		// Google GKE (Flux on Kubernetes): no scripted residue — the GKE
+		// story is fully emergent from the substrates.
+		"google-gke-cpu": nil,
+		"google-gke-gpu": nil,
+		// On-premises (Slurm cluster A, LSF cluster B): bare-metal builds
+		// and bad-node monitoring.
+		"onprem-a-cpu": {
+			{trace.AppSetup, trace.Blocking, "bare-metal builds on the system via software modules and Spack; less control over the software environment"},
+			{trace.Manual, trace.Unexpected, "jobs often errored and had to be monitored and debugged (bad nodes)"},
+		},
+		"onprem-b-gpu": {
+			{trace.AppSetup, trace.Blocking, "bare-metal builds on the system via software modules and Spack; less control over the software environment"},
+			{trace.Manual, trace.Unexpected, "jobs often errored and had to be monitored and debugged (bad nodes)"},
+		},
+	}
+
+	envs, err := apps.StudyEnvironments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != len(want) {
+		t.Fatalf("matrix has %d environments, table pins %d", len(envs), len(want))
+	}
+	for _, spec := range envs {
+		expected, pinned := want[spec.Key]
+		if !pinned {
+			t.Errorf("%s: environment missing from the pinned table", spec.Key)
+			continue
+		}
+		log := trace.NewLog()
+		ScriptedIncidents(log, 0, spec)
+		events := log.Events()
+		if len(events) != len(expected) {
+			t.Errorf("%s: %d scripted incidents, want %d", spec.Key, len(events), len(expected))
+			continue
+		}
+		for i, e := range events {
+			w := expected[i]
+			if e.Category != w.cat || e.Severity != w.sev || e.Msg != w.msg {
+				t.Errorf("%s: incident %d = (%s, %s, %q), want (%s, %s, %q)",
+					spec.Key, i, e.Category, e.Severity, e.Msg, w.cat, w.sev, w.msg)
+			}
+			if e.Env != spec.Key {
+				t.Errorf("%s: incident %d tagged %q", spec.Key, i, e.Env)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudhpc/internal/apps"
+	"cloudhpc/internal/chaos"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/trace"
 )
@@ -39,6 +40,15 @@ type Options struct {
 	// shard aborts against its share — the provider-wide cap holds in
 	// aggregate.
 	AbortOverBudget bool
+	// Chaos, when non-nil, enables the deterministic fault-injection
+	// engine: each environment shard draws scenario faults (spot
+	// reclaims, stockouts, quota revocations, network degradation,
+	// registry pull failures) from its private "chaos/<env>" stream per
+	// the plan. The plan is shared read-only across shards; the chaotic
+	// dataset is still byte-identical for every worker count at a fixed
+	// (seed, plan). Injected incidents and their recovery cost surface in
+	// Results.Incidents and Results.Recovery.
+	Chaos *chaos.Plan
 }
 
 // ErrBudgetExhausted aborts an environment under AbortOverBudget.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudhpc/internal/apps"
+	"cloudhpc/internal/chaos"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/containers"
 	"cloudhpc/internal/k8s"
@@ -40,6 +41,12 @@ type shard struct {
 	reg    *containers.Registry
 	hookup *network.HookupModel
 	models []apps.Model
+	// chaos injects this shard's share of the study's fault plan; nil when
+	// no plan is set or no rule targets the environment. Its draws come
+	// from the stream "chaos/<env>" of the shard's own simulation, so the
+	// faults — like everything else a shard does — depend only on the
+	// (seed, plan, spec) triple, never on scheduling.
+	chaos *chaos.Engine
 
 	res *Results // shard-local slice of the dataset
 	err error
@@ -64,6 +71,12 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 	}
 	quota := cloud.NewQuotaManager(s, log)
 	prov := cloud.NewProvisioner(s, log, meter, quota, cloud.NewPlacementService(s, log))
+	reg := containers.NewRegistry()
+	eng := chaos.NewEngine(st.Opts.Chaos, spec.Key, spec.Instance.HourlyUSD, s, log)
+	if eng != nil {
+		prov.Capacity = eng
+		reg.SetFaults(eng)
+	}
 	// The study's one anomalous node ("supermarket fish") surfaced on the
 	// AKS CPU fleet; with per-shard node counters the incident is pinned to
 	// that shard, at a bring-up that lands inside the audited largest
@@ -82,9 +95,10 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 		quota:  quota,
 		prov:   prov,
 		build:  containers.NewBuilder(s, log),
-		reg:    containers.NewRegistry(),
+		reg:    reg,
 		hookup: st.Hookup,
 		models: st.Models,
+		chaos:  eng,
 		res: &Results{
 			ECCOn:   make(map[string]float64),
 			Hookups: make(map[string]map[int]time.Duration),
@@ -169,6 +183,7 @@ func (sh *shard) runEnvironment() error {
 		if err := sh.checkBudget(); err != nil {
 			return nil // environment aborted; the log explains why
 		}
+		sh.injectQuotaRevocation(nodes)
 		if err := sh.runScale(nodes, images); err != nil {
 			return err
 		}
@@ -196,6 +211,29 @@ func (sh *shard) buildContainers() map[string]containers.Image {
 	return images
 }
 
+// injectQuotaRevocation gives the chaos engine one chance per scale to
+// claw back part of the environment's granted quota. Recovery mirrors the
+// real procedure: re-file the original ask, then wait until the re-grant
+// is usable — the chaos rule's regrant delay or the provider policy's own
+// GrantDelay, whichever is longer — before committing to the scale.
+func (sh *shard) injectQuotaRevocation(nodes int) {
+	if sh.chaos == nil || sh.spec.OnPrem() {
+		return
+	}
+	revoke, regrant, ok := sh.chaos.QuotaRevocation(nodes)
+	if !ok {
+		return
+	}
+	if n := sh.quota.Revoke(sh.spec.Provider, sh.spec.Acc, revoke); n == 0 {
+		return
+	}
+	sh.requestQuota()
+	if delay := sh.quota.Policy(sh.spec.Provider, sh.spec.Acc).GrantDelay; delay > regrant {
+		regrant = delay
+	}
+	sh.sim.Clock.Advance(regrant)
+}
+
 // runScale brings up one cluster size, runs every app ×Iterations, and
 // tears the cluster down ("each cluster size was deployed independently to
 // be more cost effective").
@@ -204,6 +242,10 @@ func (sh *shard) runScale(nodes int, images map[string]containers.Image) error {
 	scheduler, cluster, err := sh.deploy(nodes)
 	if err != nil {
 		return err
+	}
+	if sh.chaos != nil && !spec.OnPrem() {
+		// Spot reclaims only exist where nodes can be reclaimed.
+		scheduler.SetFaultInjector(sh.chaos)
 	}
 
 	rng := sh.sim.Stream("core/run/" + spec.Key)
@@ -327,13 +369,20 @@ func (sh *shard) deployKubernetes(cluster *cloud.Cluster) (*sched.Scheduler, err
 }
 
 // runOnce submits one application run through the environment's scheduler
-// and records the outcome.
+// and records the outcome. With a chaos engine attached, the run may hit
+// a degraded network window (stretching hookup and wall time — and
+// therefore cost) before submission, and a spot reclaim (via the
+// scheduler's fault injector) after it.
 func (sh *shard) runOnce(m apps.Model, nodes, iter int, scheduler *sched.Scheduler, rng *sim.Stream) RunRecord {
 	spec := sh.spec
 	result := m.Run(spec.Env, nodes, rng)
 	hookup := sh.hookup.Hookup(spec.Provider, spec.Acc, spec.Kubernetes, nodes, rng)
+	wall := result.Wall
+	if sh.chaos != nil {
+		wall, hookup = sh.chaos.DegradeRun(nodes, wall, hookup)
+	}
 
-	job := &sched.Job{Name: fmt.Sprintf("%s-%d", m.Name(), iter), Nodes: nodes, Duration: result.Wall, Hookup: hookup}
+	job := &sched.Job{Name: fmt.Sprintf("%s-%d", m.Name(), iter), Nodes: nodes, Duration: wall, Hookup: hookup}
 	if err := scheduler.Submit(job); err != nil {
 		return RunRecord{EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter, Err: err, Unit: result.Unit}
 	}
@@ -342,8 +391,8 @@ func (sh *shard) runOnce(m apps.Model, nodes, iter int, scheduler *sched.Schedul
 	rec := RunRecord{
 		EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter,
 		FOM: result.FOM, Unit: result.Unit, Err: result.Err,
-		Wall: result.Wall, Hookup: hookup,
-		CostUSD: float64(nodes) * result.Wall.Hours() * spec.Instance.HourlyUSD,
+		Wall: wall, Hookup: hookup,
+		CostUSD: float64(nodes) * wall.Hours() * spec.Instance.HourlyUSD,
 	}
 	if rec.Err == nil && job.State == sched.Failed {
 		rec.Err = job.Err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudhpc/internal/apps"
+	"cloudhpc/internal/chaos"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/containers"
 	"cloudhpc/internal/network"
@@ -54,6 +55,15 @@ type RunRecord struct {
 	CostUSD float64
 }
 
+// Incident is one injected fault with its recovery cost, surfaced from
+// the chaos engine onto the study dataset.
+type Incident = chaos.Incident
+
+// Recovery aggregates the cost of recovering from injected faults:
+// preemptions, re-queued jobs, lost node-hours, and the estimated billing
+// impact.
+type Recovery = chaos.Accounting
+
 // Results is the study dataset.
 type Results struct {
 	Runs     []RunRecord
@@ -63,6 +73,12 @@ type Results struct {
 	ECCOn    map[string]float64               // env → fraction of GPUs with ECC enabled
 	Findings []apps.Finding                   // single-node audit anomalies
 	Hookups  map[string]map[int]time.Duration // env → nodes → hookup
+	// Incidents are the injected faults in canonical matrix order, on the
+	// merged campaign timeline (empty without a chaos plan).
+	Incidents []Incident
+	// Recovery is the study-wide recovery accounting (zero without a
+	// chaos plan).
+	Recovery Recovery
 }
 
 // New creates a study with the given seed.
@@ -160,6 +176,11 @@ func (st *Study) merge(shards []*shard) (*Results, error) {
 		st.Registry.Merge(sh.reg)
 		res.Runs = append(res.Runs, sh.res.Runs...)
 		res.Findings = append(res.Findings, sh.res.Findings...)
+		for _, inc := range sh.chaos.Incidents() {
+			inc.At += offset
+			res.Incidents = append(res.Incidents, inc)
+		}
+		res.Recovery.Add(sh.chaos.Accounting())
 		for k, v := range sh.res.ECCOn {
 			res.ECCOn[k] = v
 		}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestSummarize(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if s.N != 8 || s.Mean != 5 {
 		t.Fatalf("mean = %v (n=%d), want 5 (8)", s.Mean, s.N)
@@ -20,6 +21,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeEdgeCases(t *testing.T) {
+	t.Parallel()
 	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
 		t.Fatalf("empty summary should be zero: %+v", z)
 	}
@@ -30,6 +32,7 @@ func TestSummarizeEdgeCases(t *testing.T) {
 }
 
 func TestSummarizeBoundsProperty(t *testing.T) {
+	t.Parallel()
 	f := func(vals []float64) bool {
 		for _, v := range vals {
 			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
@@ -48,6 +51,7 @@ func TestSummarizeBoundsProperty(t *testing.T) {
 }
 
 func TestSeriesAddKeepsSorted(t *testing.T) {
+	t.Parallel()
 	var s Series
 	s.Add(64, Summary{Mean: 2})
 	s.Add(32, Summary{Mean: 1})
@@ -58,6 +62,7 @@ func TestSeriesAddKeepsSorted(t *testing.T) {
 }
 
 func TestSpeedupAndEfficiency(t *testing.T) {
+	t.Parallel()
 	var s Series
 	s.Add(32, Summary{Mean: 100})
 	s.Add(64, Summary{Mean: 160})
@@ -81,6 +86,7 @@ func TestSpeedupAndEfficiency(t *testing.T) {
 }
 
 func TestFigureGetAndBestAt(t *testing.T) {
+	t.Parallel()
 	fig := Figure{Title: "t", HigherIsBetter: true}
 	fig.Get("a").Add(32, Summary{Mean: 10})
 	fig.Get("b").Add(32, Summary{Mean: 20})
@@ -105,6 +111,7 @@ func TestFigureGetAndBestAt(t *testing.T) {
 }
 
 func TestInflectionDetection(t *testing.T) {
+	t.Parallel()
 	var s Series
 	s.Add(32, Summary{Mean: 10})
 	s.Add(64, Summary{Mean: 20})
@@ -130,6 +137,7 @@ func TestInflectionDetection(t *testing.T) {
 }
 
 func TestSeriesAt(t *testing.T) {
+	t.Parallel()
 	var s Series
 	s.Add(4, Summary{Mean: 7})
 	if v, ok := s.At(4); !ok || v.Mean != 7 {

@@ -1,0 +1,38 @@
+package network
+
+import "time"
+
+// Degradation describes a transient interconnect impairment as a pair of
+// multipliers: Latency stretches connection-establishment costs (hookup
+// time, collective setup), Bandwidth divides effective throughput and so
+// stretches the communication-bound share of application wall time. The
+// zero value and {1, 1} both mean "healthy". The chaos engine attaches a
+// Degradation to individual runs; the multipliers compose with the
+// HookupModel's output rather than mutating the shared model, so degraded
+// runs in one shard cannot leak into another.
+type Degradation struct {
+	Latency   float64
+	Bandwidth float64
+}
+
+// Healthy reports whether the degradation is a no-op.
+func (d Degradation) Healthy() bool {
+	return (d.Latency == 0 || d.Latency == 1) && (d.Bandwidth == 0 || d.Bandwidth == 1)
+}
+
+// ApplyLatency stretches a latency-bound duration (e.g. hookup time).
+func (d Degradation) ApplyLatency(t time.Duration) time.Duration {
+	if d.Latency <= 1 {
+		return t
+	}
+	return time.Duration(float64(t) * d.Latency)
+}
+
+// ApplyBandwidth stretches a throughput-bound duration (e.g. the
+// communication share of application wall time).
+func (d Degradation) ApplyBandwidth(t time.Duration) time.Duration {
+	if d.Bandwidth <= 1 {
+		return t
+	}
+	return time.Duration(float64(t) * d.Bandwidth)
+}

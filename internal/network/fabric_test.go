@@ -21,6 +21,7 @@ func model(t *testing.T, f cloud.Fabric) *Model {
 var colo = Path{Colocated: true}
 
 func TestLatencyOrderingMatchesFigure5(t *testing.T) {
+	t.Parallel()
 	// Paper: environments with InfiniBand fabrics (on-prem A via Omni-Path
 	// and Azure CycleCloud via IB) had the lowest latency; Google the
 	// highest among clouds.
@@ -37,6 +38,7 @@ func TestLatencyOrderingMatchesFigure5(t *testing.T) {
 }
 
 func TestCycleCloudHighestBandwidth(t *testing.T) {
+	t.Parallel()
 	// Paper: the highest bandwidth was seen for Azure CycleCloud (IB HDR).
 	const big = 1 << 20
 	hdr := model(t, cloud.InfiniBandHDR).Bandwidth(big, colo, nil)
@@ -48,6 +50,7 @@ func TestCycleCloudHighestBandwidth(t *testing.T) {
 }
 
 func TestLatencyMonotonicInMessageSize(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint32) bool {
 		m, _ := Lookup(cloud.EFAGen15)
 		b := float64(raw%(1<<20)) + 1
@@ -59,6 +62,7 @@ func TestLatencyMonotonicInMessageSize(t *testing.T) {
 }
 
 func TestBandwidthMonotonicAndBounded(t *testing.T) {
+	t.Parallel()
 	m := model(t, cloud.InfiniBandHDR)
 	prev := 0.0
 	for _, b := range StandardMessageSizes() {
@@ -74,6 +78,7 @@ func TestBandwidthMonotonicAndBounded(t *testing.T) {
 }
 
 func TestAWSAllReduceSpikeAt32KiB(t *testing.T) {
+	t.Parallel()
 	// Paper Fig 5: a latency spike for both AWS environments at 32,768 B.
 	m := model(t, cloud.EFAGen15)
 	at := m.AllReduce(256, 32768, colo, nil)
@@ -95,6 +100,7 @@ func TestAWSAllReduceSpikeAt32KiB(t *testing.T) {
 }
 
 func TestAllReduceGrowsWithRanks(t *testing.T) {
+	t.Parallel()
 	m := model(t, cloud.GooglePremium)
 	if m.AllReduce(16, 1024, colo, nil) >= m.AllReduce(256, 1024, colo, nil) {
 		t.Fatalf("allreduce should grow with rank count")
@@ -105,6 +111,7 @@ func TestAllReduceGrowsWithRanks(t *testing.T) {
 }
 
 func TestPathPenalties(t *testing.T) {
+	t.Parallel()
 	m := model(t, cloud.GooglePremium)
 	base := m.Latency(8, colo, nil)
 	far := m.Latency(8, Path{Colocated: false}, nil)
@@ -128,6 +135,7 @@ func TestPathPenalties(t *testing.T) {
 }
 
 func TestBandwidthPenaltyReducesThroughput(t *testing.T) {
+	t.Parallel()
 	m := model(t, cloud.GooglePremium)
 	if m.Bandwidth(1<<20, Path{Colocated: true, Interference: true}, nil) >= m.Bandwidth(1<<20, colo, nil) {
 		t.Fatalf("interference must reduce bandwidth")
@@ -135,12 +143,14 @@ func TestBandwidthPenaltyReducesThroughput(t *testing.T) {
 }
 
 func TestLookupUnknownFabric(t *testing.T) {
+	t.Parallel()
 	if _, err := Lookup(cloud.Fabric("token-ring")); err == nil {
 		t.Fatalf("expected error for unknown fabric")
 	}
 }
 
 func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	m := model(t, cloud.EFAGen15)
 	a := m.Latency(1024, colo, sim.NewStream(42, "osu"))
 	b := m.Latency(1024, colo, sim.NewStream(42, "osu"))
@@ -153,6 +163,7 @@ func TestJitterIsDeterministicPerSeed(t *testing.T) {
 }
 
 func TestModelsCoverAllCatalogFabrics(t *testing.T) {
+	t.Parallel()
 	ms := Models()
 	for _, it := range cloud.NewCatalog().All() {
 		if _, ok := ms[it.Fabric]; !ok {
@@ -162,6 +173,7 @@ func TestModelsCoverAllCatalogFabrics(t *testing.T) {
 }
 
 func TestAllReduceSpikeSymmetricDecay(t *testing.T) {
+	t.Parallel()
 	m := model(t, cloud.EFAGen1)
 	at := m.AllReduce(64, 32768, colo, nil)
 	half := m.AllReduce(64, 16384, colo, nil)

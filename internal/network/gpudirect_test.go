@@ -8,6 +8,7 @@ import (
 )
 
 func TestGPUDirectSupportMatrix(t *testing.T) {
+	t.Parallel()
 	// Paper §2.8: only InfiniBand fabrics support GPUDirect.
 	want := map[cloud.Fabric]bool{
 		cloud.InfiniBandHDR: true,
@@ -29,6 +30,7 @@ func TestGPUDirectSupportMatrix(t *testing.T) {
 }
 
 func TestDeviceToDeviceRejectedWithoutGPUDirect(t *testing.T) {
+	t.Parallel()
 	m, _ := Lookup(cloud.EFAGen1)
 	if _, err := m.GPULatency(8, colo, DeviceToDevice, nil); !errors.Is(err, ErrNoGPUDirect) {
 		t.Fatalf("err = %v, want ErrNoGPUDirect", err)
@@ -39,6 +41,7 @@ func TestDeviceToDeviceRejectedWithoutGPUDirect(t *testing.T) {
 }
 
 func TestHostStagingCostsLatency(t *testing.T) {
+	t.Parallel()
 	m, _ := Lookup(cloud.InfiniBandEDR)
 	hh, err := m.GPULatency(8, colo, HostToHost, nil)
 	if err != nil {
@@ -57,6 +60,7 @@ func TestHostStagingCostsLatency(t *testing.T) {
 }
 
 func TestHostStagingCapsBandwidth(t *testing.T) {
+	t.Parallel()
 	// IB HDR peaks at 23.5 GB/s on the wire, but an H-H transfer cannot
 	// beat the PCIe link it stages through.
 	m, _ := Lookup(cloud.InfiniBandHDR)
@@ -77,6 +81,7 @@ func TestHostStagingCapsBandwidth(t *testing.T) {
 }
 
 func TestUnknownGPUMode(t *testing.T) {
+	t.Parallel()
 	m, _ := Lookup(cloud.InfiniBandEDR)
 	if _, err := m.GPULatency(8, colo, GPUMode("X Y"), nil); err == nil {
 		t.Fatalf("unknown mode accepted")
@@ -87,6 +92,7 @@ func TestUnknownGPUMode(t *testing.T) {
 }
 
 func TestHHComparableAcrossFabrics(t *testing.T) {
+	t.Parallel()
 	// The study's rationale for H-H everywhere: it is the mode every
 	// fabric can run, making GPU results comparable to CPU results.
 	for _, f := range []cloud.Fabric{cloud.EFAGen1, cloud.GooglePremium, cloud.InfiniBandEDR} {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestAzureGPUHookupDecreasesWithScale(t *testing.T) {
+	t.Parallel()
 	h := NewHookupModel()
 	// Paper: ≈43, 30, 20, 10 s at 4, 8, 16, 32 nodes — *decreasing*.
 	var prev = time.Duration(1<<62 - 1)
@@ -24,6 +25,7 @@ func TestAzureGPUHookupDecreasesWithScale(t *testing.T) {
 }
 
 func TestAzureCPUHookupDoublesWithScale(t *testing.T) {
+	t.Parallel()
 	h := NewHookupModel()
 	// Paper: ≈50, 100, 200, >400 s at 32, 64, 128, 256 nodes.
 	want := map[int]time.Duration{32: 50 * time.Second, 64: 100 * time.Second, 128: 200 * time.Second, 256: 400 * time.Second}
@@ -35,6 +37,7 @@ func TestAzureCPUHookupDoublesWithScale(t *testing.T) {
 }
 
 func TestOtherCloudsFlatHookup(t *testing.T) {
+	t.Parallel()
 	h := NewHookupModel()
 	for _, p := range []cloud.Provider{cloud.AWS, cloud.Google} {
 		small := h.Hookup(p, cloud.CPU, false, 32, nil)
@@ -53,6 +56,7 @@ func TestOtherCloudsFlatHookup(t *testing.T) {
 }
 
 func TestOnPremHookupIsSmall(t *testing.T) {
+	t.Parallel()
 	h := NewHookupModel()
 	if got := h.Hookup(cloud.OnPrem, cloud.CPU, false, 256, nil); got > 5*time.Second {
 		t.Fatalf("on-prem hookup = %v, want tiny", got)
@@ -60,6 +64,7 @@ func TestOnPremHookupIsSmall(t *testing.T) {
 }
 
 func TestAKS256HookupNearNineMinutes(t *testing.T) {
+	t.Parallel()
 	// Paper: only one LAMMPS run was performed for AKS CPU at size 256 due
 	// to an 8.82-minute hookup. Our model gives 400s ≈ 6.7 min before
 	// jitter; it must at least exceed 6 minutes.
@@ -70,6 +75,7 @@ func TestAKS256HookupNearNineMinutes(t *testing.T) {
 }
 
 func TestCycleCloudCPUHookupFlat(t *testing.T) {
+	t.Parallel()
 	// The doubling CPU hookup is a Kubernetes (AKS) behaviour; CycleCloud
 	// VMs have InfiniBand up before the job starts.
 	h := NewHookupModel()

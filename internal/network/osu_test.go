@@ -8,6 +8,7 @@ import (
 )
 
 func TestStandardMessageSizes(t *testing.T) {
+	t.Parallel()
 	sizes := StandardMessageSizes()
 	if sizes[0] != 1 || sizes[len(sizes)-1] != 1<<20 {
 		t.Fatalf("sizes span %v..%v, want 1..1MiB", sizes[0], sizes[len(sizes)-1])
@@ -18,6 +19,7 @@ func TestStandardMessageSizes(t *testing.T) {
 }
 
 func TestSamplePairsRespectsLimits(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewStream(1, "pairs")
 	pairs := SamplePairs(256, 8, 28, rng)
 	if len(pairs) != 28 {
@@ -45,6 +47,7 @@ func TestSamplePairsRespectsLimits(t *testing.T) {
 }
 
 func TestSamplePairsSmallCluster(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewStream(2, "pairs")
 	pairs := SamplePairs(4, 8, 28, rng)
 	// C(4,2) = 6 possible pairs.
@@ -54,6 +57,7 @@ func TestSamplePairsSmallCluster(t *testing.T) {
 }
 
 func TestRunLatencySeries(t *testing.T) {
+	t.Parallel()
 	m, _ := Lookup(cloud.InfiniBandHDR)
 	rng := sim.NewStream(3, "osu")
 	series := RunLatency(m, Path{Colocated: true}, 28, rng)
@@ -69,6 +73,7 @@ func TestRunLatencySeries(t *testing.T) {
 }
 
 func TestRunBandwidthSeries(t *testing.T) {
+	t.Parallel()
 	m, _ := Lookup(cloud.EFAGen15)
 	series := RunBandwidth(m, Path{Colocated: true}, 28, sim.NewStream(4, "osu"))
 	if series[len(series)-1].Value <= series[0].Value {
@@ -77,6 +82,7 @@ func TestRunBandwidthSeries(t *testing.T) {
 }
 
 func TestRunAllReduceFindsSpike(t *testing.T) {
+	t.Parallel()
 	m, _ := Lookup(cloud.EFAGen15)
 	series := RunAllReduce(m, 256, Path{Colocated: true}, 5, sim.NewStream(5, "osu"))
 	var at32k, at8k float64

@@ -9,6 +9,7 @@ import (
 )
 
 func TestDigestOfStable(t *testing.T) {
+	t.Parallel()
 	a := DigestOf([]byte("hello"))
 	b := DigestOf([]byte("hello"))
 	if a != b {
@@ -23,6 +24,7 @@ func TestDigestOfStable(t *testing.T) {
 }
 
 func TestPushFetchBlob(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	desc := r.PushBlob("text/plain", []byte("data"))
 	if desc.Size != 4 {
@@ -38,6 +40,7 @@ func TestPushFetchBlob(t *testing.T) {
 }
 
 func TestBlobDeduplication(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.PushBlob("a", []byte("same"))
 	r.PushBlob("b", []byte("same"))
@@ -47,6 +50,7 @@ func TestBlobDeduplication(t *testing.T) {
 }
 
 func TestFetchReturnsCopy(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	desc := r.PushBlob("t", []byte("immutable"))
 	got, _ := r.FetchBlob(desc.Digest)
@@ -58,6 +62,7 @@ func TestFetchReturnsCopy(t *testing.T) {
 }
 
 func TestManifestNeedsLayers(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	_, err := r.PushManifest(Manifest{Layers: []Descriptor{{Digest: "sha256:missing"}}})
 	if !errors.Is(err, ErrBlobUnknown) {
@@ -66,6 +71,7 @@ func TestManifestNeedsLayers(t *testing.T) {
 }
 
 func TestTagResolve(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	desc := r.PushBlob("t", []byte("x"))
 	d, err := r.PushManifest(Manifest{ArtifactType: "test", Layers: []Descriptor{desc}})
@@ -88,6 +94,7 @@ func TestTagResolve(t *testing.T) {
 }
 
 func TestPushPullRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	files := map[string][]byte{
 		"lammps-256.out": []byte("FOM 443.9"),
@@ -110,6 +117,7 @@ func TestPushPullRoundTrip(t *testing.T) {
 }
 
 func TestManifestDigestCanonical(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	desc := r.PushBlob("t", []byte("x"))
 	m1 := Manifest{ArtifactType: "a", Layers: []Descriptor{desc},
@@ -124,6 +132,7 @@ func TestManifestDigestCanonical(t *testing.T) {
 }
 
 func TestConcurrentPushes(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
@@ -147,6 +156,7 @@ func TestConcurrentPushes(t *testing.T) {
 }
 
 func TestBlobRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	f := func(data []byte) bool {
 		desc := r.PushBlob("t", data)

@@ -114,6 +114,26 @@ func Markdown(res *core.Results) (string, error) {
 			fmt.Fprintf(&b, "| %s | %s | %d |\n", env, a, fails[env][a])
 		}
 	}
+
+	// Fault injection (only present on chaotic runs).
+	if len(res.Incidents) > 0 {
+		b.WriteString("\n## Fault injection & recovery\n\n")
+		fmt.Fprintf(&b, "%d incidents injected. Recovery accounting:\n\n", len(res.Incidents))
+		b.WriteString("| Metric | Value |\n|---|---:|\n")
+		rec := res.Recovery
+		fmt.Fprintf(&b, "| Preemptions | %d |\n", rec.Preemptions)
+		fmt.Fprintf(&b, "| Re-queued jobs | %d |\n", rec.RequeuedJobs)
+		fmt.Fprintf(&b, "| Capacity stockouts | %d |\n", rec.Stockouts)
+		fmt.Fprintf(&b, "| Quota revocations | %d |\n", rec.QuotaRevocations)
+		fmt.Fprintf(&b, "| Degraded runs | %d |\n", rec.DegradedRuns)
+		fmt.Fprintf(&b, "| Pull retries | %d |\n", rec.PullRetries)
+		fmt.Fprintf(&b, "| Lost node-hours | %.1f |\n", rec.LostNodeHours)
+		fmt.Fprintf(&b, "| Est. billing impact | $%.2f |\n", rec.BillingDeltaUSD)
+		b.WriteString("\n| Time | Environment | Kind | Detail |\n|---:|---|---|---|\n")
+		for _, inc := range res.Incidents {
+			fmt.Fprintf(&b, "| %v | %s | %s | %s |\n", inc.At.Round(time.Second), inc.Env, inc.Kind, inc.Detail)
+		}
+	}
 	return b.String(), nil
 }
 

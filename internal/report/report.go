@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"cloudhpc/internal/apps"
 	"cloudhpc/internal/cloud"
@@ -116,6 +117,31 @@ func OSUSeries(title, unit string, series []network.OSUSample) string {
 	fmt.Fprintf(&b, "# %s (%s)\n%-12s %s\n", title, unit, "bytes", "value")
 	for _, s := range series {
 		fmt.Fprintf(&b, "%-12.0f %.4g\n", s.Bytes, s.Value)
+	}
+	return b.String()
+}
+
+// Recovery renders the chaos recovery accounting: what injected faults
+// cost the study in preemptions, re-queues, lost node-hours, and dollars.
+func Recovery(rec core.Recovery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %d\n", "preemptions", rec.Preemptions)
+	fmt.Fprintf(&b, "%-22s %d\n", "re-queued jobs", rec.RequeuedJobs)
+	fmt.Fprintf(&b, "%-22s %d\n", "capacity stockouts", rec.Stockouts)
+	fmt.Fprintf(&b, "%-22s %d\n", "quota revocations", rec.QuotaRevocations)
+	fmt.Fprintf(&b, "%-22s %d\n", "degraded runs", rec.DegradedRuns)
+	fmt.Fprintf(&b, "%-22s %d\n", "pull retries", rec.PullRetries)
+	fmt.Fprintf(&b, "%-22s %.1f\n", "lost node-hours", rec.LostNodeHours)
+	fmt.Fprintf(&b, "%-22s $%.2f\n", "est. billing impact", rec.BillingDeltaUSD)
+	return b.String()
+}
+
+// Incidents renders the injected-fault transcript, one incident per line
+// in campaign-timeline order.
+func Incidents(incs []core.Incident) string {
+	var b strings.Builder
+	for _, inc := range incs {
+		fmt.Fprintf(&b, "%10s  %-26s %-14s %s\n", inc.At.Round(time.Second), inc.Env, inc.Kind, inc.Detail)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 )
 
 func TestBackfillSmallJobJumpsBlockedHead(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Slurm, Env: "bf", TotalNodes: 100, Backfill: true})
 	var order []string
 	submit := func(name string, nodes int, dur time.Duration) {
@@ -37,6 +38,7 @@ func TestBackfillSmallJobJumpsBlockedHead(t *testing.T) {
 }
 
 func TestBackfillRefusesHeadDelayingJob(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Slurm, Env: "bf", TotalNodes: 100, Backfill: true})
 	var order []string
 	submit := func(name string, nodes int, dur time.Duration) {
@@ -58,6 +60,7 @@ func TestBackfillRefusesHeadDelayingJob(t *testing.T) {
 }
 
 func TestBackfillSparesHeadNodes(t *testing.T) {
+	t.Parallel()
 	// A long candidate can backfill if the head will not need its nodes.
 	s, _, sc := newSched(1, Config{Kind: Slurm, Env: "bf", TotalNodes: 100, Backfill: true})
 	var starts = map[string]time.Duration{}
@@ -80,6 +83,7 @@ func TestBackfillSparesHeadNodes(t *testing.T) {
 }
 
 func TestBackfillOffKeepsStrictFIFO(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Slurm, Env: "fifo", TotalNodes: 100})
 	var order []string
 	submit := func(name string, nodes int, dur time.Duration) {

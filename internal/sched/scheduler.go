@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -50,12 +51,27 @@ type Config struct {
 	Backfill bool
 }
 
+// FaultInjector decides injected job failures — spot/preemptible node
+// reclaims in the chaos engine's case. The scheduler consults it once per
+// started job; frac is the fraction of the job's duration completed when
+// the fault strikes, and requeue asks the scheduler to resubmit the job
+// (bounded by Config.MaxRetries like bad-node retries). Implementations
+// must be safe for concurrent use. A nil injector means no injected
+// faults.
+type FaultInjector interface {
+	JobFault(name string, nodes int, dur time.Duration) (frac float64, requeue, ok bool)
+}
+
+// ErrPreempted marks jobs killed by an injected node reclaim.
+var ErrPreempted = errors.New("sched: job preempted by node reclaim")
+
 // Scheduler is the FIFO engine all three workload managers share.
 type Scheduler struct {
 	cfg     Config
 	sim     *sim.Simulation
 	log     *trace.Log
 	rng     *sim.Stream
+	faults  FaultInjector
 	free    int
 	queue   []*Job
 	next    int
@@ -82,6 +98,10 @@ func New(s *sim.Simulation, log *trace.Log, cfg Config) *Scheduler {
 
 // Kind returns the workload manager flavour.
 func (sc *Scheduler) Kind() Kind { return sc.cfg.Kind }
+
+// SetFaultInjector attaches an injector consulted when jobs start
+// running. Pass nil to detach.
+func (sc *Scheduler) SetFaultInjector(fi FaultInjector) { sc.faults = fi }
 
 // FreeNodes reports currently unallocated nodes.
 func (sc *Scheduler) FreeNodes() int { return sc.free }
@@ -203,31 +223,51 @@ func (sc *Scheduler) start(j *Job) {
 	sc.run(j)
 }
 
-// run executes the job body and schedules its completion.
+// run executes the job body and schedules its completion. Two failure
+// sources can cut the job short: the environment's own bad nodes
+// (Config.BadNodeProb, drawn from the scheduler's stream) and injected
+// faults from the attached FaultInjector (drawn from the injector's own
+// stream, so enabling injection never perturbs the bad-node draws).
 func (sc *Scheduler) run(j *Job) {
 	j.State = Running
 	j.StartedAt = sc.sim.Now()
-	badNode := sc.cfg.BadNodeProb > 0 && sc.rng.Bernoulli(sc.cfg.BadNodeProb)
 	dur := j.WrapperTime()
-	if badNode {
-		// Job dies partway through.
+	if sc.cfg.BadNodeProb > 0 && sc.rng.Bernoulli(sc.cfg.BadNodeProb) {
+		// Job dies partway through on a bad node.
 		dur = time.Duration(sc.rng.Uniform(0.1, 0.9) * float64(dur))
+		sc.sim.After(dur, fmt.Sprintf("finish job %d", j.ID), func() {
+			sc.finish(j, fmt.Errorf("sched: job %d died on a bad node", j.ID), true)
+		})
+		return
 	}
-	sc.sim.After(dur, fmt.Sprintf("finish job %d", j.ID), func() { sc.finish(j, badNode) })
+	if sc.faults != nil {
+		if frac, requeue, ok := sc.faults.JobFault(j.Name, j.Nodes, dur); ok {
+			cut := time.Duration(frac * float64(dur))
+			sc.sim.After(cut, fmt.Sprintf("finish job %d", j.ID), func() {
+				sc.finish(j, fmt.Errorf("%w: job %d %q", ErrPreempted, j.ID, j.Name), requeue)
+			})
+			return
+		}
+	}
+	sc.sim.After(dur, fmt.Sprintf("finish job %d", j.ID), func() { sc.finish(j, nil, false) })
 }
 
-// finish completes or fails a job, freeing nodes and retrying bad-node
-// failures up to MaxRetries.
-func (sc *Scheduler) finish(j *Job, badNode bool) {
+// finish completes or fails a job, freeing nodes and — when requeue is
+// set — resubmitting the failure up to MaxRetries times.
+func (sc *Scheduler) finish(j *Job, failure error, requeue bool) {
 	sc.free += j.Nodes
 	delete(sc.running, j.ID)
 	j.FinishedAt = sc.sim.Now()
-	if badNode {
+	if failure != nil {
 		j.State = Failed
-		j.Err = fmt.Errorf("sched: job %d died on a bad node", j.ID)
+		j.Err = failure
+		verb := "failed on a bad node"
+		if errors.Is(failure, ErrPreempted) {
+			verb = "preempted by a node reclaim"
+		}
 		sc.log.Addf(sc.sim.Now(), sc.cfg.Env, trace.Manual, trace.Unexpected,
-			"%s: job %d %q failed on a bad node (retry %d)", sc.cfg.Kind, j.ID, j.Name, j.Retries)
-		if j.Retries < sc.cfg.MaxRetries {
+			"%s: job %d %q %s (retry %d)", sc.cfg.Kind, j.ID, j.Name, verb, j.Retries)
+		if requeue && j.Retries < sc.cfg.MaxRetries {
 			retry := &Job{
 				Name: j.Name, Nodes: j.Nodes, Duration: j.Duration,
 				Hookup: j.Hookup, Retries: j.Retries + 1, OnFinish: j.OnFinish,

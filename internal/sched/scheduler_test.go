@@ -16,6 +16,7 @@ func newSched(seed uint64, cfg Config) (*sim.Simulation, *trace.Log, *Scheduler)
 }
 
 func TestSubmitAndComplete(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Flux, Env: "e", TotalNodes: 64})
 	var finished *Job
 	j := &Job{Name: "lammps", Nodes: 32, Duration: 10 * time.Minute, Hookup: 10 * time.Second,
@@ -36,6 +37,7 @@ func TestSubmitAndComplete(t *testing.T) {
 }
 
 func TestWrapperTimeIsHookupPlusDuration(t *testing.T) {
+	t.Parallel()
 	j := &Job{Duration: 5 * time.Minute, Hookup: 30 * time.Second}
 	if j.WrapperTime() != 5*time.Minute+30*time.Second {
 		t.Fatalf("WrapperTime = %v", j.WrapperTime())
@@ -43,6 +45,7 @@ func TestWrapperTimeIsHookupPlusDuration(t *testing.T) {
 }
 
 func TestFIFOOrdering(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Slurm, Env: "e", TotalNodes: 32})
 	var order []string
 	mk := func(name string) *Job {
@@ -61,6 +64,7 @@ func TestFIFOOrdering(t *testing.T) {
 }
 
 func TestConcurrentJobsSharePool(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Flux, Env: "e", TotalNodes: 64})
 	var finishes []time.Duration
 	mk := func() *Job {
@@ -79,6 +83,7 @@ func TestConcurrentJobsSharePool(t *testing.T) {
 }
 
 func TestOversizedJobRejected(t *testing.T) {
+	t.Parallel()
 	_, _, sc := newSched(1, Config{Kind: Flux, Env: "e", TotalNodes: 16})
 	err := sc.Submit(&Job{Name: "big", Nodes: 32, Duration: time.Minute})
 	if !errors.Is(err, ErrNoCapacity) {
@@ -90,6 +95,7 @@ func TestOversizedJobRejected(t *testing.T) {
 }
 
 func TestOnPremQueueWait(t *testing.T) {
+	t.Parallel()
 	s, _, sc := newSched(1, Config{Kind: Slurm, Env: "onprem", TotalNodes: 256,
 		MeanQueueWait: 20 * time.Minute})
 	j := &Job{Name: "amg", Nodes: 64, Duration: time.Minute}
@@ -101,6 +107,7 @@ func TestOnPremQueueWait(t *testing.T) {
 }
 
 func TestCycleCloudStallsAreKickedAndLogged(t *testing.T) {
+	t.Parallel()
 	s := sim.New(3)
 	log := trace.NewLog()
 	sc := NewCycleCloudSlurm(s, log, "azure-cc-cpu", 256)
@@ -122,6 +129,7 @@ func TestCycleCloudStallsAreKickedAndLogged(t *testing.T) {
 }
 
 func TestBadNodeRetry(t *testing.T) {
+	t.Parallel()
 	s := sim.New(5)
 	log := trace.NewLog()
 	sc := New(s, log, Config{Kind: LSF, Env: "onprem-gpu", TotalNodes: 64,
@@ -151,6 +159,7 @@ func TestBadNodeRetry(t *testing.T) {
 }
 
 func TestStateString(t *testing.T) {
+	t.Parallel()
 	want := map[State]string{Pending: "pending", Stalled: "stalled", Running: "running",
 		Completed: "completed", Failed: "failed", State(42): "state(42)"}
 	for st, w := range want {
@@ -161,6 +170,7 @@ func TestStateString(t *testing.T) {
 }
 
 func TestPresetsKinds(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	log := trace.NewLog()
 	if sc := NewOnPremSlurm(s, log, "a", 10); sc.Kind() != Slurm {
@@ -181,6 +191,7 @@ func TestPresetsKinds(t *testing.T) {
 }
 
 func TestDeterministicReplay(t *testing.T) {
+	t.Parallel()
 	run := func() []time.Duration {
 		s := sim.New(99)
 		log := trace.NewLog()

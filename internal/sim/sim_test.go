@@ -8,6 +8,7 @@ import (
 )
 
 func TestClockAdvance(t *testing.T) {
+	t.Parallel()
 	var c Clock
 	if c.Now() != 0 {
 		t.Fatalf("zero clock should start at 0, got %v", c.Now())
@@ -27,6 +28,7 @@ func TestClockAdvance(t *testing.T) {
 }
 
 func TestClockPanicsOnBackwards(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("expected panic on negative advance")
@@ -37,6 +39,7 @@ func TestClockPanicsOnBackwards(t *testing.T) {
 }
 
 func TestClockPanicsOnAdvanceToPast(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("expected panic on AdvanceTo into the past")
@@ -48,6 +51,7 @@ func TestClockPanicsOnAdvanceToPast(t *testing.T) {
 }
 
 func TestEventQueueOrdering(t *testing.T) {
+	t.Parallel()
 	var q EventQueue
 	var got []string
 	q.Schedule(3*time.Second, "c", func() { got = append(got, "c") })
@@ -69,6 +73,7 @@ func TestEventQueueOrdering(t *testing.T) {
 }
 
 func TestEventQueueFIFOTieBreak(t *testing.T) {
+	t.Parallel()
 	var q EventQueue
 	var got []string
 	for _, name := range []string{"first", "second", "third"} {
@@ -84,6 +89,7 @@ func TestEventQueueFIFOTieBreak(t *testing.T) {
 }
 
 func TestSimulationRun(t *testing.T) {
+	t.Parallel()
 	s := New(42)
 	var fired []time.Duration
 	s.After(2*time.Second, "later", func() { fired = append(fired, s.Now()) })
@@ -105,6 +111,7 @@ func TestSimulationRun(t *testing.T) {
 }
 
 func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	t.Parallel()
 	s := New(1)
 	ran := 0
 	s.After(1*time.Second, "in", func() { ran++ })
@@ -122,6 +129,7 @@ func TestRunUntilLeavesLaterEvents(t *testing.T) {
 }
 
 func TestStreamDeterminism(t *testing.T) {
+	t.Parallel()
 	a := NewStream(99, "apps/lammps")
 	b := NewStream(99, "apps/lammps")
 	for i := 0; i < 1000; i++ {
@@ -132,6 +140,7 @@ func TestStreamDeterminism(t *testing.T) {
 }
 
 func TestStreamIndependence(t *testing.T) {
+	t.Parallel()
 	a := NewStream(99, "apps/lammps")
 	b := NewStream(99, "apps/kripke")
 	same := 0
@@ -146,6 +155,7 @@ func TestStreamIndependence(t *testing.T) {
 }
 
 func TestSimulationStreamIsStable(t *testing.T) {
+	t.Parallel()
 	s := New(7)
 	first := s.Stream("x").Uint64()
 	// Same name must return the same stream (continuing, not restarting).
@@ -160,6 +170,7 @@ func TestSimulationStreamIsStable(t *testing.T) {
 }
 
 func TestNormalMoments(t *testing.T) {
+	t.Parallel()
 	s := NewStream(123, "normal")
 	const n = 200000
 	var sum, sumsq float64
@@ -179,6 +190,7 @@ func TestNormalMoments(t *testing.T) {
 }
 
 func TestJitterNonNegative(t *testing.T) {
+	t.Parallel()
 	s := NewStream(5, "jitter")
 	for i := 0; i < 10000; i++ {
 		if v := s.Jitter(1.0, 5.0); v < 0 {
@@ -188,6 +200,7 @@ func TestJitterNonNegative(t *testing.T) {
 }
 
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		s := NewStream(seed, "range")
 		for i := 0; i < 100; i++ {
@@ -204,6 +217,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestIntnRange(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%100) + 1
 		s := NewStream(seed, "intn")
@@ -221,6 +235,7 @@ func TestIntnRange(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw % 64)
 		s := NewStream(seed, "perm")
@@ -243,6 +258,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestUniformBounds(t *testing.T) {
+	t.Parallel()
 	s := NewStream(11, "uniform")
 	for i := 0; i < 10000; i++ {
 		v := s.Uniform(3, 9)
@@ -253,6 +269,7 @@ func TestUniformBounds(t *testing.T) {
 }
 
 func TestBernoulliExtremes(t *testing.T) {
+	t.Parallel()
 	s := NewStream(13, "bern")
 	for i := 0; i < 100; i++ {
 		if s.Bernoulli(0) {
@@ -265,6 +282,7 @@ func TestBernoulliExtremes(t *testing.T) {
 }
 
 func TestLogNormalPositive(t *testing.T) {
+	t.Parallel()
 	s := NewStream(17, "lognormal")
 	for i := 0; i < 10000; i++ {
 		if v := s.LogNormal(0, 1); v <= 0 {

@@ -21,6 +21,7 @@ srun amg -P 4 4 4 -n 256 256 128
 `
 
 func TestParseBatchScript(t *testing.T) {
+	t.Parallel()
 	opts, err := ParseBatchScript(studyScript)
 	if err != nil {
 		t.Fatal(err)
@@ -34,6 +35,7 @@ func TestParseBatchScript(t *testing.T) {
 }
 
 func TestParseDefaults(t *testing.T) {
+	t.Parallel()
 	opts, err := ParseBatchScript("#!/bin/bash\necho hi\n")
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +46,7 @@ func TestParseDefaults(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
+	t.Parallel()
 	for _, bad := range []string{
 		"#SBATCH --nodes=zero",
 		"#SBATCH --nodes=-2",
@@ -58,6 +61,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseWalltimeForms(t *testing.T) {
+	t.Parallel()
 	cases := map[string]time.Duration{
 		"15":       15 * time.Minute,
 		"90:30":    90*time.Minute + 30*time.Second,
@@ -78,6 +82,7 @@ func newCtl(nodes int) (*sim.Simulation, *trace.Log, *Controller) {
 }
 
 func TestSbatchRunsToCompletion(t *testing.T) {
+	t.Parallel()
 	s, _, c := newCtl(256)
 	var ended *Job
 	id, err := c.Sbatch(studyScript, 5*time.Minute, func(j *Job) { ended = j })
@@ -94,6 +99,7 @@ func TestSbatchRunsToCompletion(t *testing.T) {
 }
 
 func TestWallLimitKill(t *testing.T) {
+	t.Parallel()
 	s, log, c := newCtl(256)
 	var final JobState
 	// Laghos beyond 64 cloud nodes: the body wants 45 minutes but the
@@ -116,6 +122,7 @@ func TestWallLimitKill(t *testing.T) {
 }
 
 func TestFIFOBackfillPerPartition(t *testing.T) {
+	t.Parallel()
 	s, _, c := newCtl(100)
 	var order []int
 	mk := func(nodes int) int {
@@ -141,6 +148,7 @@ func TestFIFOBackfillPerPartition(t *testing.T) {
 }
 
 func TestRejections(t *testing.T) {
+	t.Parallel()
 	_, _, c := newCtl(10)
 	if _, err := c.SubmitOpts(BatchOptions{Nodes: 11, TasksPerNode: 1}, time.Minute, nil); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversized job: %v", err)
@@ -151,6 +159,7 @@ func TestRejections(t *testing.T) {
 }
 
 func TestCancelPending(t *testing.T) {
+	t.Parallel()
 	s, _, c := newCtl(10)
 	c.SubmitOpts(BatchOptions{JobName: "hog", Nodes: 10, TasksPerNode: 1}, time.Hour, nil)
 	var cancelled *Job
@@ -175,6 +184,7 @@ func TestCancelPending(t *testing.T) {
 }
 
 func TestSqueueSinfo(t *testing.T) {
+	t.Parallel()
 	s, _, c := newCtl(64)
 	c.SubmitOpts(BatchOptions{JobName: "lammps", Nodes: 64, TasksPerNode: 96}, time.Hour, nil)
 	c.SubmitOpts(BatchOptions{JobName: "waiting", Nodes: 64, TasksPerNode: 96}, time.Hour, nil)
@@ -193,6 +203,7 @@ func TestSqueueSinfo(t *testing.T) {
 }
 
 func TestMultiplePartitions(t *testing.T) {
+	t.Parallel()
 	s := sim.New(2)
 	log := trace.NewLog()
 	c := NewController(s, log, "env",

@@ -11,6 +11,7 @@ import (
 )
 
 func TestParseSimple(t *testing.T) {
+	t.Parallel()
 	sp, err := Parse("amg2023@1.2 +cuda ^hypre@2.31.0 +mixedint ~bigint")
 	if err != nil {
 		t.Fatal(err)
@@ -28,6 +29,7 @@ func TestParseSimple(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
+	t.Parallel()
 	for _, bad := range []string{"", "pkg@", "pkg bogus", "pkg ^"} {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("Parse(%q) should fail", bad)
@@ -36,6 +38,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseStringRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := "amg2023@1.2 +cuda ^hypre +mixedint"
 	sp, err := Parse(in)
 	if err != nil {
@@ -51,6 +54,7 @@ func TestParseStringRoundTrip(t *testing.T) {
 }
 
 func TestConcretizePicksNewestVersion(t *testing.T) {
+	t.Parallel()
 	r := StudyRepo()
 	sp, _ := Parse("hypre")
 	c, err := r.Concretize(sp)
@@ -66,6 +70,7 @@ func TestConcretizePicksNewestVersion(t *testing.T) {
 }
 
 func TestConcretizeRespectsConstraints(t *testing.T) {
+	t.Parallel()
 	r := StudyRepo()
 	sp, _ := Parse("amg2023 +cuda ^hypre +mixedint ^openmpi@4.1.2")
 	c, err := r.Concretize(sp)
@@ -90,6 +95,7 @@ func TestConcretizeRespectsConstraints(t *testing.T) {
 }
 
 func TestConcretizeErrors(t *testing.T) {
+	t.Parallel()
 	r := StudyRepo()
 	sp, _ := Parse("hypre@9.9.9")
 	if _, err := r.Concretize(sp); !errors.Is(err, ErrNoSuchVersion) {
@@ -106,6 +112,7 @@ func TestConcretizeErrors(t *testing.T) {
 }
 
 func TestBuildOrderDependenciesFirst(t *testing.T) {
+	t.Parallel()
 	r := StudyRepo()
 	sp, _ := Parse("laghos")
 	c, err := r.Concretize(sp)
@@ -131,6 +138,7 @@ func TestBuildOrderDependenciesFirst(t *testing.T) {
 }
 
 func TestSharedDependenciesAreOneNode(t *testing.T) {
+	t.Parallel()
 	// amg2023 depends on hypre and openmpi; hypre also depends on
 	// openmpi — the DAG must share the openmpi node.
 	r := StudyRepo()
@@ -151,6 +159,7 @@ func TestSharedDependenciesAreOneNode(t *testing.T) {
 }
 
 func TestAMGIntegerDefects(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	b := NewBuilder(s, trace.NewLog(), "onprem-a-cpu")
 	r := StudyRepo()
@@ -184,6 +193,7 @@ func TestAMGIntegerDefects(t *testing.T) {
 }
 
 func TestInstallSkipsInstalled(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	b := NewBuilder(s, trace.NewLog(), "env")
 	r := StudyRepo()
@@ -210,6 +220,7 @@ func TestInstallSkipsInstalled(t *testing.T) {
 }
 
 func TestModules(t *testing.T) {
+	t.Parallel()
 	s := sim.New(1)
 	b := NewBuilder(s, trace.NewLog(), "env")
 	r := StudyRepo()
@@ -235,6 +246,7 @@ func TestModules(t *testing.T) {
 // Property: any parseable spec's canonical form re-parses to the same
 // canonical form (idempotent round trip) for a generated subset of specs.
 func TestCanonicalFormProperty(t *testing.T) {
+	t.Parallel()
 	names := []string{"hypre", "amg2023", "lammps", "openmpi"}
 	variants := []string{"cuda", "bigint", "mixedint", "reaxff"}
 	f := func(nameIdx, varIdx uint8, on bool) bool {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestJSONLRoundTrip(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Add(Event{At: time.Minute, Env: "azure-aks-cpu", Category: Development,
 		Severity: Blocking, Msg: "custom daemonset", Cost: 12.5})
@@ -31,6 +32,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 }
 
 func TestUnmarshalRejections(t *testing.T) {
+	t.Parallel()
 	if _, err := UnmarshalJSONL([]byte("not json\n")); err == nil {
 		t.Fatalf("garbage accepted")
 	}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestAddAndEvents(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Addf(time.Second, "aws-eks-cpu", Setup, Routine, "cluster %d up", 1)
 	l.Add(Event{At: 2 * time.Second, Env: "aks-gpu", Category: Development, Severity: Blocking, Msg: "daemonset", Cost: 12.5})
@@ -24,6 +25,7 @@ func TestAddAndEvents(t *testing.T) {
 }
 
 func TestEventsReturnsCopy(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Addf(0, "e", Info, Routine, "a")
 	evs := l.Events()
@@ -34,6 +36,7 @@ func TestEventsReturnsCopy(t *testing.T) {
 }
 
 func TestByEnvAndEnvs(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Addf(0, "a", Setup, Routine, "x")
 	l.Addf(0, "b", Setup, Routine, "y")
@@ -48,6 +51,7 @@ func TestByEnvAndEnvs(t *testing.T) {
 }
 
 func TestFilter(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Addf(0, "e", Setup, Routine, "ok")
 	l.Addf(0, "e", Setup, Blocking, "bad")
@@ -58,6 +62,7 @@ func TestFilter(t *testing.T) {
 }
 
 func TestTotalCost(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Add(Event{Env: "a", Category: Billing, Cost: 10})
 	l.Add(Event{Env: "b", Category: Billing, Cost: 5})
@@ -70,6 +75,7 @@ func TestTotalCost(t *testing.T) {
 }
 
 func TestRenderContainsFields(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	l.Add(Event{At: time.Minute, Env: "gke-cpu", Category: Setup, Severity: Unexpected, Msg: "quota retry", Cost: 3})
 	out := l.Render()
@@ -81,6 +87,7 @@ func TestRenderContainsFields(t *testing.T) {
 }
 
 func TestConcurrentAdd(t *testing.T) {
+	t.Parallel()
 	l := NewLog()
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {
@@ -99,6 +106,7 @@ func TestConcurrentAdd(t *testing.T) {
 }
 
 func TestSeverityString(t *testing.T) {
+	t.Parallel()
 	cases := map[Severity]string{Routine: "routine", Unexpected: "unexpected", Blocking: "blocking", Severity(9): "severity(9)"}
 	for sev, want := range cases {
 		if sev.String() != want {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestScoreRubric(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	log.Addf(0, "e", trace.Setup, trace.Routine, "fine")
 	log.Addf(0, "e", trace.Development, trace.Unexpected, "debugging")
@@ -28,6 +29,7 @@ func TestScoreRubric(t *testing.T) {
 }
 
 func TestUnexpectedPileUpBecomesHigh(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	s := NewScorer()
 	for i := 0; i < s.UnexpectedHighThreshold; i++ {
@@ -47,6 +49,7 @@ func TestUnexpectedPileUpBecomesHigh(t *testing.T) {
 }
 
 func TestInfoAndBillingNeverCount(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	log.Addf(0, "e", trace.Info, trace.Blocking, "noise")
 	log.Addf(0, "e", trace.Billing, trace.Blocking, "expensive")
@@ -59,6 +62,7 @@ func TestInfoAndBillingNeverCount(t *testing.T) {
 }
 
 func TestEventsIsolatedPerEnvironment(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	log.Addf(0, "bad", trace.Setup, trace.Blocking, "broken")
 	log.Addf(0, "good", trace.Setup, trace.Routine, "fine")
@@ -72,6 +76,7 @@ func TestEventsIsolatedPerEnvironment(t *testing.T) {
 }
 
 func TestEvidenceRecorded(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	log.Addf(0, "e", trace.Development, trace.Blocking, "custom daemonset")
 	a := NewScorer().Score(log, "e")
@@ -82,6 +87,7 @@ func TestEvidenceRecorded(t *testing.T) {
 }
 
 func TestTableRendering(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	log.Addf(0, "azure-aks-cpu", trace.Development, trace.Blocking, "daemonset")
 	out := Table(NewScorer().ScoreAll(log, []string{"azure-aks-cpu"}))
@@ -94,6 +100,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestSummaryAndHardest(t *testing.T) {
+	t.Parallel()
 	log := trace.NewLog()
 	log.Addf(0, "hard", trace.Setup, trace.Blocking, "x")
 	log.Addf(0, "hard", trace.Manual, trace.Blocking, "y")
@@ -110,6 +117,7 @@ func TestSummaryAndHardest(t *testing.T) {
 }
 
 func TestDiffDetectsChanges(t *testing.T) {
+	t.Parallel()
 	logBefore := trace.NewLog()
 	logBefore.Addf(0, "aks", trace.Development, trace.Blocking, "custom daemonset required")
 	logAfter := trace.NewLog()
@@ -135,6 +143,7 @@ func TestDiffDetectsChanges(t *testing.T) {
 }
 
 func TestEffortString(t *testing.T) {
+	t.Parallel()
 	for e, want := range map[Effort]string{Low: "low", Medium: "medium", High: "high", Effort(7): "effort(7)"} {
 		if e.String() != want {
 			t.Fatalf("Effort(%d) = %q", int(e), e.String())
