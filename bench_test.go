@@ -75,6 +75,66 @@ func BenchmarkFullStudyWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkFullStudyGranularity sweeps the work-partitioning plan:
+// granularity=env caps parallelism at the environment count (13 shards),
+// while granularity=env-app fans each environment's model evaluations out
+// into one unit per (env, app) pair (>140 units), so worker counts beyond
+// 13 keep shrinking the critical path — the longest shard sheds its model
+// evaluation share onto the pool and only its lifecycle replay stays
+// serial. The dataset is byte-identical across every cell of the sweep
+// (TestRunFullWorkerCountInvariant); only wall time may differ, and on a
+// machine with more than 13 cores the env-app rows at high worker counts
+// run fastest. Compare:
+//
+//	go test -bench 'FullStudyGranularity' -benchtime=5x
+func BenchmarkFullStudyGranularity(b *testing.B) {
+	for _, gran := range []core.Granularity{core.GranularityEnv, core.GranularityEnvApp} {
+		for _, workers := range []int{1, 4, 13, 32} {
+			b.Run(fmt.Sprintf("granularity=%s/workers=%d", gran, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					st, err := core.New(uint64(2025 + i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					st.Opts.Workers = workers
+					st.Opts.Granularity = gran
+					res, err := st.RunFull()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(len(res.Runs)), "runs")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUnitPrecompute isolates the work the env-app granularity moves
+// off the environments' critical path: the pure model/hookup evaluation
+// of the full matrix, one (env, app) unit at a time. Its share of
+// BenchmarkFullStudy is the parallelizable fraction beyond 13 workers.
+func BenchmarkUnitPrecompute(b *testing.B) {
+	spec, err := core.DefaultSpec(2025).Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hookup := network.NewHookupModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		units := 0
+		for _, env := range spec.Envs {
+			if env.Unavailable != "" {
+				continue
+			}
+			for _, m := range spec.Models {
+				core.PlanUnitForBench(uint64(2025+i), env, m, spec.Iterations, hookup)
+				units++
+			}
+		}
+		b.ReportMetric(float64(units), "units")
+	}
+}
+
 // --- Tables ---
 
 // BenchmarkTable1EnvironmentCharacteristics regenerates Table 1.

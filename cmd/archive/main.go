@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	archive [-seed N] [-verify]
+//	archive [-spec FILE] [-seed N] [-verify]
 package main
 
 import (
@@ -13,17 +13,22 @@ import (
 	"fmt"
 	"os"
 
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/dataset"
 	"cloudhpc/internal/oras"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
+	study := cli.Register(flag.CommandLine, "")
 	verify := flag.Bool("verify", true, "pull every artifact back and verify digests")
 	flag.Parse()
 
-	res, err := core.CachedRunFull(*seed)
+	spec, err := study.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.CachedRunSpec(spec)
 	if err != nil {
 		fatal(err)
 	}

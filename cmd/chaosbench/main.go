@@ -2,14 +2,15 @@
 // reports what the chaos cost: the injected incidents, the recovery
 // accounting (preemptions, re-queued jobs, lost node-hours, billing
 // impact), and the spend/failure deltas against the fault-free baseline
-// at the same seed.
+// for the same spec.
 //
 // The chaotic dataset is exactly as reproducible as the clean one: at a
-// fixed (seed, plan) the run is byte-identical for every -workers value.
+// fixed (spec, plan) the run is byte-identical for every -workers value
+// and -granularity.
 //
 // Usage:
 //
-//	chaosbench [-seed N] [-plan default|FILE] [-workers N] [-no-baseline] [-incidents]
+//	chaosbench [-spec FILE] [-seed N] [-chaos default|FILE] [-workers N] [-granularity env|env-app] [-no-baseline] [-incidents]
 //
 // Plan files are line-oriented (see internal/chaos):
 //
@@ -25,41 +26,33 @@ import (
 	"fmt"
 	"os"
 
-	"cloudhpc/internal/chaos"
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/report"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
-	planArg := flag.String("plan", "default", `chaos plan: "default" or a plan file path`)
-	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
+	study := cli.Register(flag.CommandLine, "default")
 	noBaseline := flag.Bool("no-baseline", false, "skip the fault-free baseline run and its delta report")
 	showIncidents := flag.Bool("incidents", false, "print the full incident transcript")
 	flag.Parse()
 
-	plan, err := chaos.LoadPlan(*planArg)
+	spec, err := study.Spec()
 	if err != nil {
 		fatal(err)
 	}
-	if plan.Empty() {
-		fatal(fmt.Errorf("no chaos plan: pass -plan default or a plan file"))
+	if spec.Chaos == "" || spec.Chaos == "none" {
+		fatal(fmt.Errorf("no chaos plan: pass -chaos default or a plan file"))
 	}
 
-	st, err := core.New(*seed)
-	if err != nil {
-		fatal(err)
-	}
-	st.Opts.Workers = *workers
-	st.Opts.Chaos = plan
-	res, err := st.RunFull()
+	res, err := core.CachedRunSpec(spec)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("chaotic study complete: %d runs, %d injected incidents (seed %d)\n\n",
-		len(res.Runs), len(res.Incidents), *seed)
+		len(res.Runs), len(res.Incidents), spec.Seed)
 
 	fmt.Println("== Recovery accounting ==")
 	fmt.Print(report.Recovery(res.Recovery))
@@ -68,7 +61,12 @@ func main() {
 	fmt.Print(report.Costs(res.StudyCosts()))
 
 	if !*noBaseline {
-		base, err := core.CachedRunFull(*seed)
+		// The fault-free baseline is the same spec with the plan removed —
+		// a different canonical hash, so the two datasets never collide in
+		// the spec-keyed cache.
+		clean := *spec
+		clean.Chaos = ""
+		base, err := core.CachedRunSpec(&clean)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,11 +1,12 @@
-// Command cloudbench runs the full cross-cloud study — every deployable
-// environment, every application, every scale, five iterations — and
-// prints the dataset summary: run counts, failures, per-cloud spend, and
-// the usability assessment.
+// Command cloudbench runs the cross-cloud study — by default every
+// deployable environment, every application, every scale, five
+// iterations; any other scenario via -spec — and prints the dataset
+// summary: run counts, failures, per-cloud spend, and the usability
+// assessment.
 //
 // Usage:
 //
-//	cloudbench [-seed N] [-trace]
+//	cloudbench [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-trace]
 package main
 
 import (
@@ -14,46 +15,39 @@ import (
 	"os"
 	"sort"
 
-	"cloudhpc/internal/chaos"
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/report"
 	"cloudhpc/internal/usability"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
+	study := cli.Register(flag.CommandLine, "")
 	showTrace := flag.Bool("trace", false, "dump the full event trace")
 	pause := flag.Duration("pause", 0, "pause between cluster sizes for cost reporting to catch up (§4.2)")
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first (§4.2)")
 	abortOverBudget := flag.Bool("abort-over-budget", false, "stop an environment when its spend exceeds its share of the provider budget")
-	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
-	chaosArg := flag.String("chaos", "", `fault-injection plan: "default" or a plan file path`)
 	flag.Parse()
 
-	plan, err := chaos.LoadPlan(*chaosArg)
+	spec, err := study.Spec()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cloudbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-
-	st, err := core.New(*seed)
+	st, err := core.NewFromSpec(spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cloudbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	st.Opts.PauseBetweenScales = *pause
 	st.Opts.TestClusters = *testClusters
 	st.Opts.AbortOverBudget = *abortOverBudget
-	st.Opts.Workers = *workers
-	st.Opts.Chaos = plan
 	res, err := st.RunFull()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cloudbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	fmt.Printf("study complete: %d runs across %d environments (seed %d)\n\n",
-		len(res.Runs), len(res.Envs)-1, *seed)
+		len(res.Runs), len(apps.Deployable(res.Envs)), spec.Seed)
 
 	fmt.Println("== Per-cloud spend (paper §3.4) ==")
 	fmt.Print(report.Costs(res.StudyCosts()))
@@ -99,4 +93,9 @@ func main() {
 		fmt.Println("\n== Event trace ==")
 		fmt.Print(res.Log.Render())
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudbench:", err)
+	os.Exit(1)
 }

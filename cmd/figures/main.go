@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-seed N] [-only table1|table2|table3|table4|fig1|...|fig8|hookup|stream|ecc|costs] [-csv]
+//	figures [-spec FILE] [-seed N] [-only table1|table2|table3|table4|fig1|...|fig8|hookup|stream|ecc|costs] [-csv]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"cloudhpc/internal/apps"
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/metrics"
@@ -21,13 +22,17 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
+	study := cli.Register(flag.CommandLine, "")
 	only := flag.String("only", "", "emit a single artifact (table1..table4, fig1..fig8, hookup, stream, ecc, costs)")
 	csv := flag.Bool("csv", false, "emit figures as CSV")
 	flag.Parse()
 
+	spec, err := study.Spec()
+	if err != nil {
+		fatal(err)
+	}
 	// Every artifact below derives from one cached study execution.
-	res, err := core.CachedRunFull(*seed)
+	res, err := core.CachedRunSpec(spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +82,7 @@ func main() {
 			return fig("lammps", cloud.CPU, "Figure 4a: LAMMPS (CPU)") +
 				fig("lammps", cloud.GPU, "Figure 4b: LAMMPS (GPU)")
 		}},
-		{"fig5", "Figure 5: OSU benchmarks at 256 CPU nodes", func() string { return osuFigure(res) }},
+		{"fig5", "Figure 5: OSU benchmarks at 256 CPU nodes", func() string { return osuFigure(res, spec.Seed) }},
 		{"fig6", "Figure 6: MiniFE CG MFLOP/s", func() string {
 			return fig("minife", cloud.CPU, "Figure 6a: MiniFE (CPU)") +
 				fig("minife", cloud.GPU, "Figure 6b: MiniFE (GPU)")
@@ -106,14 +111,14 @@ func main() {
 }
 
 // osuFigure runs the Figure 5 sweeps on the 256-node CPU environments.
-func osuFigure(res *core.Results) string {
+func osuFigure(res *core.Results, seed uint64) string {
 	osu := apps.NewOSU()
 	out := ""
 	for _, spec := range apps.Deployable(res.Envs) {
 		if spec.Acc != cloud.CPU {
 			continue
 		}
-		rng := sim.NewStream(2025, "figures/osu/"+spec.Key)
+		rng := sim.NewStream(seed, "figures/osu/"+spec.Key)
 		out += report.OSUSeries("osu_latency "+spec.Key, "µs", osu.LatencySeries(spec.Env, rng))
 		out += report.OSUSeries("osu_bw "+spec.Key, "MB/s", osu.BandwidthSeries(spec.Env, rng))
 		out += report.OSUSeries("osu_allreduce "+spec.Key+" (256 nodes)", "µs", osu.AllReduceSeries(spec.Env, 256, rng))

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	report [-seed N] [-o report.md] [-chaos default|FILE]
+//	report [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-o report.md] [-chaos default|FILE]
 package main
 
 import (
@@ -11,39 +11,35 @@ import (
 	"fmt"
 	"os"
 
-	"cloudhpc/internal/chaos"
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/report"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
+	study := cli.Register(flag.CommandLine, "")
 	out := flag.String("o", "", "output file (default stdout)")
 	pause := flag.Duration("pause", 0, "pause between scales for cost reporting (e.g. 26h)")
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first")
-	workers := flag.Int("workers", 0, "environment shards to run concurrently (0 = all CPUs); the dataset is identical for every value")
-	chaosArg := flag.String("chaos", "", `fault-injection plan: "default" or a plan file path (adds a recovery section to the report)`)
 	flag.Parse()
 
-	plan, err := chaos.LoadPlan(*chaosArg)
+	spec, err := study.Spec()
 	if err != nil {
 		fatal(err)
 	}
 
 	var res *core.Results
-	if *pause == 0 && !*testClusters && *workers == 0 && plan.Empty() {
-		// Default options: share the process-wide cached dataset.
-		res, err = core.CachedRunFull(*seed)
+	if *pause == 0 && !*testClusters {
+		// No non-spec options: share the process-wide spec-keyed cache.
+		res, err = core.CachedRunSpec(spec)
 	} else {
 		var st *core.Study
-		st, err = core.New(*seed)
+		st, err = core.NewFromSpec(spec)
 		if err != nil {
 			fatal(err)
 		}
 		st.Opts.PauseBetweenScales = *pause
 		st.Opts.TestClusters = *testClusters
-		st.Opts.Workers = *workers
-		st.Opts.Chaos = plan
 		res, err = st.RunFull()
 	}
 	if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	trace [-seed N] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
+//	trace [-spec FILE] [-seed N] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
 package main
 
 import (
@@ -11,12 +11,13 @@ import (
 	"fmt"
 	"os"
 
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/trace"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
+	study := cli.Register(flag.CommandLine, "")
 	env := flag.String("env", "", "filter by environment key")
 	severity := flag.String("severity", "", "minimum severity: routine | unexpected | blocking")
 	category := flag.String("category", "", "filter by category")
@@ -34,7 +35,11 @@ func main() {
 		fatal(fmt.Errorf("unknown severity %q", *severity))
 	}
 
-	res, err := core.CachedRunFull(*seed)
+	spec, err := study.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.CachedRunSpec(spec)
 	if err != nil {
 		fatal(err)
 	}

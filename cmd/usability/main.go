@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	usability [-seed N] [-evidence]
+//	usability [-spec FILE] [-seed N] [-evidence]
 package main
 
 import (
@@ -11,16 +11,21 @@ import (
 	"fmt"
 	"os"
 
+	"cloudhpc/internal/cli"
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/usability"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2025, "simulation seed")
+	study := cli.Register(flag.CommandLine, "")
 	evidence := flag.Bool("evidence", false, "print the events behind each score")
 	flag.Parse()
 
-	res, err := core.CachedRunFull(*seed)
+	spec, err := study.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.CachedRunSpec(spec)
 	if err != nil {
 		fatal(err)
 	}

@@ -130,6 +130,34 @@ func All() []Model {
 	}
 }
 
+// SelectModels resolves application names against the model list. "*"
+// (anywhere in the list) or an empty list selects all eleven models. The
+// result is in the paper's §2.8 order regardless of name order, with no
+// duplicates; an unknown name is an error.
+func SelectModels(names []string) ([]Model, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		if n == "*" {
+			return all, nil
+		}
+		if _, err := ByName(n); err != nil {
+			return nil, err
+		}
+		want[n] = true
+	}
+	var out []Model
+	for _, m := range all {
+		if want[m.Name()] {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
 // ByName returns the named model.
 func ByName(name string) (Model, error) {
 	for _, m := range All() {

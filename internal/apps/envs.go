@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/network"
@@ -97,6 +98,55 @@ func StudyEnvironments() ([]EnvSpec, error) {
 		}
 		spec.Unavailable = r.unavail
 		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// MatchEnv reports whether an environment-selector pattern matches a
+// matrix key: "*" matches everything, a trailing "*" is a prefix glob
+// ("azure-*"), anything else is an exact key.
+func MatchEnv(pattern, key string) bool {
+	switch {
+	case pattern == "*":
+		return true
+	case strings.HasSuffix(pattern, "*"):
+		return strings.HasPrefix(key, strings.TrimSuffix(pattern, "*"))
+	default:
+		return pattern == key
+	}
+}
+
+// SelectEnvironments resolves environment-selector patterns against the
+// study matrix. The result preserves matrix order and contains no
+// duplicates regardless of pattern order or overlap. A pattern that
+// matches nothing is an error — a silent empty selection hides typos.
+// An empty pattern list selects the full matrix.
+func SelectEnvironments(patterns []string) ([]EnvSpec, error) {
+	envs, err := StudyEnvironments()
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		return envs, nil
+	}
+	selected := make([]bool, len(envs))
+	for _, p := range patterns {
+		hit := false
+		for i, e := range envs {
+			if MatchEnv(p, e.Key) {
+				selected[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			return nil, fmt.Errorf("apps: environment pattern %q matches nothing in the matrix", p)
+		}
+	}
+	var out []EnvSpec
+	for i, e := range envs {
+		if selected[i] {
+			out = append(out, e)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,91 @@
+package apps
+
+import "testing"
+
+func TestSelectEnvironments(t *testing.T) {
+	t.Parallel()
+	all, err := StudyEnvironments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "*" and the empty list both select the full matrix, in order.
+	for _, patterns := range [][]string{nil, {"*"}} {
+		got, err := SelectEnvironments(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(all) {
+			t.Fatalf("SelectEnvironments(%v) = %d envs, want %d", patterns, len(got), len(all))
+		}
+	}
+	// Overlapping patterns dedupe, and matrix order wins over pattern order.
+	got, err := SelectEnvironments([]string{"azure-aks-cpu", "azure-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("selected %d azure envs, want 4", len(got))
+	}
+	prev := -1
+	for _, e := range got {
+		idx := -1
+		for i, a := range all {
+			if a.Key == e.Key {
+				idx = i
+				break
+			}
+		}
+		if idx <= prev {
+			t.Fatalf("selection out of matrix order: %s", e.Key)
+		}
+		prev = idx
+	}
+	// A pattern that matches nothing is an error.
+	if _, err := SelectEnvironments([]string{"ibm-*"}); err == nil {
+		t.Fatal("unmatched pattern must error")
+	}
+}
+
+func TestMatchEnv(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		pattern, key string
+		want         bool
+	}{
+		{"*", "anything", true},
+		{"azure-*", "azure-aks-cpu", true},
+		{"azure-*", "aws-eks-cpu", false},
+		{"aws-eks-cpu", "aws-eks-cpu", true},
+		{"aws-eks-cpu", "aws-eks-gpu", false},
+	}
+	for _, c := range cases {
+		if got := MatchEnv(c.pattern, c.key); got != c.want {
+			t.Errorf("MatchEnv(%q, %q) = %v, want %v", c.pattern, c.key, got, c.want)
+		}
+	}
+}
+
+func TestSelectModels(t *testing.T) {
+	t.Parallel()
+	// "*" anywhere, or an empty list, selects all models.
+	for _, names := range [][]string{nil, {"*"}, {"lammps", "*"}} {
+		got, err := SelectModels(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(All()) {
+			t.Fatalf("SelectModels(%v) = %d models, want %d", names, len(got), len(All()))
+		}
+	}
+	// Named selection returns §2.8 order regardless of input order, deduped.
+	got, err := SelectModels([]string{"stream", "amg2023", "stream"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name() != "amg2023" || got[1].Name() != "stream" {
+		t.Fatalf("SelectModels order/dedup wrong: %v", got)
+	}
+	if _, err := SelectModels([]string{"gromacs"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

@@ -403,12 +403,12 @@ func DefaultPlan() *Plan {
 	return p
 }
 
-// LoadPlan resolves a command-line -chaos argument: "" yields a nil plan
-// (no injection), "default" the built-in scenario, and anything else is
-// read as a plan file path.
+// LoadPlan resolves a command-line -chaos argument: "" or "none" yields a
+// nil plan (no injection), "default" the built-in scenario, and anything
+// else is read as a plan file path.
 func LoadPlan(arg string) (*Plan, error) {
 	switch arg {
-	case "":
+	case "", "none":
 		return nil, nil
 	case "default":
 		return DefaultPlan(), nil

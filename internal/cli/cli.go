@@ -1,0 +1,72 @@
+// Package cli deduplicates the study flag plumbing shared by the cmd/
+// mains (report, cloudbench, chaosbench, figures, trace, usability,
+// archive): the -seed, -workers, -chaos, -granularity, and -spec flags,
+// and the precedence rule that combines them into one core.StudySpec.
+// Before this package each main grew its own copy of the same flags and
+// they drifted; now a main registers the set once and resolves it once.
+package cli
+
+import (
+	"flag"
+
+	"cloudhpc/internal/core"
+)
+
+// StudyFlags is the shared flag set. Register it before flag.Parse and
+// resolve it after.
+type StudyFlags struct {
+	fs          *flag.FlagSet
+	seed        *uint64
+	workers     *int
+	chaos       *string
+	spec        *string
+	granularity *string
+	chaosDflt   string
+}
+
+// Register installs the shared study flags on fs. chaosDefault is the
+// plan reference used when neither -chaos nor the spec names one — ""
+// for the fault-free tools, "default" for chaosbench.
+func Register(fs *flag.FlagSet, chaosDefault string) *StudyFlags {
+	f := &StudyFlags{fs: fs, chaosDflt: chaosDefault}
+	f.seed = fs.Uint64("seed", core.DefaultSeed, "simulation seed (overrides the spec file's seed when set)")
+	f.workers = fs.Int("workers", 0, "concurrent work units (0 = all CPUs); the dataset is identical for every value")
+	f.chaos = fs.String("chaos", chaosDefault, `fault-injection plan: "none", "default", or a plan file path`)
+	f.spec = fs.String("spec", "", `study spec: "default" or a spec file path (envs, apps, scales, iterations, chaos, workers, granularity)`)
+	f.granularity = fs.String("granularity", "", `work-partitioning unit: "env" or "env-app"; the dataset is identical for either`)
+	return f
+}
+
+// Spec resolves the flags into a StudySpec: the -spec reference is loaded
+// (the full default study when empty), then every shared flag the user
+// set explicitly overrides the corresponding spec field. An unset -chaos
+// falls back to the registered default only when the spec left its chaos
+// reference unset — a spec's own plan, or its explicit "chaos none",
+// survives unrelated flag use.
+func (f *StudyFlags) Spec() (*core.StudySpec, error) {
+	spec, err := core.LoadSpec(*f.spec)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	f.fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	if set["seed"] {
+		spec.Seed = *f.seed
+	}
+	if set["workers"] {
+		spec.Workers = *f.workers
+	}
+	if set["chaos"] {
+		spec.Chaos = *f.chaos
+	} else if spec.Chaos == "" && f.chaosDflt != "" {
+		spec.Chaos = f.chaosDflt
+	}
+	if set["granularity"] {
+		g, err := core.ParseGranularity(*f.granularity)
+		if err != nil {
+			return nil, err
+		}
+		spec.Granularity = g
+	}
+	return spec, nil
+}

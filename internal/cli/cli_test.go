@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudhpc/internal/core"
+)
+
+func parse(t *testing.T, chaosDefault string, args ...string) *core.StudySpec {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, chaosDefault)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestDefaults(t *testing.T) {
+	t.Parallel()
+	spec := parse(t, "")
+	if spec.Seed != core.DefaultSeed || spec.Workers != 0 || spec.Chaos != "" || spec.Granularity != core.GranularityEnv {
+		t.Fatalf("default resolution: %+v", spec)
+	}
+}
+
+func TestExplicitFlagsOverrideSpecFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.spec")
+	src := "seed 7\nenvs azure-*\nworkers 2\nchaos default\ngranularity env\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No overrides: the spec file wins.
+	spec := parse(t, "", "-spec", path)
+	if spec.Seed != 7 || spec.Workers != 2 || spec.Chaos != "default" {
+		t.Fatalf("spec file not honored: %+v", spec)
+	}
+	// Explicit flags override their fields; untouched fields survive.
+	spec = parse(t, "", "-spec", path, "-seed", "9", "-workers", "32", "-granularity", "env-app")
+	if spec.Seed != 9 || spec.Workers != 32 || spec.Granularity != core.GranularityEnvApp {
+		t.Fatalf("explicit overrides not applied: %+v", spec)
+	}
+	if spec.Chaos != "default" || len(spec.Envs) != 1 || spec.Envs[0] != "azure-*" {
+		t.Fatalf("non-overridden spec fields drifted: %+v", spec)
+	}
+	// -chaos none overrides a spec's plan with the explicit clean spelling
+	// (which resolves to no plan and blocks any registered default).
+	spec = parse(t, "", "-spec", path, "-chaos", "none")
+	if spec.Chaos != "none" {
+		t.Fatalf("-chaos none left %q", spec.Chaos)
+	}
+}
+
+func TestChaosDefaultOnlyFillsEmpty(t *testing.T) {
+	t.Parallel()
+	// chaosbench-style default: no flags → built-in plan.
+	spec := parse(t, "default")
+	if spec.Chaos != "default" {
+		t.Fatalf("chaos default not applied: %q", spec.Chaos)
+	}
+	// A spec file's own plan wins over the registered default.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.spec")
+	if err := os.WriteFile(path, []byte("chaos myplan.txt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec = parse(t, "default", "-spec", path)
+	if spec.Chaos != "myplan.txt" {
+		t.Fatalf("spec plan overridden by registered default: %q", spec.Chaos)
+	}
+	// A spec's explicit "chaos none" also blocks the registered default —
+	// a file that declares itself clean must never be fault-injected.
+	clean := filepath.Join(dir, "clean.spec")
+	if err := os.WriteFile(clean, []byte("chaos none\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec = parse(t, "default", "-spec", clean)
+	if spec.Chaos != "none" {
+		t.Fatalf("explicit chaos none was replaced by %q", spec.Chaos)
+	}
+}
+
+func TestBadGranularityRejected(t *testing.T) {
+	t.Parallel()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "")
+	if err := fs.Parse([]string{"-granularity", "per-iteration"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Spec(); err == nil {
+		t.Fatal("unknown granularity must be rejected")
+	}
+}

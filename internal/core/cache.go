@@ -2,19 +2,30 @@ package core
 
 import "sync"
 
-// The cached-dataset layer: one full-study execution per seed, shared by
-// every consumer that only needs the default-options dataset (the root
-// benchmark harness regenerating tables and figures, cmd/figures,
-// cmd/report, cmd/trace, and the examples). The study takes a few hundred
-// milliseconds; the artifacts derived from it take microseconds — without
-// the cache every artifact would pay the study again.
+// The cached-dataset layer: one full-study execution per canonical spec
+// hash, shared by every consumer that only needs a given spec's dataset
+// (the root benchmark harness regenerating tables and figures,
+// cmd/figures, cmd/report, cmd/trace, and the examples). The study takes
+// a few hundred milliseconds; the artifacts derived from it take
+// microseconds — without the cache every artifact would pay the study
+// again.
+//
+// Keying by spec hash rather than by seed matters now that specs vary:
+// two different specs at the same seed (an env subset vs the full
+// matrix, a chaotic run vs a clean one) are different datasets and must
+// not collide. The hash covers exactly the dataset-determining inputs —
+// seed, resolved environments and scales, resolved models, iterations,
+// resolved chaos plan text — and deliberately excludes the execution
+// policy (Workers, Granularity), under which the dataset is invariant,
+// so callers that differ only in policy share one entry.
 //
 // The map lock is held only for entry lookup; each entry runs its study
-// under its own sync.Once, so concurrent calls for different seeds execute
-// in parallel while duplicate same-seed calls coalesce onto one run.
+// under its own sync.Once, so concurrent calls for different specs
+// execute in parallel while duplicate same-spec calls coalesce onto one
+// run.
 var (
 	cacheMu sync.Mutex
-	cache   = map[uint64]*cacheEntry{}
+	cache   = map[string]*cacheEntry{}
 )
 
 type cacheEntry struct {
@@ -23,26 +34,42 @@ type cacheEntry struct {
 	err  error
 }
 
-// CachedRunFull returns the default-options study dataset for seed,
+// CachedRunFull returns the default-spec study dataset for seed,
 // executing it on first use and memoizing it for the life of the process.
-// The returned Results are shared: treat them as read-only. Callers that
-// need non-default Options must build a Study and call RunFull themselves.
+// The returned Results are shared: treat them as read-only. Shorthand for
+// CachedRunSpec(DefaultSpec(seed)).
 func CachedRunFull(seed uint64) (*Results, error) {
+	return CachedRunSpec(DefaultSpec(seed))
+}
+
+// CachedRunSpec returns the study dataset for a spec, executing it on
+// first use and memoizing it under the spec's canonical hash for the life
+// of the process. The returned Results are shared: treat them as
+// read-only. Callers that need non-spec Options (pauses, test clusters,
+// budget aborts) must build a Study and call RunFull themselves. The
+// first caller's Workers/Granularity policy drives the one execution;
+// since the dataset is policy-invariant, later callers observe no
+// difference.
+func CachedRunSpec(spec *StudySpec) (*Results, error) {
+	// One resolution serves both the key and the execution, so the dataset
+	// memoized under the hash is exactly the one that resolution described
+	// (a chaos plan file edited between two resolutions could otherwise
+	// cache a dataset under a stale key).
+	r, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	key := r.Hash()
 	cacheMu.Lock()
-	e, ok := cache[seed]
+	e, ok := cache[key]
 	if !ok {
 		e = &cacheEntry{}
-		cache[seed] = e
+		cache[key] = e
 	}
 	cacheMu.Unlock()
 
 	e.once.Do(func() {
-		st, err := New(seed)
-		if err != nil {
-			e.err = err
-			return
-		}
-		e.res, e.err = st.RunFull()
+		e.res, e.err = newStudy(r, spec).RunFull()
 	})
 	return e.res, e.err
 }

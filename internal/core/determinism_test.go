@@ -11,15 +11,23 @@ import (
 // count, with an optional chaos plan.
 func runWithWorkers(t *testing.T, seed uint64, workers int, plan *chaos.Plan) (*Study, *Results) {
 	t.Helper()
+	return runPartitioned(t, seed, workers, GranularityEnv, plan)
+}
+
+// runPartitioned executes a fresh study at the given seed, worker count,
+// and partitioning granularity, with an optional chaos plan.
+func runPartitioned(t *testing.T, seed uint64, workers int, gran Granularity, plan *chaos.Plan) (*Study, *Results) {
+	t.Helper()
 	st, err := New(seed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st.Opts.Workers = workers
+	st.Opts.Granularity = gran
 	st.Opts.Chaos = plan
 	res, err := st.RunFull()
 	if err != nil {
-		t.Fatalf("RunFull(workers=%d): %v", workers, err)
+		t.Fatalf("RunFull(workers=%d granularity=%s): %v", workers, gran, err)
 	}
 	return st, res
 }
@@ -99,11 +107,11 @@ func assertSameDataset(t *testing.T, workers int, baseStudy, st *Study, base, re
 }
 
 // TestRunFullWorkerCountInvariant is the executor's core guarantee: the
-// dataset is byte-identical whether the environments run one at a time or
-// eight at a time — with and without fault injection. Run records, the
-// derived Table 4, per-cloud spend, the merged trace, the merged billing
-// timeline, and (under chaos) the incident transcript and recovery
-// accounting must all match exactly.
+// dataset is byte-identical across the whole execution-policy grid —
+// granularity ∈ {env, env×app} × workers ∈ {1, 4, 32} — with and without
+// fault injection. Run records, the derived Table 4, per-cloud spend, the
+// merged trace, the merged billing timeline, and (under chaos) the
+// incident transcript and recovery accounting must all match exactly.
 func TestRunFullWorkerCountInvariant(t *testing.T) {
 	const seed = 2025
 	plans := []struct {
@@ -116,18 +124,41 @@ func TestRunFullWorkerCountInvariant(t *testing.T) {
 	for _, tc := range plans {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			baseStudy, base := runWithWorkers(t, seed, 1, tc.plan)
+			baseStudy, base := runPartitioned(t, seed, 1, GranularityEnv, tc.plan)
 			if tc.plan != nil && len(base.Incidents) == 0 {
 				t.Fatal("chaos plan injected no incidents; the invariant would be vacuous")
 			}
 			if tc.plan == nil && len(base.Incidents) != 0 {
 				t.Fatalf("default run has %d incidents; chaos must be off by default", len(base.Incidents))
 			}
-			for _, workers := range []int{4, 8} {
-				st, res := runWithWorkers(t, seed, workers, tc.plan)
-				assertSameDataset(t, workers, baseStudy, st, base, res)
+			for _, gran := range []Granularity{GranularityEnv, GranularityEnvApp} {
+				for _, workers := range []int{1, 4, 32} {
+					if gran == GranularityEnv && workers == 1 {
+						continue // the baseline itself
+					}
+					st, res := runPartitioned(t, seed, workers, gran, tc.plan)
+					assertSameDataset(t, workers, baseStudy, st, base, res)
+				}
 			}
 		})
+	}
+}
+
+// TestRunFullGranularityInvariantAcrossSeeds spot-checks the granularity
+// half of the invariant on other seeds so it cannot silently hold only
+// for the default.
+func TestRunFullGranularityInvariantAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 31337} {
+		_, a := runPartitioned(t, seed, 8, GranularityEnv, nil)
+		_, b := runPartitioned(t, seed, 8, GranularityEnvApp, nil)
+		if len(a.Runs) != len(b.Runs) {
+			t.Fatalf("seed %d: run counts %d vs %d", seed, len(a.Runs), len(b.Runs))
+		}
+		for i := range a.Runs {
+			if a.Runs[i].FOM != b.Runs[i].FOM || a.Runs[i].Wall != b.Runs[i].Wall {
+				t.Fatalf("seed %d: run %d diverged between granularities", seed, i)
+			}
+		}
 	}
 }
 

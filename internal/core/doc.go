@@ -4,30 +4,50 @@
 // five iterations per scale, meters the spend, and aggregates the records
 // into the paper's tables and figures.
 //
+// # Study specs
+//
+// What a study runs is declared by a StudySpec — environment selection,
+// application selection, scales, iterations, a chaos-plan reference, and
+// the execution policy (workers, granularity). DefaultSpec is the paper's
+// full 13×11×4×5 matrix; any other scenario is a different spec (built
+// programmatically or parsed from a line-oriented spec file via
+// ParseSpec/LoadSpec), not a code change. NewFromSpec materializes a spec
+// into a Study; New(seed) is the default-spec shorthand.
+//
 // # Execution model
 //
-// The study's environments are mutually independent, so RunFull executes
-// them as shards over a worker pool (Options.Workers, default
-// runtime.NumCPU()). Each shard owns a complete private substrate set — a
-// sim.Simulation (virtual clock, event queue, named RNG streams derived
-// from the study's root seed), a trace.Log, and its own meter, quota
-// manager, provisioner, builder, and registry — so no mutable state is
-// shared between concurrently running environments.
+// Execution follows a hierarchical work-partitioning plan. The study's
+// environments are mutually independent, so RunFull executes them as
+// shards over a worker pool (Options.Workers, default runtime.NumCPU()).
+// Each shard owns a complete private substrate set — a sim.Simulation
+// (virtual clock, event queue, named RNG streams derived from the study's
+// root seed), a trace.Log, and its own meter, quota manager, provisioner,
+// builder, and registry — so no mutable state is shared between
+// concurrently running environments. At Options.Granularity ==
+// GranularityEnvApp each environment additionally fans out into one unit
+// per (environment, application) pair that precomputes the pure
+// model/hookup draws (see unit.go), lifting the parallelism cap from the
+// environment count to env×app.
 //
 // # Determinism
 //
-// Every random draw a shard makes comes from a stream named for its
-// environment ("core/run/<env>", "cloud/provision/<env>",
+// Every random draw a unit or shard makes comes from a stream named for
+// its owner ("core/run/<env>/<app>", "cloud/provision/<env>",
 // "sched/<env>", ...), and streams are derived from (seed, name) alone.
-// A shard's output therefore depends only on the root seed and its spec,
-// never on goroutine scheduling. The merge step stitches shard results,
-// logs, and charges together in the canonical matrix order of Study.Envs,
-// shifting each shard's virtual timestamps by the summed duration of the
-// shards before it — reconstructing one sequential campaign timeline. The
-// result: RunFull's dataset is byte-identical for every worker count, and
-// two runs with the same seed are byte-identical full stop.
+// An output therefore depends only on the root seed and its own
+// coordinates, never on goroutine scheduling. The hierarchical merge
+// stitches units into environments in canonical application order and
+// shard results, logs, and charges into the study in the canonical matrix
+// order of Study.Envs, shifting each shard's virtual timestamps by the
+// summed duration of the shards before it — reconstructing one sequential
+// campaign timeline. The result: RunFull's dataset is byte-identical for
+// every worker count and granularity, and two runs with the same spec are
+// byte-identical full stop. Options.LegacyRunStreams restores the
+// pre-spec shared "core/run/<env>" stream naming so historical datasets
+// (the original seed-2025 golden) remain reproducible.
 //
-// CachedRunFull memoizes the default-options dataset per seed so that
-// benchmarks, commands, and examples regenerating multiple artifacts share
-// a single study execution.
+// CachedRunSpec memoizes one dataset per canonical spec hash
+// (CachedRunFull for the default spec) so that benchmarks, commands, and
+// examples regenerating multiple artifacts share a single study
+// execution.
 package core

@@ -47,6 +47,14 @@ type shard struct {
 	// faults — like everything else a shard does — depend only on the
 	// (seed, plan, spec) triple, never on scheduling.
 	chaos *chaos.Engine
+	// iterations is the spec's per-scale repeat count (itersFor may lower
+	// it for individual runs).
+	iterations int
+	// mode selects where per-run model/hookup draws come from (see
+	// unit.go); planned holds the per-application unit outputs when mode
+	// is drawPlanned, indexed like models.
+	mode    drawMode
+	planned []*unitPlan
 
 	res *Results // shard-local slice of the dataset
 	err error
@@ -86,24 +94,37 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 	} else {
 		prov.FishEveryN = 0
 	}
-	return &shard{
-		spec:   spec,
-		opts:   st.Opts,
-		sim:    s,
-		log:    log,
-		meter:  meter,
-		quota:  quota,
-		prov:   prov,
-		build:  containers.NewBuilder(s, log),
-		reg:    reg,
-		hookup: st.Hookup,
-		models: st.Models,
-		chaos:  eng,
+	mode := drawInline
+	switch {
+	case st.Opts.LegacyRunStreams:
+		mode = drawLegacy
+	case st.Opts.Granularity == GranularityEnvApp:
+		mode = drawPlanned
+	}
+	sh := &shard{
+		spec:       spec,
+		opts:       st.Opts,
+		sim:        s,
+		log:        log,
+		meter:      meter,
+		quota:      quota,
+		prov:       prov,
+		build:      containers.NewBuilder(s, log),
+		reg:        reg,
+		hookup:     st.Hookup,
+		models:     st.Models,
+		chaos:      eng,
+		iterations: st.Iterations,
+		mode:       mode,
 		res: &Results{
 			ECCOn:   make(map[string]float64),
 			Hookups: make(map[string]map[int]time.Duration),
 		},
 	}
+	if mode == drawPlanned {
+		sh.planned = make([]*unitPlan, len(sh.models))
+	}
+	return sh
 }
 
 // budgetShare splits the provider's configured budget evenly across its
@@ -248,11 +269,9 @@ func (sh *shard) runScale(nodes int, images map[string]containers.Image) error {
 		scheduler.SetFaultInjector(sh.chaos)
 	}
 
-	rng := sh.sim.Stream("core/run/" + spec.Key)
-	for _, m := range sh.models {
-		iters := Iterations
-		if spec.Key == "azure-aks-cpu" && nodes == 256 && m.Name() == "lammps" {
-			iters = 1 // 8.82-minute hookup: only one run was performed
+	for appIdx, m := range sh.models {
+		iters := itersFor(spec, nodes, m.Name(), sh.iterations)
+		if iters < sh.iterations {
 			sh.log.Addf(sh.sim.Now(), spec.Key, trace.Info, trace.Routine,
 				"lammps at size 256: single run due to long hookup time")
 		}
@@ -265,7 +284,10 @@ func (sh *shard) runScale(nodes int, images map[string]containers.Image) error {
 			continue
 		}
 		for it := 0; it < iters; it++ {
-			rec := sh.runOnce(m, nodes, it, scheduler, rng)
+			rec, err := sh.runOnce(appIdx, m, nodes, it, scheduler)
+			if err != nil {
+				return err
+			}
 			sh.res.Runs = append(sh.res.Runs, rec)
 			if hk, ok := sh.res.Hookups[spec.Key]; ok {
 				hk[nodes] = rec.Hookup
@@ -369,14 +391,20 @@ func (sh *shard) deployKubernetes(cluster *cloud.Cluster) (*sched.Scheduler, err
 }
 
 // runOnce submits one application run through the environment's scheduler
-// and records the outcome. With a chaos engine attached, the run may hit
-// a degraded network window (stretching hookup and wall time — and
-// therefore cost) before submission, and a spot reclaim (via the
-// scheduler's fault injector) after it.
-func (sh *shard) runOnce(m apps.Model, nodes, iter int, scheduler *sched.Scheduler, rng *sim.Stream) RunRecord {
+// and records the outcome. The model result and hookup time come from the
+// shard's draw source (inline stream, precomputed unit, or the legacy
+// shared stream — see unit.go); everything downstream of the draw is the
+// environment lifecycle and always replays here, in canonical order. With
+// a chaos engine attached, the run may hit a degraded network window
+// (stretching hookup and wall time — and therefore cost) before
+// submission, and a spot reclaim (via the scheduler's fault injector)
+// after it.
+func (sh *shard) runOnce(appIdx int, m apps.Model, nodes, iter int, scheduler *sched.Scheduler) (RunRecord, error) {
 	spec := sh.spec
-	result := m.Run(spec.Env, nodes, rng)
-	hookup := sh.hookup.Hookup(spec.Provider, spec.Acc, spec.Kubernetes, nodes, rng)
+	result, hookup, err := sh.draw(appIdx, m, nodes, iter)
+	if err != nil {
+		return RunRecord{}, err
+	}
 	wall := result.Wall
 	if sh.chaos != nil {
 		wall, hookup = sh.chaos.DegradeRun(nodes, wall, hookup)
@@ -384,7 +412,7 @@ func (sh *shard) runOnce(m apps.Model, nodes, iter int, scheduler *sched.Schedul
 
 	job := &sched.Job{Name: fmt.Sprintf("%s-%d", m.Name(), iter), Nodes: nodes, Duration: wall, Hookup: hookup}
 	if err := scheduler.Submit(job); err != nil {
-		return RunRecord{EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter, Err: err, Unit: result.Unit}
+		return RunRecord{EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter, Err: err, Unit: result.Unit}, nil
 	}
 	sh.sim.Run()
 
@@ -397,7 +425,7 @@ func (sh *shard) runOnce(m apps.Model, nodes, iter int, scheduler *sched.Schedul
 	if rec.Err == nil && job.State == sched.Failed {
 		rec.Err = job.Err
 	}
-	return rec
+	return rec, nil
 }
 
 // audit runs the single-node fleet audit and the Mixbench ECC survey on

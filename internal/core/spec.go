@@ -1,0 +1,413 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/chaos"
+)
+
+// DefaultSeed is the study's published seed: the seed-2025 dataset is the
+// golden reproduction every regression test pins.
+const DefaultSeed = 2025
+
+// Granularity selects the executor's work-partitioning unit. It is an
+// execution knob like Options.Workers: the dataset is byte-identical for
+// every granularity, only the shape of the parallelism changes.
+type Granularity string
+
+const (
+	// GranularityEnv partitions the study into one unit per environment —
+	// the classic shard. Parallelism is capped at the environment count.
+	GranularityEnv Granularity = "env"
+	// GranularityEnvApp additionally splits every environment's model
+	// evaluations into one unit per (environment, application) pair. The
+	// units precompute the per-run model and hookup draws from their
+	// private "core/run/<env>/<app>" streams; the environment stage then
+	// replays the lifecycle (provisioning, scheduling, chaos, audits)
+	// consuming those draws in canonical order. With 13 environments and
+	// 11 applications that is >140 units, so the pool keeps scaling past
+	// 13 workers.
+	GranularityEnvApp Granularity = "env-app"
+)
+
+// ParseGranularity parses a granularity name ("" means GranularityEnv).
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "", string(GranularityEnv):
+		return GranularityEnv, nil
+	case string(GranularityEnvApp):
+		return GranularityEnvApp, nil
+	default:
+		return "", fmt.Errorf("core: unknown granularity %q (want %q or %q)",
+			s, GranularityEnv, GranularityEnvApp)
+	}
+}
+
+// StudySpec is the declarative description of what a study runs: which
+// environments, which applications, at which cluster sizes, how many
+// iterations, under which fault plan — plus the execution policy (worker
+// count, partitioning granularity) that does not affect the dataset. It
+// replaces the hardcoded 13×11×4×5 matrix as the single source of truth:
+// the default spec reproduces the paper's study exactly, and every other
+// scenario is a different spec, not a code change.
+//
+// Specs are built programmatically or parsed from a line-oriented spec
+// file (see ParseSpec). The zero value is normalized to the full default
+// study at seed 0.
+type StudySpec struct {
+	// Seed is the root simulation seed every named stream derives from.
+	Seed uint64
+	// Envs selects environments from the study matrix: exact keys
+	// ("aws-eks-cpu"), prefix globs ("azure-*"), or "*" for the whole
+	// matrix. Empty means "*". Matrix order is preserved regardless of
+	// pattern order.
+	Envs []string
+	// Apps selects applications by model name, or "*" for all eleven.
+	// Empty means "*". The paper's §2.8 order is preserved.
+	Apps []string
+	// Scales, when non-empty, replaces every selected environment's
+	// cluster sizes. Empty keeps the per-environment defaults.
+	Scales []int
+	// Iterations is the per-scale repeat count; 0 means the study default
+	// (Iterations == 5).
+	Iterations int
+	// Chaos references a fault-injection plan: "" (unset) or "none"
+	// (explicitly clean) for a fault-free study, "default" for the
+	// built-in scenario, anything else is read as a chaos plan file path
+	// (resolved when the spec is resolved). "" and "none" resolve and
+	// hash identically; they differ only for tooling that fills an unset
+	// reference with its own default (internal/cli), which an explicit
+	// "none" blocks.
+	Chaos string
+	// Workers bounds concurrent work units; 0 means runtime.NumCPU().
+	// Execution policy only — never part of the spec hash.
+	Workers int
+	// Granularity selects the work-partitioning unit ("" means env).
+	// Execution policy only — never part of the spec hash.
+	Granularity Granularity
+}
+
+// DefaultSpec returns the paper's full study at the given seed: every
+// environment, every application, default scales, five iterations, no
+// chaos.
+func DefaultSpec(seed uint64) *StudySpec {
+	s := &StudySpec{Seed: seed}
+	s.normalize()
+	return s
+}
+
+// normalize fills defaults into zero-valued fields. Seed is left alone —
+// a programmatic zero seed is legitimate (spec *files* default a missing
+// seed line to DefaultSeed in ParseSpec) — and Chaos keeps its spelling
+// ("" unset vs "none" explicit; see the field doc).
+func (s *StudySpec) normalize() {
+	if len(s.Envs) == 0 {
+		s.Envs = []string{"*"}
+	}
+	if len(s.Apps) == 0 {
+		s.Apps = []string{"*"}
+	}
+	if s.Iterations == 0 {
+		s.Iterations = Iterations
+	}
+	if s.Workers < 0 {
+		s.Workers = 0 // the executor treats both as "all CPUs"
+	}
+	if s.Granularity == "" {
+		s.Granularity = GranularityEnv
+	}
+}
+
+// validate rejects specs that cannot be resolved deterministically.
+func (s *StudySpec) validate() error {
+	if s.Iterations < 1 || s.Iterations > 1000 {
+		return fmt.Errorf("core: spec iterations %d outside [1, 1000]", s.Iterations)
+	}
+	if s.Workers > 1<<16 {
+		return fmt.Errorf("core: spec workers %d above 65536", s.Workers)
+	}
+	if _, err := ParseGranularity(string(s.Granularity)); err != nil {
+		return err
+	}
+	if len(s.Envs) > 256 || len(s.Apps) > 256 || len(s.Scales) > 64 {
+		return fmt.Errorf("core: spec selector list too long")
+	}
+	for _, lst := range [][]string{s.Envs, s.Apps} {
+		for _, tok := range lst {
+			if tok == "" || strings.ContainsAny(tok, " \t\n#") {
+				return fmt.Errorf("core: spec selector token %q contains whitespace or '#'", tok)
+			}
+		}
+	}
+	for i, n := range s.Scales {
+		if n < 1 || n > 1<<20 {
+			return fmt.Errorf("core: spec scale %d outside [1, 2^20]", n)
+		}
+		if i > 0 && n <= s.Scales[i-1] {
+			return fmt.Errorf("core: spec scales must be strictly ascending, got %v", s.Scales)
+		}
+	}
+	if strings.ContainsAny(s.Chaos, "\n#") {
+		return fmt.Errorf("core: spec chaos reference %q contains newline or '#'", s.Chaos)
+	}
+	return nil
+}
+
+// String renders the spec in canonical spec-file syntax. For any
+// normalized valid spec, ParseSpec(s.String()) reproduces s exactly.
+func (s *StudySpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "envs %s\n", strings.Join(s.Envs, " "))
+	fmt.Fprintf(&b, "apps %s\n", strings.Join(s.Apps, " "))
+	if len(s.Scales) == 0 {
+		b.WriteString("scales default\n")
+	} else {
+		nums := make([]string, len(s.Scales))
+		for i, n := range s.Scales {
+			nums[i] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(&b, "scales %s\n", strings.Join(nums, " "))
+	}
+	fmt.Fprintf(&b, "iterations %d\n", s.Iterations)
+	if s.Chaos != "" {
+		// An unset reference stays unset (no line) so the round trip is
+		// exact and tooling defaults (internal/cli) can still fill it; an
+		// explicit "none" is preserved and blocks them.
+		fmt.Fprintf(&b, "chaos %s\n", s.Chaos)
+	}
+	fmt.Fprintf(&b, "workers %d\n", s.Workers)
+	fmt.Fprintf(&b, "granularity %s\n", s.Granularity)
+	return b.String()
+}
+
+// ParseSpec parses spec-file syntax: one directive per line,
+//
+//	<key> <value...>
+//
+// with '#' comments and blank lines ignored. Keys are seed, envs, apps,
+// scales, iterations, chaos, workers, and granularity; all are optional
+// (missing keys take the study defaults — a missing seed line means
+// DefaultSeed) but none may repeat. Unknown keys, malformed values, and
+// out-of-range values are errors. The parsed spec is normalized and
+// validated.
+func ParseSpec(src string) (*StudySpec, error) {
+	s := &StudySpec{}
+	seen := map[string]bool{}
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		key, vals := fields[0], fields[1:]
+		if seen[key] {
+			return nil, fmt.Errorf("core: spec line %d: repeated key %q", lineNo+1, key)
+		}
+		seen[key] = true
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("core: spec line %d: key %q has no value", lineNo+1, key)
+		}
+		single := func() (string, error) {
+			if len(vals) != 1 {
+				return "", fmt.Errorf("core: spec line %d: key %q wants one value, got %d", lineNo+1, key, len(vals))
+			}
+			return vals[0], nil
+		}
+		switch key {
+		case "seed":
+			v, err := single()
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: spec line %d: seed: %v", lineNo+1, err)
+			}
+			s.Seed = n
+		case "envs":
+			s.Envs = vals
+		case "apps":
+			s.Apps = vals
+		case "scales":
+			if len(vals) == 1 && vals[0] == "default" {
+				break
+			}
+			for _, v := range vals {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("core: spec line %d: scales: %v", lineNo+1, err)
+				}
+				s.Scales = append(s.Scales, n)
+			}
+		case "iterations":
+			v, err := single()
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: spec line %d: iterations: %v", lineNo+1, err)
+			}
+			if n < 1 {
+				// Explicit zero must not silently normalize to the default.
+				return nil, fmt.Errorf("core: spec line %d: iterations %d outside [1, 1000]", lineNo+1, n)
+			}
+			s.Iterations = n
+		case "chaos":
+			v, err := single()
+			if err != nil {
+				return nil, err
+			}
+			s.Chaos = v
+		case "workers":
+			v, err := single()
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: spec line %d: workers: %v", lineNo+1, err)
+			}
+			s.Workers = n
+		case "granularity":
+			v, err := single()
+			if err != nil {
+				return nil, err
+			}
+			g, err := ParseGranularity(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: spec line %d: %v", lineNo+1, err)
+			}
+			s.Granularity = g
+		default:
+			return nil, fmt.Errorf("core: spec line %d: unknown key %q", lineNo+1, key)
+		}
+	}
+	if !seen["seed"] {
+		// A seedless spec file means the published seed, not seed 0 — a
+		// dataset that silently matches no golden artifact would be a trap.
+		s.Seed = DefaultSeed
+	}
+	s.normalize()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadSpec resolves a command-line -spec argument: "" or "default" yields
+// the full default study at DefaultSeed; anything else is read as a spec
+// file path.
+func LoadSpec(arg string) (*StudySpec, error) {
+	switch arg {
+	case "", "default":
+		return DefaultSpec(DefaultSeed), nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading spec: %w", err)
+	}
+	s, err := ParseSpec(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", arg, err)
+	}
+	return s, nil
+}
+
+// ResolvedSpec is a spec materialized against the study matrix: concrete
+// environment rows (with any scale override applied), concrete models,
+// and the loaded chaos plan.
+type ResolvedSpec struct {
+	Seed       uint64
+	Envs       []apps.EnvSpec
+	Models     []apps.Model
+	Iterations int
+	Plan       *chaos.Plan
+}
+
+// Resolve materializes the spec: environment patterns are matched against
+// the study matrix (matrix order preserved), app names against the model
+// list (§2.8 order preserved), the scale override is applied, and the
+// chaos reference is loaded. A pattern or name that selects nothing is an
+// error — a silent empty study hides typos.
+func (s *StudySpec) Resolve() (*ResolvedSpec, error) {
+	spec := *s // normalize a copy so Resolve is read-only on s
+	spec.normalize()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	envs, err := apps.SelectEnvironments(spec.Envs)
+	if err != nil {
+		return nil, err
+	}
+	models, err := apps.SelectModels(spec.Apps)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Scales) > 0 {
+		for i := range envs {
+			envs[i].Scales = append([]int(nil), spec.Scales...)
+		}
+	}
+	plan, err := chaos.LoadPlan(spec.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	return &ResolvedSpec{
+		Seed:       spec.Seed,
+		Envs:       envs,
+		Models:     models,
+		Iterations: spec.Iterations,
+		Plan:       plan,
+	}, nil
+}
+
+// Hash returns the canonical content hash of everything that determines
+// the dataset: the seed, the resolved environment rows (keys and scales),
+// the resolved model names, the iteration count, and the resolved chaos
+// plan text (so two references to the same plan hash alike, and editing a
+// plan file changes the hash). Execution policy — Workers, Granularity —
+// is deliberately excluded: the dataset is invariant under it, so cache
+// entries are shared across it.
+func (s *StudySpec) Hash() (string, error) {
+	r, err := s.Resolve()
+	if err != nil {
+		return "", err
+	}
+	return r.Hash(), nil
+}
+
+// Hash is the canonical content hash of the resolved spec (see
+// StudySpec.Hash). Hashing the resolved form — not the spec's spelling —
+// is what lets a materialized spec be hashed and executed from one
+// resolution, with no window for a chaos plan file to change between
+// computing the key and running the study.
+func (r *ResolvedSpec) Hash() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", r.Seed)
+	for _, e := range r.Envs {
+		scales := make([]string, len(e.Scales))
+		for i, n := range e.Scales {
+			scales[i] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(&b, "env %s scales=%s\n", e.Key, strings.Join(scales, ","))
+	}
+	names := make([]string, len(r.Models))
+	for i, m := range r.Models {
+		names[i] = m.Name()
+	}
+	sort.Strings(names) // model order never affects per-app streams
+	fmt.Fprintf(&b, "apps %s\n", strings.Join(names, ","))
+	fmt.Fprintf(&b, "iterations %d\n", r.Iterations)
+	fmt.Fprintf(&b, "chaos:\n%s", r.Plan.String())
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudhpc/internal/apps"
@@ -37,6 +39,9 @@ type Study struct {
 	Hookup   *network.HookupModel
 	Envs     []apps.EnvSpec
 	Models   []apps.Model
+	// Iterations is the per-scale repeat count (the spec's iteration
+	// count; Iterations — the package constant — for the default study).
+	Iterations int
 }
 
 // RunRecord is one application execution in the study dataset.
@@ -81,50 +86,87 @@ type Results struct {
 	Recovery Recovery
 }
 
-// New creates a study with the given seed.
+// New creates the paper's full study with the given seed — shorthand for
+// NewFromSpec(DefaultSpec(seed)).
 func New(seed uint64) (*Study, error) {
-	s := sim.New(seed)
-	log := trace.NewLog()
-	meter := cloud.NewMeter(s, log)
-	envs, err := apps.StudyEnvironments()
+	return NewFromSpec(DefaultSpec(seed))
+}
+
+// NewFromSpec creates a study from a declarative spec: the spec's
+// environment and application selections become the study matrix, its
+// scale override and iteration count apply, its chaos reference is
+// resolved into Options.Chaos, and its worker/granularity policy lands in
+// Options. The default spec reproduces New exactly.
+func NewFromSpec(spec *StudySpec) (*Study, error) {
+	r, err := spec.Resolve()
 	if err != nil {
 		return nil, err
 	}
+	return newStudy(r, spec), nil
+}
+
+// newStudy builds a study from an already-materialized spec. Callers that
+// need both the hash and the study (the cached-dataset layer) resolve
+// once and use this, so the dataset executed always matches the key it is
+// memoized under even if a referenced chaos plan file changes on disk in
+// between.
+func newStudy(r *ResolvedSpec, spec *StudySpec) *Study {
+	s := sim.New(r.Seed)
+	log := trace.NewLog()
+	meter := cloud.NewMeter(s, log)
 	for _, p := range []cloud.Provider{cloud.AWS, cloud.Azure, cloud.Google} {
 		meter.SetBudget(p, BudgetPerCloudUSD)
 	}
 	return &Study{
-		Sim:      s,
-		Log:      log,
-		Meter:    meter,
-		Builder:  containers.NewBuilder(s, log),
-		Registry: containers.NewRegistry(),
-		Hookup:   network.NewHookupModel(),
-		Envs:     envs,
-		Models:   apps.All(),
-	}, nil
+		Opts: Options{
+			Workers:     spec.Workers,
+			Granularity: spec.Granularity,
+			Chaos:       r.Plan,
+		},
+		Sim:        s,
+		Log:        log,
+		Meter:      meter,
+		Builder:    containers.NewBuilder(s, log),
+		Registry:   containers.NewRegistry(),
+		Hookup:     network.NewHookupModel(),
+		Envs:       r.Envs,
+		Models:     r.Models,
+		Iterations: r.Iterations,
+	}
 }
 
 // RunFull executes the whole study and returns the dataset.
 //
-// Execution is sharded: every environment of the matrix runs as an
-// independent shard with its own virtual clock, event queue, RNG streams,
-// and substrate instances, dispatched over a pool of Options.Workers
-// goroutines (default runtime.NumCPU()). Because a shard's behaviour
-// depends only on the root seed and its own environment spec, and the
-// merge below always stitches shards together in the matrix order of
-// st.Envs, the returned Results — run records, trace, and billing — are
-// byte-identical for every worker count.
+// Execution follows a work-partitioning plan. At GranularityEnv every
+// environment of the matrix runs as one independent shard with its own
+// virtual clock, event queue, RNG streams, and substrate instances. At
+// GranularityEnvApp each environment first fans out into one unit per
+// (environment, application) pair — a pure model/hookup precompute — and
+// the environment's lifecycle assembly is enqueued by whichever of its
+// units finishes last, so assemblies overlap with other environments'
+// units and the pool keeps scaling past the environment count. All tasks
+// are dispatched over a pool of Options.Workers goroutines (default
+// runtime.NumCPU()).
+//
+// Because every unit's and shard's behaviour depends only on the root
+// seed and its own (env, app) coordinates — never on which worker ran it
+// or when — and the hierarchical merge always stitches units into their
+// environment in canonical application order and environments into the
+// study in matrix order, the returned Results — run records, trace, and
+// billing — are byte-identical for every worker count and granularity.
 //
 // RunFull is intended to be called once per Study: it merges the shards
 // into st.Log, st.Meter, st.Builder, and st.Registry.
 func (st *Study) RunFull() (*Results, error) {
-	workers := st.Opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	gran, err := ParseGranularity(string(st.Opts.Granularity))
+	if err != nil {
+		return nil, err
 	}
-	if workers > len(st.Envs) {
-		workers = len(st.Envs)
+	if st.Opts.LegacyRunStreams && gran != GranularityEnv {
+		return nil, fmt.Errorf("core: LegacyRunStreams requires granularity %q: a shared per-environment stream cannot be split into (env, app) units", GranularityEnv)
+	}
+	if st.Iterations <= 0 {
+		st.Iterations = Iterations
 	}
 
 	shards := make([]*shard, len(st.Envs))
@@ -132,24 +174,66 @@ func (st *Study) RunFull() (*Results, error) {
 		shards[i] = st.newShard(spec)
 	}
 
-	jobs := make(chan *shard)
-	var wg sync.WaitGroup
+	// Build the task list. Tasks may enqueue follow-up tasks (a shard's
+	// last unit enqueues its assembly), so the queue is buffered for the
+	// whole plan and completion is tracked by counting tasks, not by
+	// closing the channel early.
+	total := len(shards)
+	unitized := gran == GranularityEnvApp
+	if unitized {
+		for _, sh := range shards {
+			if sh.spec.Unavailable == "" {
+				total += len(sh.models)
+			}
+		}
+	}
+	workers := st.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	queue := make(chan func(), total)
+	var pending sync.WaitGroup
+	pending.Add(total)
+	var pool sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		pool.Add(1)
 		go func() {
-			defer wg.Done()
-			for sh := range jobs {
-				sh.run()
+			defer pool.Done()
+			for task := range queue {
+				task()
+				pending.Done()
 			}
 		}()
 	}
 	for _, sh := range shards {
-		jobs <- sh
+		sh := sh
+		if !unitized || sh.spec.Unavailable != "" || len(sh.models) == 0 {
+			queue <- sh.run
+			continue
+		}
+		remaining := int32(len(sh.models))
+		for appIdx := range sh.models {
+			appIdx := appIdx
+			queue <- func() {
+				sh.computeUnit(appIdx)
+				if atomic.AddInt32(&remaining, -1) == 0 {
+					queue <- sh.run // hierarchical merge level 1: units → environment
+				}
+			}
+		}
 	}
-	close(jobs)
-	wg.Wait()
+	pending.Wait()
+	close(queue)
+	pool.Wait()
 
-	return st.merge(shards)
+	return st.merge(shards) // hierarchical merge level 2: environments → study
 }
 
 // merge stitches the finished shards into one dataset in canonical matrix

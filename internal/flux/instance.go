@@ -138,8 +138,11 @@ func (in *Instance) Spawn(name string, alloc *Allocation) (*Instance, error) {
 // cloneTree deep-copies a resource subtree with allocations cleared.
 func cloneTree(r *Resource) *Resource {
 	c := &Resource{Type: r.Type, Name: r.Name}
-	for _, ch := range r.Children {
-		c.Children = append(c.Children, cloneTree(ch))
+	if len(r.Children) > 0 {
+		c.Children = make([]*Resource, 0, len(r.Children))
+		for _, ch := range r.Children {
+			c.Children = append(c.Children, cloneTree(ch))
+		}
 	}
 	return c
 }
@@ -186,7 +189,7 @@ func (in *Instance) tryAllocate(id uint64, spec Jobspec) (*Allocation, bool) {
 			if cores == nil || gpus == nil {
 				continue
 			}
-			var vertices []*Resource
+			vertices := make([]*Resource, 0, len(cores)+len(gpus)+1)
 			vertices = append(vertices, cores...)
 			vertices = append(vertices, gpus...)
 			if spec.NodeExclusive {
@@ -223,7 +226,7 @@ func freeLeaves(node *Resource, t ResourceType, n int) []*Resource {
 	if n == 0 {
 		return []*Resource{}
 	}
-	var out []*Resource
+	out := make([]*Resource, 0, n)
 	var walk func(v *Resource, busy bool)
 	walk = func(v *Resource, busy bool) {
 		if len(out) >= n {

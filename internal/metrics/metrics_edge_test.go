@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge coverage for the figure-aggregation helpers that feed
+// core.Results.FigureFor — the remaining uncovered paths after the
+// property tests in metrics_test.go.
+
+func TestSummaryString(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "2.00") || !strings.Contains(str, "±") {
+		t.Fatalf("Summary.String() = %q, want mean ± stddev", str)
+	}
+	if zero := (Summary{}).String(); !strings.Contains(zero, "0.00") {
+		t.Fatalf("zero Summary renders %q", zero)
+	}
+}
+
+func TestFigureLabelsInsertionOrder(t *testing.T) {
+	t.Parallel()
+	var f Figure
+	if got := f.Labels(); len(got) != 0 {
+		t.Fatalf("empty figure has labels %v", got)
+	}
+	f.Get("beta")
+	f.Get("alpha")
+	f.Get("beta") // existing series: no duplicate
+	got := f.Labels()
+	if len(got) != 2 || got[0] != "beta" || got[1] != "alpha" {
+		t.Fatalf("Labels() = %v, want insertion order [beta alpha]", got)
+	}
+}
+
+func TestParallelEfficiencyErrors(t *testing.T) {
+	t.Parallel()
+	var s Series
+	s.Add(1, Summary{Mean: 10})
+	// Missing second point propagates Speedup's error.
+	if _, err := s.ParallelEfficiency(1, 2); err == nil {
+		t.Fatal("missing point must error")
+	}
+	s.Add(2, Summary{Mean: 15})
+	eff, err := s.ParallelEfficiency(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 0.75 {
+		t.Fatalf("efficiency = %v, want 0.75 (1.5× speedup / 2× resources)", eff)
+	}
+	// Zero baseline propagates too.
+	var z Series
+	z.Add(1, Summary{Mean: 0})
+	z.Add(2, Summary{Mean: 5})
+	if _, err := z.ParallelEfficiency(1, 2); err == nil {
+		t.Fatal("zero baseline must error")
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Stddev != 0 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-sample summary %+v", s)
+	}
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Regenerates BENCH_baseline.json — the committed data point of the perf
+# trajectory — from the executor benchmarks. Run from the repo root:
+#
+#	sh scripts/bench_baseline.sh > BENCH_baseline.json
+#
+# Keep regenerations deliberate (new hardware, or a change that moves the
+# numbers on purpose) and note the machine in the "host" field.
+set -e
+
+go test -run XXX -bench 'BenchmarkFullStudy$|BenchmarkFullStudyGranularity|BenchmarkUnitPrecompute' -benchtime=10x 2>/dev/null |
+awk '
+BEGIN {
+	printf "{\n"
+	printf "  \"note\": \"full-study executor wall-clock baseline; ns_per_op medians move with hardware — compare shapes, not absolutes\",\n"
+	"date -u +%Y-%m-%dT%H:%M:%SZ" | getline d
+	printf "  \"recorded\": \"%s\",\n", d
+	"go env GOOS" | getline os
+	"go env GOARCH" | getline arch
+	"nproc" | getline cores
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpus\": %s},\n", os, arch, cores
+	printf "  \"benchmarks\": [\n"
+	first = 1
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+}
+END {
+	printf "\n  ]\n}\n"
+}'
