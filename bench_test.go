@@ -10,6 +10,7 @@ package cloudhpc
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -505,5 +506,56 @@ func BenchmarkAutoscalingTradeoff(b *testing.B) {
 		exact := cloud.ExactStaticCost(it, bursty)
 		b.ReportMetric(static/auto, "autoscale-advantage")
 		b.ReportMetric(exact, "exact-static-$")
+	}
+}
+
+// BenchmarkStudyStoreCold and BenchmarkStudyStoreWarm quantify what the
+// persistent result store buys. Cold is the worst case: the memory tier
+// is flushed, the store is fresh, so the study computes end to end and
+// every artifact — study bundle plus 143 unit artifacts — is serialized
+// into a new on-disk store. Warm flushes only the memory tier: the
+// dataset decodes whole from the store, no simulation at all.
+// scripts/bench_baseline.sh turns the pair into the BENCH_store.json
+// cold-vs-warm data point; compare the ratio, not the absolutes.
+func BenchmarkStudyStoreCold(b *testing.B) {
+	defer core.SetDefaultResultStore(nil)
+	defer core.FlushCachedRuns()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rs, err := core.OpenResultStore(filepath.Join(b.TempDir(), fmt.Sprintf("store-%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.Logf = nil
+		core.SetDefaultResultStore(rs)
+		core.FlushCachedRuns()
+		b.StartTimer()
+		if _, err := core.CachedRunFull(2025); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyStoreWarm(b *testing.B) {
+	rs, err := core.OpenResultStore(filepath.Join(b.TempDir(), "store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs.Logf = nil
+	core.SetDefaultResultStore(rs)
+	defer core.SetDefaultResultStore(nil)
+	defer core.FlushCachedRuns()
+	core.FlushCachedRuns()
+	if _, err := core.CachedRunFull(2025); err != nil { // populate the store
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core.FlushCachedRuns()
+		b.StartTimer()
+		if _, err := core.CachedRunFull(2025); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -3,9 +3,15 @@
 // ORAS artifacts, plus the full event trace — all content-addressed in an
 // OCI registry (the paper's release carries 25,541 datasets this way).
 //
+// With -store DIR the registry is backed by the persistent on-disk store
+// shared with the result cache, so the archive survives the process:
+// re-running archive against the same store deduplicates every unchanged
+// blob, and the study itself is served warm from the store instead of
+// recomputed.
+//
 // Usage:
 //
-//	archive [-spec FILE] [-seed N] [-verify]
+//	archive [-spec FILE] [-seed N] [-store DIR] [-verify]
 package main
 
 import (
@@ -24,6 +30,10 @@ func main() {
 	verify := flag.Bool("verify", true, "pull every artifact back and verify digests")
 	flag.Parse()
 
+	rs, err := study.OpenStore()
+	if err != nil {
+		fatal(err)
+	}
 	spec, err := study.Spec()
 	if err != nil {
 		fatal(err)
@@ -33,8 +43,17 @@ func main() {
 		fatal(err)
 	}
 
-	reg := oras.NewRegistry()
-	tags, err := dataset.Push(reg, res)
+	// Share the result store's registry when one is configured: the
+	// archive then lands in the same content-addressed store as the
+	// cached studies and persists across runs.
+	var reg *oras.Registry
+	if rs != nil {
+		reg = rs.Registry()
+	} else {
+		reg = oras.NewRegistry()
+	}
+
+	tags, err := dataset.Push(reg, res.Records())
 	if err != nil {
 		fatal(err)
 	}

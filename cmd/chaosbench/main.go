@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	chaosbench [-spec FILE] [-seed N] [-chaos default|FILE] [-workers N] [-granularity env|env-app] [-no-baseline] [-incidents]
+//	chaosbench [-spec FILE] [-seed N] [-chaos default|FILE] [-workers N] [-granularity env|env-app] [-store DIR] [-no-baseline] [-incidents]
 //
 // Plan files are line-oriented (see internal/chaos):
 //

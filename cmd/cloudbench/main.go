@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cloudbench [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-trace]
+//	cloudbench [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-store DIR] [-trace]
 package main
 
 import (

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-spec FILE] [-seed N] [-only table1|table2|table3|table4|fig1|...|fig8|hookup|stream|ecc|costs] [-csv]
+//	figures [-spec FILE] [-seed N] [-store DIR] [-only table1|table2|table3|table4|fig1|...|fig8|hookup|stream|ecc|costs] [-csv]
 package main
 
 import (

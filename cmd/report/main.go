@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	report [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-o report.md] [-chaos default|FILE]
+//	report [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-store DIR] [-o report.md] [-chaos default|FILE]
 package main
 
 import (

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	trace [-spec FILE] [-seed N] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
+//	trace [-spec FILE] [-seed N] [-store DIR] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
 package main
 
 import (

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	usability [-spec FILE] [-seed N] [-evidence]
+//	usability [-spec FILE] [-seed N] [-store DIR] [-evidence]
 package main
 
 import (

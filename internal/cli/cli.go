@@ -1,9 +1,10 @@
 // Package cli deduplicates the study flag plumbing shared by the cmd/
 // mains (report, cloudbench, chaosbench, figures, trace, usability,
-// archive): the -seed, -workers, -chaos, -granularity, and -spec flags,
-// and the precedence rule that combines them into one core.StudySpec.
-// Before this package each main grew its own copy of the same flags and
-// they drifted; now a main registers the set once and resolves it once.
+// archive): the -seed, -workers, -chaos, -granularity, -spec, and -store
+// flags, and the precedence rule that combines them into one
+// core.StudySpec. Before this package each main grew its own copy of the
+// same flags and they drifted; now a main registers the set once and
+// resolves it once.
 package cli
 
 import (
@@ -21,7 +22,11 @@ type StudyFlags struct {
 	chaos       *string
 	spec        *string
 	granularity *string
+	store       *string
 	chaosDflt   string
+
+	storeOpened bool
+	storeHandle *core.ResultStore
 }
 
 // Register installs the shared study flags on fs. chaosDefault is the
@@ -34,7 +39,33 @@ func Register(fs *flag.FlagSet, chaosDefault string) *StudyFlags {
 	f.chaos = fs.String("chaos", chaosDefault, `fault-injection plan: "none", "default", or a plan file path`)
 	f.spec = fs.String("spec", "", `study spec: "default" or a spec file path (envs, apps, scales, iterations, chaos, workers, granularity)`)
 	f.granularity = fs.String("granularity", "", `work-partitioning unit: "env" or "env-app"; the dataset is identical for either`)
+	f.store = fs.String("store", "", "persistent result store directory: studies and (env, app) units are content-addressed there and reused across runs")
 	return f
+}
+
+// OpenStore resolves the -store flag: when set, it opens (creating if
+// needed) the on-disk result store and installs it as the process
+// default, so every study — cached or hand-built — reads and writes it.
+// It returns the store (nil when the flag is unset) for mains that also
+// want the underlying registry (cmd/archive shares it to make the
+// archive durable). Spec calls it implicitly, so a main that only needs
+// the spec cannot forget the store; the first call wins.
+func (f *StudyFlags) OpenStore() (*core.ResultStore, error) {
+	if f.storeOpened {
+		return f.storeHandle, nil
+	}
+	if *f.store == "" {
+		f.storeOpened = true
+		return nil, nil
+	}
+	rs, err := core.OpenResultStore(*f.store)
+	if err != nil {
+		return nil, err
+	}
+	core.SetDefaultResultStore(rs)
+	f.storeOpened = true
+	f.storeHandle = rs
+	return rs, nil
 }
 
 // Spec resolves the flags into a StudySpec: the -spec reference is loaded
@@ -44,6 +75,12 @@ func Register(fs *flag.FlagSet, chaosDefault string) *StudyFlags {
 // reference unset — a spec's own plan, or its explicit "chaos none",
 // survives unrelated flag use.
 func (f *StudyFlags) Spec() (*core.StudySpec, error) {
+	// Honour -store before any study can run: resolving the spec is the
+	// one step every main performs, so the store can never be silently
+	// ignored by a main that forgets a second call.
+	if _, err := f.OpenStore(); err != nil {
+		return nil, err
+	}
 	spec, err := core.LoadSpec(*f.spec)
 	if err != nil {
 		return nil, err

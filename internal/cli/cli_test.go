@@ -100,3 +100,36 @@ func TestBadGranularityRejected(t *testing.T) {
 		t.Fatal("unknown granularity must be rejected")
 	}
 }
+
+// TestOpenStore covers the -store flag: unset means no store (and no
+// process default mutated); set opens/creates the directory and installs
+// the process default for CachedRunSpec.
+func TestOpenStore(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := f.OpenStore()
+	if err != nil || rs != nil {
+		t.Fatalf("unset -store: got %v %v", rs, err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "study-store")
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f2 := Register(fs2, "")
+	if err := fs2.Parse([]string{"-store", dir}); err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := f2.OpenStore()
+	if err != nil || rs2 == nil {
+		t.Fatalf("-store %s: %v %v", dir, rs2, err)
+	}
+	t.Cleanup(func() { core.SetDefaultResultStore(nil) })
+	if core.DefaultResultStore() != rs2 {
+		t.Fatal("OpenStore did not install the process default")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blobs")); err != nil {
+		t.Fatalf("store directory not created: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudhpc/internal/jsonl"
 	"cloudhpc/internal/sim"
 	"cloudhpc/internal/trace"
 )
@@ -206,4 +207,54 @@ func (m *Meter) Statement() []EnvCost {
 type EnvCost struct {
 	Env      string
 	TotalUSD float64
+}
+
+// Now returns the meter's current virtual time — the timestamp new
+// charges would carry. The persistent result store saves it alongside
+// the charge ledger so a restored meter reports lagged spend exactly as
+// the live one did at end of study.
+func (m *Meter) Now() time.Duration { return m.sim.Now() }
+
+// ChargeRecord is the archived wire form of one charge, used by the
+// persistent result store to serialize a meter's ledger.
+type ChargeRecord struct {
+	AtNs      int64    `json:"at_ns"`
+	Provider  Provider `json:"provider"`
+	Env       string   `json:"env"`
+	AmountUSD float64  `json:"amount_usd"`
+	Note      string   `json:"note,omitempty"`
+}
+
+// MarshalCharges encodes the meter's ledger as JSON lines in charge
+// order.
+func (m *Meter) MarshalCharges() ([]byte, error) {
+	m.mu.Lock()
+	recs := make([]ChargeRecord, len(m.charges))
+	for i, c := range m.charges {
+		recs[i] = ChargeRecord{AtNs: int64(c.at), Provider: c.prov, Env: c.env, AmountUSD: c.amount, Note: c.note}
+	}
+	m.mu.Unlock()
+	return jsonl.Marshal(recs)
+}
+
+// UnmarshalCharges decodes a ledger serialized by MarshalCharges.
+func UnmarshalCharges(data []byte) ([]ChargeRecord, error) {
+	return jsonl.Unmarshal[ChargeRecord]("cloud: charges", data)
+}
+
+// RestoreCharges appends archived charges to the ledger verbatim,
+// without re-logging billing events (the restored trace already carries
+// them). It is the decode half of the persistent result store's meter
+// round trip: a meter restored from MarshalCharges output reports the
+// same Spend, SpendByEnv, and — given the saved clock — ReportedSpend as
+// the meter it was saved from.
+func (m *Meter) RestoreCharges(recs []ChargeRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range recs {
+		m.charges = append(m.charges, charge{
+			at: time.Duration(rec.AtNs), prov: rec.Provider, env: rec.Env,
+			amount: rec.AmountUSD, note: rec.Note,
+		})
+	}
 }

@@ -120,3 +120,53 @@ func TestExactStaticIgnoresIdle(t *testing.T) {
 		t.Fatalf("ExactStaticCost = %v, want %v", got, want)
 	}
 }
+
+// TestChargeLedgerRoundTrip pins the persistent result store's meter
+// serialization: a restored ledger reports identical spend — total,
+// per-env, and lag-dependent — to the meter it was saved from.
+func TestChargeLedgerRoundTrip(t *testing.T) {
+	t.Parallel()
+	s := sim.New(7)
+	log := trace.NewLog()
+	m := NewMeter(s, log)
+	it, err := NewCatalog().Lookup(AWS, "Hpc6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ChargeNodeHours("aws-eks-cpu", it, 32, 90*time.Minute, "cluster")
+	s.Clock.Advance(30 * time.Hour)
+	m.Charge(Google, "google-gke-cpu", 123.456789, "wasted bring-up")
+
+	data, err := m.MarshalCharges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := UnmarshalCharges(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Note != "cluster" || recs[1].AmountUSD != 123.456789 {
+		t.Fatalf("decoded %+v", recs)
+	}
+
+	s2 := sim.New(7)
+	s2.Clock.AdvanceTo(m.Now())
+	log2 := trace.NewLog()
+	m2 := NewMeter(s2, log2)
+	m2.RestoreCharges(recs)
+	for _, p := range []Provider{AWS, Google, Azure} {
+		if m2.Spend(p) != m.Spend(p) {
+			t.Fatalf("%s spend drifted: %v vs %v", p, m2.Spend(p), m.Spend(p))
+		}
+		if m2.ReportedSpend(p) != m.ReportedSpend(p) {
+			t.Fatalf("%s reported spend drifted: %v vs %v", p, m2.ReportedSpend(p), m.ReportedSpend(p))
+		}
+	}
+	got, want := m2.SpendByEnv(), m.SpendByEnv()
+	if len(got) != len(want) || got["aws-eks-cpu"] != want["aws-eks-cpu"] {
+		t.Fatalf("per-env spend drifted: %v vs %v", got, want)
+	}
+	if log2.Len() != 0 {
+		t.Fatalf("RestoreCharges must not re-log billing events, logged %d", log2.Len())
+	}
+}

@@ -2,13 +2,21 @@ package core
 
 import "sync"
 
-// The cached-dataset layer: one full-study execution per canonical spec
-// hash, shared by every consumer that only needs a given spec's dataset
-// (the root benchmark harness regenerating tables and figures,
-// cmd/figures, cmd/report, cmd/trace, and the examples). The study takes
-// a few hundred milliseconds; the artifacts derived from it take
-// microseconds — without the cache every artifact would pay the study
-// again.
+// The cached-dataset layer is a three-tier pipeline:
+//
+//	memory  → the process-wide map below, keyed by canonical spec hash
+//	store   → the persistent ResultStore (when one is configured):
+//	          whole-study bundles under "study/<hash>", and — during
+//	          compute — per-(env, app) unit artifacts under
+//	          "unit/<sub-hash>" for incremental reuse
+//	compute → Study.RunFull
+//
+// Every consumer that only needs a given spec's dataset (the root
+// benchmark harness, cmd/figures, cmd/report, cmd/trace, the examples)
+// shares one execution per spec per process; with a store, one execution
+// per spec per store *across* processes, and a spec that shares (env,
+// app) units with a previously stored study recomputes only the units it
+// doesn't share.
 //
 // Keying by spec hash rather than by seed matters now that specs vary:
 // two different specs at the same seed (an env subset vs the full
@@ -17,12 +25,14 @@ import "sync"
 // seed, resolved environments and scales, resolved models, iterations,
 // resolved chaos plan text — and deliberately excludes the execution
 // policy (Workers, Granularity), under which the dataset is invariant,
-// so callers that differ only in policy share one entry.
+// so callers that differ only in policy share one entry. The same
+// invariance is what makes a store entry trustworthy: whatever policy
+// computed it, a warm load is byte-identical.
 //
-// The map lock is held only for entry lookup; each entry runs its study
-// under its own sync.Once, so concurrent calls for different specs
-// execute in parallel while duplicate same-spec calls coalesce onto one
-// run.
+// The map lock is held only for entry lookup; each entry resolves its
+// dataset under its own sync.Once, so concurrent calls for different
+// specs execute in parallel while duplicate same-spec calls coalesce
+// onto one load-or-compute.
 var (
 	cacheMu sync.Mutex
 	cache   = map[string]*cacheEntry{}
@@ -34,6 +44,17 @@ type cacheEntry struct {
 	err  error
 }
 
+// FlushCachedRuns drops every memoized dataset from the in-process
+// memory tier (the persistent store, if any, is untouched). It exists
+// for benchmarks and tests that measure or exercise the store tier,
+// which the memory tier would otherwise shadow; production callers never
+// need it.
+func FlushCachedRuns() {
+	cacheMu.Lock()
+	cache = map[string]*cacheEntry{}
+	cacheMu.Unlock()
+}
+
 // CachedRunFull returns the default-spec study dataset for seed,
 // executing it on first use and memoizing it for the life of the process.
 // The returned Results are shared: treat them as read-only. Shorthand for
@@ -42,19 +63,27 @@ func CachedRunFull(seed uint64) (*Results, error) {
 	return CachedRunSpec(DefaultSpec(seed))
 }
 
-// CachedRunSpec returns the study dataset for a spec, executing it on
-// first use and memoizing it under the spec's canonical hash for the life
-// of the process. The returned Results are shared: treat them as
-// read-only. Callers that need non-spec Options (pauses, test clusters,
-// budget aborts) must build a Study and call RunFull themselves. The
-// first caller's Workers/Granularity policy drives the one execution;
-// since the dataset is policy-invariant, later callers observe no
-// difference.
+// CachedRunSpec returns the study dataset for a spec through the
+// memory → store → compute tiers, using the process-default ResultStore
+// (none means memory → compute). The returned Results are shared: treat
+// them as read-only. Callers that need non-spec Options (pauses, test
+// clusters, budget aborts) must build a Study and call RunFull
+// themselves — such datasets depend on more than the spec and are never
+// served from, or saved to, the study tier (their unit draws still are:
+// units depend only on spec-sliced inputs). The first caller's
+// Workers/Granularity policy drives the one execution; since the dataset
+// is policy-invariant, later callers observe no difference.
 func CachedRunSpec(spec *StudySpec) (*Results, error) {
-	// One resolution serves both the key and the execution, so the dataset
-	// memoized under the hash is exactly the one that resolution described
-	// (a chaos plan file edited between two resolutions could otherwise
-	// cache a dataset under a stale key).
+	return cachedRunSpecIn(DefaultResultStore(), spec)
+}
+
+// cachedRunSpecIn is CachedRunSpec against an explicit store (nil
+// disables the persistent tier). One resolution serves the key, the
+// store lookup, and the execution, so the dataset memoized under the
+// hash is exactly the one that resolution described (a chaos plan file
+// edited between two resolutions could otherwise cache a dataset under a
+// stale key).
+func cachedRunSpecIn(rs *ResultStore, spec *StudySpec) (*Results, error) {
 	r, err := spec.Resolve()
 	if err != nil {
 		return nil, err
@@ -69,7 +98,20 @@ func CachedRunSpec(spec *StudySpec) (*Results, error) {
 	cacheMu.Unlock()
 
 	e.once.Do(func() {
-		e.res, e.err = newStudy(r, spec).RunFull()
+		if rs != nil {
+			if res, ok := rs.LoadStudy(r); ok {
+				e.res = res
+				return
+			}
+		}
+		st := newStudy(r, spec)
+		st.Store = rs
+		e.res, e.err = st.RunFull()
+		if e.err == nil && rs != nil {
+			if err := rs.SaveStudy(r, e.res); err != nil {
+				rs.logf("core: result store: saving study/%s failed: %v", key, err)
+			}
+		}
 	})
 	return e.res, e.err
 }

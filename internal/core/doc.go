@@ -46,8 +46,18 @@
 // pre-spec shared "core/run/<env>" stream naming so historical datasets
 // (the original seed-2025 golden) remain reproducible.
 //
-// CachedRunSpec memoizes one dataset per canonical spec hash
-// (CachedRunFull for the default spec) so that benchmarks, commands, and
-// examples regenerating multiple artifacts share a single study
-// execution.
+// # Caching and persistence
+//
+// CachedRunSpec resolves a dataset through three tiers: a per-process
+// memory map keyed by canonical spec hash (CachedRunFull is the
+// default-spec shorthand), a persistent content-addressed ResultStore
+// when one is configured (-store DIR via internal/cli, or
+// SetDefaultResultStore), and finally Study.RunFull. The store holds
+// whole-study bundles under "study/<spec-hash>" and per-(env, app) unit
+// outputs under "unit/<sub-hash>" (UnitKey); because a unit's sub-hash
+// covers only that unit's own inputs, a spec that edits one environment
+// of a previously stored study recomputes only that environment's units
+// and decodes the rest — incremental execution. Warm results are
+// byte-identical to cold compute; unreadable artifacts degrade to a
+// logged warning and a recompute.
 package core

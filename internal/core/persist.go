@@ -1,0 +1,474 @@
+package core
+
+// The persistent tier of the result pipeline. The paper's study archived
+// every run dataset content-addressed in an OCI registry (25,541 of
+// them); this file gives the reproduction the same durable-store
+// discipline: study datasets and (env, app) unit outputs serialize into
+// an oras registry over a shared blob store (in-memory for tests, on
+// disk via -store for the cmd/ tools and CI), keyed by content hashes of
+// exactly the inputs that determine them.
+//
+// Two artifact granularities live in the store:
+//
+//   - "study/<spec-hash>": a complete study dataset (runs, trace,
+//     billing ledger, audits) under the spec's canonical hash — the
+//     whole-study warm path of CachedRunSpec.
+//   - "unit/<sub-hash>": one (env, app) unit's precomputed model and
+//     hookup draws under a sub-hash of only that unit's inputs (seed,
+//     env row with scales, app, iterations, the chaos-plan slice
+//     matching the env) — the incremental path. Because the sub-hash
+//     ignores every other environment in the spec, a spec that edits one
+//     env re-executes only that env's units; unchanged envs decode their
+//     units from the store.
+//
+// Warm results are byte-identical to cold compute: every float, duration
+// and error message round-trips exactly (JSON floats use shortest
+// round-trip encoding, durations are integer nanoseconds, errors flatten
+// to their messages and known sentinels rehydrate). Any read failure —
+// missing tag, corrupt blob, schema drift — degrades to a logged warning
+// and a recompute, never an error: the store is a cache, the simulation
+// is the truth.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/chaos"
+	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/dataset"
+	"cloudhpc/internal/oras"
+	"cloudhpc/internal/sim"
+	"cloudhpc/internal/store"
+	"cloudhpc/internal/trace"
+)
+
+// storeSchemaVersion is bumped whenever the serialized forms change;
+// artifacts from another version are treated as misses and recomputed.
+const storeSchemaVersion = 1
+
+// Record converts a live run record to its archived form (errors flatten
+// to strings so the archive round-trips through JSON).
+func (r RunRecord) Record() dataset.Record {
+	rec := dataset.Record{
+		Env: r.EnvKey, App: r.App, Nodes: r.Nodes, Iter: r.Iter,
+		FOM: r.FOM, Unit: r.Unit, Wall: r.Wall, Hookup: r.Hookup, CostUSD: r.CostUSD,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	return rec
+}
+
+// Records converts the dataset's run list to archived form, in run
+// order. cmd/archive pushes these through dataset.Push; the persistent
+// store bundles them into study artifacts.
+func (r *Results) Records() []dataset.Record {
+	out := make([]dataset.Record, len(r.Runs))
+	for i, run := range r.Runs {
+		out[i] = run.Record()
+	}
+	return out
+}
+
+// runFromRecord is the decode inverse of RunRecord.Record.
+func runFromRecord(rec dataset.Record) RunRecord {
+	return RunRecord{
+		EnvKey: rec.Env, App: rec.App, Nodes: rec.Nodes, Iter: rec.Iter,
+		FOM: rec.FOM, Unit: rec.Unit, Err: runErr(rec.Error),
+		Wall: rec.Wall, Hookup: rec.Hookup, CostUSD: rec.CostUSD,
+	}
+}
+
+// runErrSentinels are the canonical run-error values a dataset can
+// carry; decode maps archived messages back onto them so errors.Is
+// answers identically for cold and warm datasets.
+var runErrSentinels = []error{
+	apps.ErrNotSupported, apps.ErrTimeout, apps.ErrSegfault, apps.ErrOutputLost,
+}
+
+// runErr rehydrates an archived error string. Known sentinels map back
+// to their canonical values so errors.Is keeps working on decoded
+// datasets; everything else keeps its message, which is all the golden
+// snapshot and every report render.
+func runErr(msg string) error {
+	if msg == "" {
+		return nil
+	}
+	for _, s := range runErrSentinels {
+		if msg == s.Error() {
+			return s
+		}
+	}
+	return errors.New(msg)
+}
+
+// StoreStats is a snapshot of a result store's hit/miss accounting — the
+// compute-count probe the incremental-execution tests assert against.
+type StoreStats struct {
+	StudyHits        int64 // whole-study warm loads served
+	StudyMisses      int64 // whole-study lookups that fell through
+	UnitHits         int64 // (env, app) units decoded instead of computed
+	UnitMisses       int64 // (env, app) units that had to be computed
+	CorruptFallbacks int64 // artifacts present but unreadable (fell back)
+}
+
+// ResultStore is the persistent tier between the in-process spec-hash
+// cache and study execution: an oras registry over a pluggable blob
+// store holding study bundles and unit artifacts. Safe for concurrent
+// use. The zero value is not usable; use NewResultStore or
+// OpenResultStore.
+type ResultStore struct {
+	reg *oras.Registry
+	// Logf receives warm-hit notices and corruption warnings (default
+	// log.Printf, so cmd/ tools surface them on stderr). Set to nil to
+	// silence, or to a test capture to assert on them. Assign before
+	// first use; the store calls it without synchronization.
+	Logf func(format string, args ...any)
+
+	studyHits, studyMisses, unitHits, unitMisses, corrupt atomic.Int64
+}
+
+// NewResultStore returns a result store over the given blob store.
+func NewResultStore(bs store.BlobStore) *ResultStore {
+	return &ResultStore{reg: oras.NewRegistryWith(bs), Logf: log.Printf}
+}
+
+// OpenResultStore opens (creating if needed) an on-disk result store —
+// the -store DIR flag's implementation.
+func OpenResultStore(dir string) (*ResultStore, error) {
+	bs, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewResultStore(bs), nil
+}
+
+// Registry exposes the store's oras registry so other archival users
+// (cmd/archive) can share one content-addressed store with the result
+// tiers.
+func (rs *ResultStore) Registry() *oras.Registry { return rs.reg }
+
+// Stats returns a snapshot of the store's accounting.
+func (rs *ResultStore) Stats() StoreStats {
+	return StoreStats{
+		StudyHits:        rs.studyHits.Load(),
+		StudyMisses:      rs.studyMisses.Load(),
+		UnitHits:         rs.unitHits.Load(),
+		UnitMisses:       rs.unitMisses.Load(),
+		CorruptFallbacks: rs.corrupt.Load(),
+	}
+}
+
+// GC sweeps blobs unreachable from the store's artifacts (superseded
+// bundles whose tags moved on, damaged leftovers) and reports how many
+// were removed. The sweep is mutually exclusive with in-flight pushes
+// (oras.Registry.GC holds the registry's write lock).
+func (rs *ResultStore) GC() (int, error) {
+	return rs.reg.GC()
+}
+
+func (rs *ResultStore) logf(format string, args ...any) {
+	if rs.Logf != nil {
+		rs.Logf(format, args...)
+	}
+}
+
+// The process-default result store, set by internal/cli from the -store
+// flag; nil means the persistent tier is disabled and the pipeline is
+// memory → compute, exactly as before the store existed.
+var defaultResultStore atomic.Pointer[ResultStore]
+
+// SetDefaultResultStore installs (or, with nil, removes) the process
+// default consulted by CachedRunSpec and attached to new studies.
+func SetDefaultResultStore(rs *ResultStore) { defaultResultStore.Store(rs) }
+
+// DefaultResultStore returns the process-default result store, or nil.
+func DefaultResultStore() *ResultStore { return defaultResultStore.Load() }
+
+// studyMeta is the "meta.json" of a study bundle: everything in Results
+// that is not runs, trace, or billing ledger.
+type studyMeta struct {
+	Version   int                              `json:"version"`
+	Hash      string                           `json:"hash"`
+	Seed      uint64                           `json:"seed"`
+	Runs      int                              `json:"runs"`
+	ClockNs   int64                            `json:"clock_ns"`
+	ECCOn     map[string]float64               `json:"ecc_on,omitempty"`
+	Hookups   map[string]map[int]time.Duration `json:"hookups,omitempty"`
+	Findings  []apps.Finding                   `json:"findings,omitempty"`
+	Incidents []chaos.Incident                 `json:"incidents,omitempty"`
+	Recovery  chaos.Accounting                 `json:"recovery"`
+}
+
+// SaveStudy archives a complete study dataset under the resolved spec's
+// canonical hash. Saving is idempotent: identical datasets dedup to the
+// same blobs.
+func (rs *ResultStore) SaveStudy(r *ResolvedSpec, res *Results) error {
+	runs, err := dataset.MarshalJSONL(res.Records())
+	if err != nil {
+		return err
+	}
+	traceData, err := res.Log.MarshalJSONL()
+	if err != nil {
+		return err
+	}
+	meterData, err := res.Meter.MarshalCharges()
+	if err != nil {
+		return err
+	}
+	key := r.Hash()
+	metaData, err := json.Marshal(studyMeta{
+		Version: storeSchemaVersion, Hash: key, Seed: r.Seed,
+		Runs:    len(res.Runs),
+		ClockNs: int64(res.Meter.Now()),
+		ECCOn:   res.ECCOn, Hookups: res.Hookups, Findings: res.Findings,
+		Incidents: res.Incidents, Recovery: res.Recovery,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = rs.reg.Push("study/"+key, dataset.StudyBundleType,
+		map[string][]byte{
+			"meta.json":   metaData,
+			"runs.jsonl":  runs,
+			"trace.jsonl": traceData,
+			"meter.jsonl": meterData,
+		},
+		map[string]string{
+			"cloudhpc.seed": strconv.FormatUint(r.Seed, 10),
+			"cloudhpc.runs": strconv.Itoa(len(res.Runs)),
+		})
+	return err
+}
+
+// LoadStudy returns the archived dataset for a resolved spec, or (nil,
+// false) on a miss. A present-but-unreadable artifact (corrupt blob,
+// schema drift, torn write) is a logged warning and a miss — the caller
+// falls back to compute.
+func (rs *ResultStore) LoadStudy(r *ResolvedSpec) (*Results, bool) {
+	key := r.Hash()
+	files, err := rs.reg.Pull("study/" + key)
+	if errors.Is(err, oras.ErrTagUnknown) {
+		rs.studyMisses.Add(1)
+		return nil, false
+	}
+	if err != nil {
+		rs.corrupt.Add(1)
+		rs.studyMisses.Add(1)
+		rs.logf("core: result store: study/%s unreadable (%v); falling back to compute", key, err)
+		return nil, false
+	}
+	res, err := decodeStudy(r, key, files)
+	if err != nil {
+		rs.corrupt.Add(1)
+		rs.studyMisses.Add(1)
+		rs.logf("core: result store: study/%s undecodable (%v); falling back to compute", key, err)
+		return nil, false
+	}
+	rs.studyHits.Add(1)
+	rs.logf("core: result store: warm hit study/%s", key)
+	return res, true
+}
+
+// decodeStudy rebuilds a Results from a study bundle's files. The meter
+// is reconstructed against a fresh simulation advanced to the archived
+// end-of-study clock, so lag-dependent views (ReportedSpend) read
+// exactly as they did when the dataset was saved.
+func decodeStudy(r *ResolvedSpec, key string, files map[string][]byte) (*Results, error) {
+	// Every bundle file must be present: a missing runs.jsonl would
+	// otherwise decode as a plausible-looking empty dataset (JSONL of
+	// nothing is zero records, no error) instead of falling back.
+	for _, name := range []string{"meta.json", "runs.jsonl", "trace.jsonl", "meter.jsonl"} {
+		if _, ok := files[name]; !ok {
+			return nil, fmt.Errorf("bundle missing %s", name)
+		}
+	}
+	var meta studyMeta
+	if err := json.Unmarshal(files["meta.json"], &meta); err != nil {
+		return nil, fmt.Errorf("meta.json: %w", err)
+	}
+	if meta.Version != storeSchemaVersion {
+		return nil, fmt.Errorf("schema version %d, want %d", meta.Version, storeSchemaVersion)
+	}
+	if meta.Hash != key {
+		return nil, fmt.Errorf("bundle hash %s under tag study/%s", meta.Hash, key)
+	}
+	recs, err := dataset.UnmarshalJSONL(files["runs.jsonl"])
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != meta.Runs {
+		return nil, fmt.Errorf("bundle holds %d runs, metadata says %d", len(recs), meta.Runs)
+	}
+	lg, err := trace.UnmarshalJSONL(files["trace.jsonl"])
+	if err != nil {
+		return nil, err
+	}
+	chargeRecs, err := cloud.UnmarshalCharges(files["meter.jsonl"])
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.New(meta.Seed)
+	s.Clock.AdvanceTo(time.Duration(meta.ClockNs))
+	meter := cloud.NewMeter(s, lg)
+	for _, p := range []cloud.Provider{cloud.AWS, cloud.Azure, cloud.Google} {
+		meter.SetBudget(p, BudgetPerCloudUSD)
+	}
+	meter.RestoreCharges(chargeRecs)
+
+	res := &Results{
+		Runs: make([]RunRecord, 0, len(recs)),
+		Log:  lg, Meter: meter, Envs: r.Envs,
+		ECCOn: meta.ECCOn, Hookups: meta.Hookups,
+		Findings: meta.Findings, Incidents: meta.Incidents, Recovery: meta.Recovery,
+	}
+	if res.ECCOn == nil {
+		res.ECCOn = make(map[string]float64)
+	}
+	if res.Hookups == nil {
+		res.Hookups = make(map[string]map[int]time.Duration)
+	}
+	for _, rec := range recs {
+		res.Runs = append(res.Runs, runFromRecord(rec))
+	}
+	return res, nil
+}
+
+// UnitKey computes the sub-hash one (env, app) unit is stored under: a
+// content hash of exactly the unit's own slice of the spec-hash inputs —
+// seed, the environment row (key and effective scales), the application,
+// the iteration count, and the chaos-plan rules matching the environment.
+// Everything else a spec says (which other environments it runs, its
+// worker or granularity policy) is invisible here, which is what lets a
+// spec edit that touches one environment reuse every other environment's
+// stored units.
+//
+// Today's unit draws are chaos-independent (faults perturb the
+// lifecycle after the draw), so the chaos slice makes the key strictly
+// conservative: a plan edit that targets the environment re-keys its
+// units even though their bytes would not change. That is deliberate
+// cheap insurance — a future fault kind that does reach into the draw
+// path can never silently serve pre-chaos units — at the cost of one
+// redundant unit set per (env, plan-slice) pair.
+func UnitKey(seed uint64, env apps.EnvSpec, app string, iterations int, plan *chaos.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unit v%d\nseed %d\n", storeSchemaVersion, seed)
+	scales := make([]string, len(env.Scales))
+	for i, n := range env.Scales {
+		scales[i] = strconv.Itoa(n)
+	}
+	fmt.Fprintf(&b, "env %s scales=%s\napp %s\niterations %d\nchaos:\n",
+		env.Key, strings.Join(scales, ","), app, iterations)
+	if plan != nil {
+		slice := &chaos.Plan{Rules: plan.RulesFor(env.Key)}
+		b.WriteString(slice.String())
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}
+
+// saveUnit archives one computed unit. Failures are warnings: a unit
+// that fails to store just recomputes next time.
+func (rs *ResultStore) saveUnit(meta dataset.UnitMeta, u *unitPlan) {
+	files, err := dataset.MarshalUnit(meta, unitRecords(meta.Env, meta.App, u))
+	if err == nil {
+		_, err = rs.reg.Push("unit/"+meta.Key, dataset.UnitArtifactType, files, nil)
+	}
+	if err != nil {
+		rs.logf("core: result store: storing unit/%s failed: %v", meta.Key, err)
+	}
+}
+
+// loadUnit returns the archived unit plan for a key, or (nil, false) on
+// a miss; unreadable or mismatched artifacts warn and miss. The decoded
+// runs are validated against the exact (nodes, iter) schedule the
+// environment assembly will replay — a stale artifact that still
+// decodes (a draw-schedule change not captured by the key or a schema
+// bump) must degrade to recompute here, because once handed to the
+// assembly an out-of-step plan fails the whole study.
+func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterations int) (*unitPlan, bool) {
+	files, err := rs.reg.Pull("unit/" + key)
+	if errors.Is(err, oras.ErrTagUnknown) {
+		rs.unitMisses.Add(1)
+		return nil, false
+	}
+	if err != nil {
+		rs.corrupt.Add(1)
+		rs.unitMisses.Add(1)
+		rs.logf("core: result store: unit/%s unreadable (%v); recomputing", key, err)
+		return nil, false
+	}
+	meta, recs, err := dataset.UnmarshalUnit(files)
+	if err == nil && (meta.Version != storeSchemaVersion || meta.Key != key || meta.Env != env.Key || meta.App != app) {
+		err = fmt.Errorf("unit metadata %s/%s v%d under key %s", meta.Env, meta.App, meta.Version, key)
+	}
+	if err == nil {
+		err = validateUnitSchedule(env, app, iterations, recs)
+	}
+	if err != nil {
+		rs.corrupt.Add(1)
+		rs.unitMisses.Add(1)
+		rs.logf("core: result store: unit/%s undecodable (%v); recomputing", key, err)
+		return nil, false
+	}
+	u := &unitPlan{runs: make([]plannedRun, 0, len(recs))}
+	for _, rec := range recs {
+		u.runs = append(u.runs, plannedRun{
+			nodes: rec.Nodes, iter: rec.Iter,
+			result: apps.Result{FOM: rec.FOM, Unit: rec.Unit, Wall: rec.Wall, Err: runErr(rec.Error)},
+			hookup: rec.Hookup,
+		})
+	}
+	rs.unitHits.Add(1)
+	return u, true
+}
+
+// validateUnitSchedule checks that archived unit records visit exactly
+// the (nodes, iter) sequence planUnit would plan today — the same loop
+// shape, so the two can never drift apart silently.
+func validateUnitSchedule(env apps.EnvSpec, app string, iterations int, recs []dataset.Record) error {
+	idx := 0
+	maxNodes := apps.MaxNodesFor(env)
+	for _, nodes := range env.Scales {
+		if nodes > maxNodes {
+			continue
+		}
+		iters := itersFor(env, nodes, app, iterations)
+		for it := 0; it < iters; it++ {
+			if idx >= len(recs) || recs[idx].Nodes != nodes || recs[idx].Iter != it {
+				return fmt.Errorf("stale draw schedule at record %d (want nodes=%d iter=%d)", idx, nodes, it)
+			}
+			idx++
+		}
+	}
+	if idx != len(recs) {
+		return fmt.Errorf("stale draw schedule: %d records, expected %d", len(recs), idx)
+	}
+	return nil
+}
+
+// unitRecords converts a unit plan's draws to archived records (CostUSD
+// stays zero: cost is lifecycle accounting, not a draw).
+func unitRecords(env, app string, u *unitPlan) []dataset.Record {
+	recs := make([]dataset.Record, 0, len(u.runs))
+	for _, pr := range u.runs {
+		rec := dataset.Record{
+			Env: env, App: app, Nodes: pr.nodes, Iter: pr.iter,
+			FOM: pr.result.FOM, Unit: pr.result.Unit,
+			Wall: pr.result.Wall, Hookup: pr.hookup,
+		}
+		if pr.result.Err != nil {
+			rec.Error = pr.result.Err.Error()
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}

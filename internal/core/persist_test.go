@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudhpc/internal/apps"
+	"cloudhpc/internal/chaos"
+	"cloudhpc/internal/dataset"
+	"cloudhpc/internal/store"
+)
+
+// quietStore returns a memory-backed result store that logs through the
+// test instead of stderr.
+func quietStore(t *testing.T) (*ResultStore, *store.Memory) {
+	t.Helper()
+	mem := store.NewMemory()
+	rs := NewResultStore(mem)
+	rs.Logf = t.Logf
+	return rs, mem
+}
+
+// storedStudy resolves a spec and builds a study wired to rs (which may
+// be nil for a store-free baseline).
+func storedStudy(t *testing.T, spec *StudySpec, rs *ResultStore) (*Study, *ResolvedSpec) {
+	t.Helper()
+	r, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStudy(r, spec)
+	st.Store = rs
+	return st, r
+}
+
+// dropCacheEntry evicts a spec from the in-process memory tier so the
+// next CachedRunSpec call exercises the store tier.
+func dropCacheEntry(t *testing.T, spec *StudySpec) string {
+	t.Helper()
+	key, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheMu.Lock()
+	delete(cache, key)
+	cacheMu.Unlock()
+	return key
+}
+
+// TestStoreWarmAndIncrementalByteIdenticalSweep is the acceptance sweep
+// for the persistent tier: across granularity × workers {1,4,32}, clean
+// and chaotic, three paths must be byte-identical —
+//
+//  1. cold compute with a store attached (drawPlanned at every
+//     granularity, units saved as they compute) — for the clean default
+//     spec this is additionally pinned against the committed golden file;
+//  2. a warm whole-study load (decode, no compute);
+//  3. an incremental rerun that finds the units stored but not the study
+//     bundle (the study tag is deleted), so every unit decodes from the
+//     store while the lifecycle replays — the compute probe must read
+//     zero.
+func TestStoreWarmAndIncrementalByteIdenticalSweep(t *testing.T) {
+	t.Parallel()
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_seed2025.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chaosRef := range []string{"", "default"} {
+		chaosRef := chaosRef
+		name := "clean"
+		if chaosRef != "" {
+			name = "chaotic"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// Store-free baseline at default policy.
+			baseSpec := &StudySpec{Seed: 2025, Chaos: chaosRef}
+			stBase, _ := storedStudy(t, baseSpec, nil)
+			resBase, err := stBase.RunFull()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := goldenSnapshot(resBase)
+			if chaosRef == "" && base != string(golden) {
+				t.Fatal("store-free baseline drifted from the committed golden file")
+			}
+			if chaosRef != "" && len(resBase.Incidents) == 0 {
+				t.Fatal("chaotic baseline injected nothing; the sweep would prove nothing")
+			}
+
+			for _, g := range []Granularity{GranularityEnv, GranularityEnvApp} {
+				for _, w := range []int{1, 4, 32} {
+					rs, _ := quietStore(t)
+					spec := &StudySpec{Seed: 2025, Chaos: chaosRef, Workers: w, Granularity: g}
+
+					// Path 1: cold compute, store attached.
+					stCold, r := storedStudy(t, spec, rs)
+					resCold, err := stCold.RunFull()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := goldenSnapshot(resCold); got != base {
+						t.Fatalf("g=%s w=%d: cold store-attached dataset diverged from baseline", g, w)
+					}
+					if err := rs.SaveStudy(r, resCold); err != nil {
+						t.Fatal(err)
+					}
+
+					// Path 2: whole-study warm load.
+					resWarm, ok := rs.LoadStudy(r)
+					if !ok {
+						t.Fatalf("g=%s w=%d: saved study missed", g, w)
+					}
+					if got := goldenSnapshot(resWarm); got != base {
+						t.Fatalf("g=%s w=%d: warm-from-store dataset not byte-identical", g, w)
+					}
+
+					// Path 3: incremental — units present, bundle gone.
+					if err := rs.reg.Backend().DeleteRef("oras/tag/study/" + r.Hash()); err != nil {
+						t.Fatal(err)
+					}
+					if _, ok := rs.LoadStudy(r); ok {
+						t.Fatal("study tag deletion did not take")
+					}
+					stInc, _ := storedStudy(t, spec, rs)
+					resInc, err := stInc.RunFull()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := goldenSnapshot(resInc); got != base {
+						t.Fatalf("g=%s w=%d: unit-reuse dataset not byte-identical", g, w)
+					}
+					if n := stInc.UnitComputes(); n != 0 {
+						t.Fatalf("g=%s w=%d: incremental rerun recomputed %d units, want 0", g, w, n)
+					}
+					if stCold.UnitComputes() == 0 {
+						t.Fatalf("g=%s w=%d: cold run computed no units — probe is broken", g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreIncrementalOneEnvEdit is the incremental-execution acceptance
+// probe: a spec that edits one environment of a previously stored study
+// re-executes only that environment's units; every unchanged
+// environment's units decode from the store.
+func TestStoreIncrementalOneEnvEdit(t *testing.T) {
+	t.Parallel()
+	rs, _ := quietStore(t)
+	models := len(apps.All())
+
+	specA := &StudySpec{Seed: 771001, Envs: []string{"aws-eks-cpu", "google-gke-cpu"}}
+	stA, _ := storedStudy(t, specA, rs)
+	if _, err := stA.RunFull(); err != nil {
+		t.Fatal(err)
+	}
+	if n := stA.UnitComputes(); n != int64(2*models) {
+		t.Fatalf("first run computed %d units, want %d", n, 2*models)
+	}
+
+	// Edit one env: google-gke-cpu → azure-aks-cpu. aws-eks-cpu's units
+	// must come from the store; only azure's may compute.
+	specB := &StudySpec{Seed: 771001, Envs: []string{"aws-eks-cpu", "azure-aks-cpu"}}
+	stB, _ := storedStudy(t, specB, rs)
+	resB, err := stB.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := stB.UnitComputes(); n != int64(models) {
+		t.Fatalf("one-env edit recomputed %d units, want exactly %d (the edited env's)", n, models)
+	}
+	if hits := rs.Stats().UnitHits; hits != int64(models) {
+		t.Fatalf("one-env edit decoded %d units from the store, want %d", hits, models)
+	}
+
+	// And the reused dataset is byte-identical to a store-free compute.
+	stC, _ := storedStudy(t, specB, nil)
+	resC, err := stC.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenSnapshot(resB) != goldenSnapshot(resC) {
+		t.Fatal("unit-reuse dataset differs from store-free compute")
+	}
+}
+
+// TestCachedRunSpecStoreTier pins the tier order: a store hit serves the
+// dataset without executing the study.
+func TestCachedRunSpecStoreTier(t *testing.T) {
+	t.Parallel()
+	rs, _ := quietStore(t)
+	spec := &StudySpec{Seed: 771002, Envs: []string{"onprem-a-cpu"}, Apps: []string{"amg2023", "stream"}}
+
+	res1, err := cachedRunSpecIn(rs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rs.Stats(); s.StudyMisses != 1 || s.StudyHits != 0 {
+		t.Fatalf("cold stats = %+v", s)
+	}
+	missesAfterCold := rs.Stats().UnitMisses
+
+	dropCacheEntry(t, spec)
+	res2, err := cachedRunSpecIn(rs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rs.Stats()
+	if s.StudyHits != 1 {
+		t.Fatalf("warm call missed the store: %+v", s)
+	}
+	if s.UnitMisses != missesAfterCold {
+		t.Fatalf("store hit still computed units: %+v", s)
+	}
+	if goldenSnapshot(res1) != goldenSnapshot(res2) {
+		t.Fatal("store-served dataset differs from computed one")
+	}
+}
+
+// TestCachedRunSpecCorruptBlobFallsBack pins the degraded path: a study
+// bundle whose blob bytes no longer match their digest is a logged
+// warning and a recompute, never an error or wrong data.
+func TestCachedRunSpecCorruptBlobFallsBack(t *testing.T) {
+	t.Parallel()
+	mem := store.NewMemory()
+	rs := NewResultStore(mem)
+	var mu sync.Mutex
+	var warnings []string
+	rs.Logf = func(format string, args ...any) {
+		mu.Lock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	spec := &StudySpec{Seed: 771003, Envs: []string{"onprem-a-cpu"}, Apps: []string{"amg2023"}}
+
+	res1, err := cachedRunSpecIn(rs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := dropCacheEntry(t, spec)
+
+	// Damage every layer of the stored bundle underneath the registry.
+	m, _, err := rs.reg.Resolve("study/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.Layers {
+		if !mem.Corrupt(string(l.Digest)) {
+			t.Fatalf("layer %s not in store", l.Digest)
+		}
+	}
+
+	res2, err := cachedRunSpecIn(rs, spec)
+	if err != nil {
+		t.Fatalf("corrupt store must fall back to compute, got error: %v", err)
+	}
+	if goldenSnapshot(res1) != goldenSnapshot(res2) {
+		t.Fatal("fallback compute produced a different dataset")
+	}
+	if rs.Stats().CorruptFallbacks == 0 {
+		t.Fatal("corruption not accounted")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "falling back to compute") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no fallback warning logged; warnings: %v", warnings)
+	}
+}
+
+// TestCachedRunSpecConcurrentSameSpecComputesOnce: duplicate concurrent
+// callers coalesce onto one load-or-compute even with the store tier in
+// the path.
+func TestCachedRunSpecConcurrentSameSpecComputesOnce(t *testing.T) {
+	t.Parallel()
+	rs, _ := quietStore(t)
+	spec := &StudySpec{Seed: 771004, Envs: []string{"onprem-b-gpu"}}
+	models := len(apps.All())
+
+	const callers = 8
+	results := make([]*Results, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := cachedRunSpecIn(rs, spec)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers got different result instances — study ran more than once")
+		}
+	}
+	if s := rs.Stats(); s.StudyMisses != 1 || s.UnitMisses != int64(models) || s.UnitHits != 0 {
+		t.Fatalf("concurrent callers did redundant work: %+v", s)
+	}
+}
+
+// TestUnitKeyCoversExactlyUnitInputs pins the sub-hash boundary: the key
+// moves with every input that changes a unit's draws or its consumption
+// schedule, and with the environment's own chaos slice — and with
+// nothing else.
+func TestUnitKeyCoversExactlyUnitInputs(t *testing.T) {
+	t.Parallel()
+	spec, err := apps.EnvByKey("aws-eks-cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := UnitKey(2025, spec, "lammps", 5, nil)
+	if UnitKey(2025, spec, "lammps", 5, nil) != base {
+		t.Fatal("key not deterministic")
+	}
+	if UnitKey(2026, spec, "lammps", 5, nil) == base {
+		t.Fatal("seed not covered")
+	}
+	if UnitKey(2025, spec, "kripke", 5, nil) == base {
+		t.Fatal("app not covered")
+	}
+	if UnitKey(2025, spec, "lammps", 4, nil) == base {
+		t.Fatal("iterations not covered")
+	}
+	scaled := spec
+	scaled.Scales = []int{8, 16}
+	if UnitKey(2025, scaled, "lammps", 5, nil) == base {
+		t.Fatal("scale override not covered")
+	}
+
+	// A plan whose rules match the env changes the key; a plan that only
+	// targets other environments does not — chaos edits elsewhere must
+	// not invalidate this env's units.
+	matching := &chaos.Plan{Rules: []chaos.Rule{{Kind: chaos.SpotReclaim, Env: "aws-*", Prob: 0.1}}}
+	if UnitKey(2025, spec, "lammps", 5, matching) == base {
+		t.Fatal("matching chaos slice not covered")
+	}
+	elsewhere := &chaos.Plan{Rules: []chaos.Rule{{Kind: chaos.SpotReclaim, Env: "azure-*", Prob: 0.1}}}
+	if UnitKey(2025, spec, "lammps", 5, elsewhere) != base {
+		t.Fatal("non-matching chaos slice leaked into the key")
+	}
+}
+
+// TestRunErrRehydratesSentinels: every canonical run-error value decodes
+// back to itself, so errors.Is answers identically on cold and warm
+// datasets; unknown messages survive as plain errors.
+func TestRunErrRehydratesSentinels(t *testing.T) {
+	t.Parallel()
+	for _, s := range runErrSentinels {
+		if got := runErr(s.Error()); got != s {
+			t.Fatalf("sentinel %v rehydrated as %v", s, got)
+		}
+	}
+	if runErr("") != nil {
+		t.Fatal("empty message must decode to nil")
+	}
+	other := runErr("sched: node went away")
+	if other == nil || other.Error() != "sched: node went away" {
+		t.Fatalf("unknown message mangled: %v", other)
+	}
+}
+
+// TestStaleUnitArtifactFallsBack: an artifact that decodes cleanly but
+// carries a draw schedule the assembly would not replay (e.g. written
+// before a schedule-affecting change that escaped the key) must degrade
+// to recompute — never reach unitPlan.take and fail the study.
+func TestStaleUnitArtifactFallsBack(t *testing.T) {
+	t.Parallel()
+	rs, _ := quietStore(t)
+	env, err := apps.EnvByKey("onprem-a-cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := UnitKey(771005, env, "stream", Iterations, nil)
+	// A well-formed artifact under the right key with a wrong schedule:
+	// one record at a node count the environment never runs first.
+	files, err := dataset.MarshalUnit(dataset.UnitMeta{
+		Version: storeSchemaVersion, Key: key, Seed: 771005,
+		Env: env.Key, App: "stream", Iterations: Iterations,
+	}, []dataset.Record{{Env: env.Key, App: "stream", Nodes: 7, Iter: 0, FOM: 1, Unit: "GB/s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Registry().Push("unit/"+key, dataset.UnitArtifactType, files, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := &StudySpec{Seed: 771005, Envs: []string{"onprem-a-cpu"}, Apps: []string{"stream"}}
+	st, _ := storedStudy(t, spec, rs)
+	res, err := st.RunFull()
+	if err != nil {
+		t.Fatalf("stale unit artifact must fall back to compute, got: %v", err)
+	}
+	if st.UnitComputes() != 1 || rs.Stats().CorruptFallbacks == 0 {
+		t.Fatalf("fallback not taken: computes=%d stats=%+v", st.UnitComputes(), rs.Stats())
+	}
+	// And the dataset matches a store-free run.
+	stPlain, _ := storedStudy(t, spec, nil)
+	resPlain, err := stPlain.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenSnapshot(res) != goldenSnapshot(resPlain) {
+		t.Fatal("fallback dataset drifted")
+	}
+}
+
+// TestStudyBundleMissingFileFallsBack: a bundle stripped of runs.jsonl
+// must be a miss, not a silently empty dataset.
+func TestStudyBundleMissingFileFallsBack(t *testing.T) {
+	t.Parallel()
+	rs, _ := quietStore(t)
+	spec := &StudySpec{Seed: 771006, Envs: []string{"onprem-a-cpu"}, Apps: []string{"osu"}}
+	st, r := storedStudy(t, spec, rs)
+	res, err := st.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.SaveStudy(r, res); err != nil {
+		t.Fatal(err)
+	}
+	// Re-push the bundle without runs.jsonl under the same tag.
+	files, err := rs.Registry().Pull("study/" + r.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(files, "runs.jsonl")
+	if _, err := rs.Registry().Push("study/"+r.Hash(), dataset.StudyBundleType, files, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.LoadStudy(r); ok {
+		t.Fatal("bundle without runs.jsonl was served as a hit")
+	}
+	if rs.Stats().CorruptFallbacks == 0 {
+		t.Fatal("stripped bundle not accounted as corrupt")
+	}
+}
+
+// TestResultStoreGCReclaimsSupersededBundles: after a bundle is
+// re-pushed under the same tag (the recompute-overwrite path), GC
+// reclaims the superseded blobs while every live study and unit
+// artifact keeps loading.
+func TestResultStoreGCReclaimsSupersededBundles(t *testing.T) {
+	t.Parallel()
+	rs, _ := quietStore(t)
+	spec := &StudySpec{Seed: 771007, Envs: []string{"onprem-a-cpu"}, Apps: []string{"stream", "osu"}}
+	st, r := storedStudy(t, spec, rs)
+	res, err := st.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.SaveStudy(r, res); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := rs.GC(); err != nil || removed != 0 {
+		t.Fatalf("fresh store gc: removed %d, err %v", removed, err)
+	}
+	// Supersede the bundle: same tag, different (stripped-meta) content.
+	files, err := rs.Registry().Pull("study/" + r.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files["meter.jsonl"] = append(files["meter.jsonl"], '\n')
+	if _, err := rs.Registry().Push("study/"+r.Hash(), dataset.StudyBundleType, files, nil); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := rs.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("superseded bundle blobs were not reclaimed")
+	}
+	if _, ok := rs.LoadStudy(r); !ok {
+		t.Fatal("gc broke the live study bundle")
+	}
+}

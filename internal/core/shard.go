@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cloudhpc/internal/apps"
@@ -55,6 +56,11 @@ type shard struct {
 	// is drawPlanned, indexed like models.
 	mode    drawMode
 	planned []*unitPlan
+	// store, when non-nil, serves and receives unit plans (drawPlanned
+	// mode only); computes counts the units this shard actually computed,
+	// shared with the parent study's probe.
+	store    *ResultStore
+	computes *atomic.Int64
 
 	res *Results // shard-local slice of the dataset
 	err error
@@ -94,11 +100,16 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 	} else {
 		prov.FishEveryN = 0
 	}
+	// A result store forces drawPlanned at any granularity: unit plans
+	// are the store's exchange format, and planned and inline draws are
+	// byte-identical by construction (they touch the same named streams
+	// in the same order). Legacy streams have no per-app units at all, so
+	// they bypass the store entirely.
 	mode := drawInline
 	switch {
 	case st.Opts.LegacyRunStreams:
 		mode = drawLegacy
-	case st.Opts.Granularity == GranularityEnvApp:
+	case st.Opts.Granularity == GranularityEnvApp || st.Store != nil:
 		mode = drawPlanned
 	}
 	sh := &shard{
@@ -123,6 +134,8 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 	}
 	if mode == drawPlanned {
 		sh.planned = make([]*unitPlan, len(sh.models))
+		sh.store = st.Store
+		sh.computes = &st.unitComputes
 	}
 	return sh
 }
@@ -161,6 +174,7 @@ func (sh *shard) run() {
 			"environment not deployed: %s", sh.spec.Unavailable)
 		return
 	}
+	sh.ensureUnits() // no-op when units were dispatched as their own tasks
 	sh.requestQuota()
 	if err := sh.runEnvironment(); err != nil {
 		sh.err = fmt.Errorf("core: environment %s: %w", sh.spec.Key, err)

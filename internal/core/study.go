@@ -42,7 +42,23 @@ type Study struct {
 	// Iterations is the per-scale repeat count (the spec's iteration
 	// count; Iterations — the package constant — for the default study).
 	Iterations int
+	// Store, when non-nil, is the persistent result store consulted for
+	// (env, app) unit reuse during RunFull: units whose sub-hash is
+	// already stored are decoded instead of recomputed, and computed
+	// units are stored for the next study. Defaults to the process-wide
+	// store (SetDefaultResultStore); ignored under LegacyRunStreams (a
+	// shared sequential stream has no independently addressable units).
+	Store *ResultStore
+
+	// unitComputes counts (env, app) unit precomputations this study
+	// actually performed — the compute probe the incremental-execution
+	// tests assert against (store-served units don't count).
+	unitComputes atomic.Int64
 }
+
+// UnitComputes reports how many (env, app) units RunFull computed rather
+// than decoded from the store.
+func (st *Study) UnitComputes() int64 { return st.unitComputes.Load() }
 
 // RunRecord is one application execution in the study dataset.
 type RunRecord struct {
@@ -132,6 +148,7 @@ func newStudy(r *ResolvedSpec, spec *StudySpec) *Study {
 		Envs:       r.Envs,
 		Models:     r.Models,
 		Iterations: r.Iterations,
+		Store:      DefaultResultStore(),
 	}
 }
 
@@ -222,7 +239,7 @@ func (st *Study) RunFull() (*Results, error) {
 		for appIdx := range sh.models {
 			appIdx := appIdx
 			queue <- func() {
-				sh.computeUnit(appIdx)
+				sh.ensureUnit(appIdx)
 				if atomic.AddInt32(&remaining, -1) == 0 {
 					queue <- sh.run // hierarchical merge level 1: units → environment
 				}

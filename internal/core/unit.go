@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudhpc/internal/apps"
+	"cloudhpc/internal/dataset"
 	"cloudhpc/internal/network"
 	"cloudhpc/internal/sim"
 )
@@ -131,11 +132,48 @@ func PlanUnitForBench(seed uint64, spec apps.EnvSpec, m apps.Model, iterations i
 	return len(planUnit(seed, spec, m, iterations, hookup).runs)
 }
 
-// computeUnit runs one (env, app) unit of this shard on the calling
-// worker. Units of the same shard may run concurrently: each owns a
-// private simulation, and each writes only its own planned-run slot.
-func (sh *shard) computeUnit(appIdx int) {
-	sh.planned[appIdx] = planUnit(sh.sim.Seed(), sh.spec, sh.models[appIdx], sh.iterations, sh.hookup)
+// ensureUnit makes one (env, app) unit's planned draws available, in
+// tier order: already filled (no-op), decoded from the persistent result
+// store (a unit whose sub-hash was stored by any earlier study — the
+// incremental-execution path), or computed on the calling worker and
+// stored for the next study. Units of the same shard may run
+// concurrently: each owns a private simulation, and each writes only its
+// own planned-run slot.
+func (sh *shard) ensureUnit(appIdx int) {
+	if sh.planned[appIdx] != nil {
+		return
+	}
+	m := sh.models[appIdx]
+	var key string
+	if sh.store != nil {
+		key = UnitKey(sh.sim.Seed(), sh.spec, m.Name(), sh.iterations, sh.opts.Chaos)
+		if u, ok := sh.store.loadUnit(key, sh.spec, m.Name(), sh.iterations); ok {
+			sh.planned[appIdx] = u
+			return
+		}
+	}
+	sh.computes.Add(1)
+	u := planUnit(sh.sim.Seed(), sh.spec, m, sh.iterations, sh.hookup)
+	if sh.store != nil {
+		sh.store.saveUnit(dataset.UnitMeta{
+			Version: storeSchemaVersion, Key: key, Seed: sh.sim.Seed(),
+			Env: sh.spec.Key, App: m.Name(), Iterations: sh.iterations,
+		}, u)
+	}
+	sh.planned[appIdx] = u
+}
+
+// ensureUnits fills every unit slot of a planned-mode shard that was not
+// dispatched as its own work unit — the GranularityEnv-with-store path,
+// where the shard is one task and resolves its units serially before
+// replaying the lifecycle.
+func (sh *shard) ensureUnits() {
+	if sh.mode != drawPlanned {
+		return
+	}
+	for i := range sh.models {
+		sh.ensureUnit(i)
+	}
 }
 
 // draw produces the model result and hookup time of one run, from

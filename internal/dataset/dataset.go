@@ -1,23 +1,32 @@
-// Package dataset serializes study results the way the study archived
-// them: one JSON-lines file per (environment, application), pushed to an
-// OCI registry as ORAS artifacts (paper §2.9 — "Job output was saved to
-// file and pushed to a registry"; the release totals 25,541 datasets).
+// Package dataset defines the archived record forms of the study and
+// their codecs: one JSON-lines file per (environment, application),
+// pushed to an OCI registry as ORAS artifacts (paper §2.9 — "Job output
+// was saved to file and pushed to a registry"; the release totals 25,541
+// datasets).
+//
+// The package is deliberately free of study semantics: it knows bytes,
+// records, and registries, nothing about how a study executes. The
+// conversions between live core.RunRecord values and archived Records
+// live in package core (Results.Records, RunRecord.Record), which lets
+// core's persistent result store reuse these same wire forms — runs,
+// per-unit draw records, unit metadata — without an import cycle.
 package dataset
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
 
-	"cloudhpc/internal/core"
+	"cloudhpc/internal/jsonl"
 	"cloudhpc/internal/oras"
 )
 
 // Record is the archived form of one run. Errors flatten to strings so
-// the archive round-trips through JSON.
+// the archive round-trips through JSON. The same form serializes a
+// stored (env, app) unit's precomputed draws: there Wall and Hookup are
+// the drawn model wall time and hookup draw, and CostUSD is zero (cost
+// is lifecycle accounting, not a draw).
 type Record struct {
 	Env     string        `json:"env"`
 	App     string        `json:"app"`
@@ -31,78 +40,116 @@ type Record struct {
 	CostUSD float64       `json:"cost_usd"`
 }
 
-// FromRun converts a live run record.
-func FromRun(r core.RunRecord) Record {
-	rec := Record{
-		Env: r.EnvKey, App: r.App, Nodes: r.Nodes, Iter: r.Iter,
-		FOM: r.FOM, Unit: r.Unit, Wall: r.Wall, Hookup: r.Hookup, CostUSD: r.CostUSD,
-	}
-	if r.Err != nil {
-		rec.Error = r.Err.Error()
-	}
-	return rec
-}
-
 // MarshalJSONL encodes records as JSON lines.
 func MarshalJSONL(recs []Record) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, r := range recs {
-		if err := enc.Encode(r); err != nil {
-			return nil, err
-		}
-	}
-	return buf.Bytes(), nil
+	return jsonl.Marshal(recs)
 }
 
 // UnmarshalJSONL decodes JSON lines into records.
 func UnmarshalJSONL(data []byte) ([]Record, error) {
-	var out []Record
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
-		}
-		var r Record
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
-		}
-		out = append(out, r)
-	}
-	return out, sc.Err()
+	return jsonl.Unmarshal[Record]("dataset", data)
 }
 
-// ArtifactType marks study datasets in the registry.
-const ArtifactType = "application/vnd.cloudhpc.study.results.v1"
+// Artifact types in the registry.
+const (
+	// ArtifactType marks study result datasets.
+	ArtifactType = "application/vnd.cloudhpc.study.results.v1"
+	// UnitArtifactType marks one (env, app) unit's precomputed model and
+	// hookup draws — the incremental-execution quantum of the persistent
+	// result store.
+	UnitArtifactType = "application/vnd.cloudhpc.unit.draws.v1"
+	// StudyBundleType marks a complete serialized study dataset (runs,
+	// trace, billing charges, audits) in the persistent result store.
+	StudyBundleType = "application/vnd.cloudhpc.study.bundle.v1"
+)
 
-// Push archives a study's runs into the registry, one artifact per
-// (environment, application), tagged "results/<env>/<app>". It returns
-// the tags pushed, sorted.
-func Push(reg *oras.Registry, res *core.Results) ([]string, error) {
-	groups := map[string][]Record{}
-	for _, run := range res.Runs {
-		key := run.EnvKey + "/" + run.App
-		groups[key] = append(groups[key], FromRun(run))
+// UnitMeta is the per-unit metadata of a stored (env, app) unit artifact
+// ("unit.json" alongside "runs.jsonl"): the sub-hash key the unit is
+// stored under, and the inputs that key covers, so a unit artifact is
+// self-describing without the spec that produced it.
+type UnitMeta struct {
+	Version    int    `json:"version"`
+	Key        string `json:"key"`
+	Seed       uint64 `json:"seed"`
+	Env        string `json:"env"`
+	App        string `json:"app"`
+	Iterations int    `json:"iterations"`
+	Records    int    `json:"records"`
+}
+
+// MarshalUnit encodes a unit artifact's files: the metadata and the draw
+// records.
+func MarshalUnit(meta UnitMeta, recs []Record) (map[string][]byte, error) {
+	meta.Records = len(recs)
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
 	}
-	tags := make([]string, 0, len(groups))
-	for key, recs := range groups {
-		data, err := MarshalJSONL(recs)
+	rj, err := MarshalJSONL(recs)
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{"unit.json": mj, "runs.jsonl": rj}, nil
+}
+
+// UnmarshalUnit decodes a unit artifact's files, validating the record
+// count against the metadata.
+func UnmarshalUnit(files map[string][]byte) (UnitMeta, []Record, error) {
+	var meta UnitMeta
+	mj, ok := files["unit.json"]
+	if !ok {
+		return meta, nil, fmt.Errorf("dataset: unit artifact has no unit.json")
+	}
+	if err := json.Unmarshal(mj, &meta); err != nil {
+		return meta, nil, fmt.Errorf("dataset: unit.json: %w", err)
+	}
+	rj, ok := files["runs.jsonl"]
+	if !ok {
+		return meta, nil, fmt.Errorf("dataset: unit artifact has no runs.jsonl")
+	}
+	recs, err := UnmarshalJSONL(rj)
+	if err != nil {
+		return meta, nil, err
+	}
+	if len(recs) != meta.Records {
+		return meta, nil, fmt.Errorf("dataset: unit %s/%s holds %d records, metadata says %d",
+			meta.Env, meta.App, len(recs), meta.Records)
+	}
+	return meta, recs, nil
+}
+
+// Push archives run records into the registry, one artifact per
+// (environment, application), tagged "results/<env>/<app>". Artifacts
+// are pushed in sorted tag order so the registry's blob and manifest
+// insertion sequence — not just the returned tag list — is identical run
+// to run; a content-addressed archive should never depend on Go map
+// iteration order. It returns the tags pushed, sorted.
+func Push(reg *oras.Registry, recs []Record) ([]string, error) {
+	groups := map[string][]Record{}
+	for _, r := range recs {
+		key := r.Env + "/" + r.App
+		groups[key] = append(groups[key], r)
+	}
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	tags := make([]string, 0, len(keys))
+	for _, key := range keys {
+		data, err := MarshalJSONL(groups[key])
 		if err != nil {
 			return nil, err
 		}
 		tag := "results/" + key
 		_, err = reg.Push(tag, ArtifactType,
 			map[string][]byte{"runs.jsonl": data},
-			map[string]string{"cloudhpc.records": fmt.Sprint(len(recs))})
+			map[string]string{"cloudhpc.records": fmt.Sprint(len(groups[key]))})
 		if err != nil {
 			return nil, err
 		}
 		tags = append(tags, tag)
 	}
-	sort.Strings(tags)
 	return tags, nil
 }
 

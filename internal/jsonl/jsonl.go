@@ -1,0 +1,47 @@
+// Package jsonl is the one JSON-lines codec behind every archived wire
+// form — dataset records, trace events, billing charges. One encoder
+// loop and one scanner (blank lines skipped, 16 MiB line cap, malformed
+// lines reported with their 1-based number) instead of a drifting copy
+// per package.
+package jsonl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Marshal encodes items as JSON lines, one per item, in order.
+func Marshal[T any](items []T) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes JSON lines into values of T. Blank lines are
+// skipped; a malformed line fails with its 1-based line number prefixed
+// by errPrefix (the owning package's name).
+func Unmarshal[T any](errPrefix string, data []byte) ([]T, error) {
+	var out []T
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return nil, fmt.Errorf("%s: line %d: %w", errPrefix, line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,37 @@
+package jsonl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := []rec{{"a", 1}, {"b", 2}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal[rec]("test", data)
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v %v", err, out)
+	}
+}
+
+func TestBlankLinesSkippedErrorsCarryLineNumbers(t *testing.T) {
+	t.Parallel()
+	out, err := Unmarshal[rec]("test", []byte("\n{\"name\":\"x\"}\n\n"))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("blank lines: %v %d", err, len(out))
+	}
+	_, err = Unmarshal[rec]("test", []byte("{\"name\":\"x\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "test: line 2") {
+		t.Fatalf("error should carry prefix and line: %v", err)
+	}
+}

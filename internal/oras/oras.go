@@ -7,15 +7,25 @@
 // addressed by SHA-256 digest, manifests reference blob descriptors plus
 // an artifact type, and tags name manifests. Pushing identical content
 // twice deduplicates, and every pull verifies digests end to end.
+//
+// Storage is pluggable: a Registry keeps *all* of its state — blobs,
+// manifests (as canonical-JSON blobs), and tags (as refs) — in a
+// store.BlobStore. NewRegistry uses the in-memory store (tests, transient
+// runs); NewRegistryWith accepts any backend, and over store.Disk the
+// registry is durable: a re-opened store yields a registry that resolves
+// every previously pushed tag, which is what cmd/archive and the
+// persistent result store build on.
 package oras
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+
+	"cloudhpc/internal/store"
 )
 
 // Digest is a "sha256:<hex>" content address.
@@ -23,43 +33,41 @@ type Digest string
 
 // DigestOf computes the canonical digest of a byte string.
 func DigestOf(data []byte) Digest {
-	sum := sha256.Sum256(data)
-	return Digest("sha256:" + hex.EncodeToString(sum[:]))
+	return Digest(store.DigestOf(data))
 }
 
 // Descriptor points at a blob: digest, size, and media type.
 type Descriptor struct {
-	MediaType string
-	Digest    Digest
-	Size      int64
+	MediaType string `json:"mediaType"`
+	Digest    Digest `json:"digest"`
+	Size      int64  `json:"size"`
 	// Annotations carry ORAS-style metadata (file name, env, app...).
-	Annotations map[string]string
+	Annotations map[string]string `json:"annotations,omitempty"`
 }
 
 // Manifest ties descriptors together under an artifact type.
 type Manifest struct {
-	ArtifactType string
-	Layers       []Descriptor
-	Annotations  map[string]string
+	ArtifactType string            `json:"artifactType"`
+	Layers       []Descriptor      `json:"layers"`
+	Annotations  map[string]string `json:"annotations,omitempty"`
+}
+
+// encode renders the manifest's canonical form: JSON with struct fields
+// in declaration order and map keys sorted (encoding/json's map
+// behaviour), so identical manifests always serialize identically. The
+// encoding doubles as the stored representation, making the manifest its
+// own content-addressed blob.
+func (m Manifest) encode() ([]byte, error) {
+	return json.Marshal(m)
 }
 
 // digest computes the manifest's own address from its canonical encoding.
-func (m Manifest) digest() Digest {
-	// Canonical encoding: artifact type, then layers in order, then
-	// sorted annotations. Good enough for identity inside the simulation.
-	s := "artifactType=" + m.ArtifactType + "\n"
-	for _, l := range m.Layers {
-		s += fmt.Sprintf("layer %s %s %d\n", l.MediaType, l.Digest, l.Size)
+func (m Manifest) digest() (Digest, error) {
+	data, err := m.encode()
+	if err != nil {
+		return "", err
 	}
-	keys := make([]string, 0, len(m.Annotations))
-	for k := range m.Annotations {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		s += k + "=" + m.Annotations[k] + "\n"
-	}
-	return DigestOf([]byte(s))
+	return DigestOf(data), nil
 }
 
 // Registry errors.
@@ -70,119 +78,254 @@ var (
 	ErrDigestMismatch  = errors.New("oras: content does not match digest")
 )
 
-// Registry is an in-memory OCI registry. Safe for concurrent use.
+// Ref-name prefixes inside the blob store. Manifests are marked with a
+// ref so the registry can tell them apart from content blobs without a
+// separate index; tags are refs from name to manifest digest.
+const (
+	manifestRefPrefix = "oras/manifest/"
+	tagRefPrefix      = "oras/tag/"
+)
+
+// Registry is a content-addressed OCI registry over a pluggable blob
+// store. Safe for concurrent use within one process: the backends
+// serialize their own state, concurrent pushes are idempotent, and the
+// registry's own lock makes GC mutually exclusive with reads and with
+// the one-shot Push verb (a sweep between a layer's Put and its
+// manifest's existence check could otherwise collect blobs nothing
+// references *yet*). Hand-composing PushBlob → PushManifest → Tag holds
+// the lock only per call, so do not run a composed push concurrently
+// with GC. Sharing one backend directory between processes is safe for
+// pushes but not for GC.
 type Registry struct {
-	mu        sync.RWMutex
-	blobs     map[Digest][]byte
-	manifests map[Digest]Manifest
-	tags      map[string]Digest
+	// mu is held shared by every push/read operation and exclusively by
+	// GC: pushes may interleave freely with each other, never with a
+	// sweep.
+	mu    sync.RWMutex
+	blobs store.BlobStore
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry over an in-memory store.
 func NewRegistry() *Registry {
-	return &Registry{
-		blobs:     make(map[Digest][]byte),
-		manifests: make(map[Digest]Manifest),
-		tags:      make(map[string]Digest),
-	}
+	return NewRegistryWith(store.NewMemory())
 }
+
+// NewRegistryWith returns a registry over the given backend. Over a
+// store.Disk backend the registry is persistent: every blob, manifest,
+// and tag previously pushed into the same directory is visible.
+func NewRegistryWith(bs store.BlobStore) *Registry {
+	return &Registry{blobs: bs}
+}
+
+// Backend returns the registry's blob store.
+func (r *Registry) Backend() store.BlobStore { return r.blobs }
 
 // PushBlob stores content and returns its descriptor. Identical content
 // deduplicates to the same digest.
-func (r *Registry) PushBlob(mediaType string, data []byte) Descriptor {
-	d := DigestOf(data)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.blobs[d]; !ok {
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		r.blobs[d] = cp
+func (r *Registry) PushBlob(mediaType string, data []byte) (Descriptor, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, err := r.blobs.Put(data)
+	if err != nil {
+		return Descriptor{}, err
 	}
-	return Descriptor{MediaType: mediaType, Digest: d, Size: int64(len(data))}
+	return Descriptor{MediaType: mediaType, Digest: Digest(d), Size: int64(len(data))}, nil
 }
 
 // FetchBlob retrieves and verifies a blob.
 func (r *Registry) FetchBlob(d Digest) ([]byte, error) {
 	r.mu.RLock()
-	data, ok := r.blobs[d]
-	r.mu.RUnlock()
-	if !ok {
+	defer r.mu.RUnlock()
+	return r.fetchBlobLocked(d)
+}
+
+func (r *Registry) fetchBlobLocked(d Digest) ([]byte, error) {
+	data, err := r.blobs.Get(string(d))
+	switch {
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrBadDigest):
 		return nil, fmt.Errorf("%w: %s", ErrBlobUnknown, d)
-	}
-	if DigestOf(data) != d {
+	case errors.Is(err, store.ErrCorrupt):
 		return nil, fmt.Errorf("%w: %s", ErrDigestMismatch, d)
+	case err != nil:
+		return nil, err
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, nil
+	return data, nil
 }
 
 // PushManifest stores a manifest after checking every referenced layer
 // exists, and returns the manifest digest.
 func (r *Registry) PushManifest(m Manifest) (Digest, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pushManifestLocked(m)
+}
+
+func (r *Registry) pushManifestLocked(m Manifest) (Digest, error) {
 	for _, l := range m.Layers {
-		if _, ok := r.blobs[l.Digest]; !ok {
+		if !r.blobs.Has(string(l.Digest)) {
 			return "", fmt.Errorf("%w: manifest references %s", ErrBlobUnknown, l.Digest)
 		}
 	}
-	d := m.digest()
-	r.manifests[d] = m
-	return d, nil
+	data, err := m.encode()
+	if err != nil {
+		return "", err
+	}
+	dig, err := r.blobs.Put(data)
+	if err != nil {
+		return "", err
+	}
+	if err := r.blobs.SetRef(manifestRefPrefix+dig, dig); err != nil {
+		return "", err
+	}
+	return Digest(dig), nil
 }
 
 // Tag points a name at a manifest digest.
 func (r *Registry) Tag(name string, d Digest) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.manifests[d]; !ok {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tagLocked(name, d)
+}
+
+func (r *Registry) tagLocked(name string, d Digest) error {
+	if _, ok := r.blobs.Ref(manifestRefPrefix + string(d)); !ok {
 		return fmt.Errorf("%w: %s", ErrManifestUnknown, d)
 	}
-	r.tags[name] = d
-	return nil
+	return r.blobs.SetRef(tagRefPrefix+name, string(d))
 }
 
 // Resolve returns the manifest a tag points at.
 func (r *Registry) Resolve(name string) (Manifest, Digest, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	d, ok := r.tags[name]
+	return r.resolveLocked(name)
+}
+
+func (r *Registry) resolveLocked(name string) (Manifest, Digest, error) {
+	dig, ok := r.blobs.Ref(tagRefPrefix + name)
 	if !ok {
 		return Manifest{}, "", fmt.Errorf("%w: %q", ErrTagUnknown, name)
 	}
-	return r.manifests[d], d, nil
+	m, err := r.manifestAt(Digest(dig))
+	if err != nil {
+		return Manifest{}, "", err
+	}
+	return m, Digest(dig), nil
+}
+
+// manifestAt fetches and decodes a stored manifest blob.
+func (r *Registry) manifestAt(d Digest) (Manifest, error) {
+	data, err := r.blobs.Get(string(d))
+	switch {
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrBadDigest):
+		return Manifest{}, fmt.Errorf("%w: %s", ErrManifestUnknown, d)
+	case errors.Is(err, store.ErrCorrupt):
+		return Manifest{}, fmt.Errorf("%w: manifest %s", ErrDigestMismatch, d)
+	case err != nil:
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("oras: decoding manifest %s: %w", d, err)
+	}
+	return m, nil
 }
 
 // Tags lists all tag names, sorted.
 func (r *Registry) Tags() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.tags))
-	for t := range r.tags {
-		out = append(out, t)
+	var out []string
+	for _, ref := range r.blobs.Refs() {
+		if name, ok := strings.CutPrefix(ref, tagRefPrefix); ok {
+			out = append(out, name)
+		}
 	}
-	sort.Strings(out)
-	return out
+	return out // Refs() is sorted and the prefix is constant, so out is too
 }
 
-// BlobCount and ManifestCount report store sizes (dedup visible here).
+// BlobCount reports the number of content blobs (dedup visible here);
+// manifest blobs are accounted separately by ManifestCount.
 func (r *Registry) BlobCount() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.blobs)
+	return r.blobs.Len() - r.ManifestCount()
 }
 
+// ManifestCount reports the number of stored manifests.
 func (r *Registry) ManifestCount() int {
+	n := 0
+	for _, ref := range r.blobs.Refs() {
+		if strings.HasPrefix(ref, manifestRefPrefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveDigests returns the digests reachable from the registry's tags:
+// every tagged manifest blob plus every layer those manifests reference.
+// Tags are the roots — a manifest no tag points at anymore (a bundle
+// whose tag moved to a newer push) is garbage, which is exactly what GC
+// exists to reclaim. Anything else in the backend also counts as
+// garbage here; a caller sharing the store with other users must union
+// in their live sets.
+func (r *Registry) LiveDigests() (map[string]bool, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.manifests)
+	return r.liveDigestsLocked()
+}
+
+func (r *Registry) liveDigestsLocked() (map[string]bool, error) {
+	live := map[string]bool{}
+	for _, ref := range r.blobs.Refs() {
+		if !strings.HasPrefix(ref, tagRefPrefix) {
+			continue
+		}
+		dig, ok := r.blobs.Ref(ref)
+		if !ok {
+			continue
+		}
+		live[dig] = true
+		m, err := r.manifestAt(Digest(dig))
+		if err != nil {
+			continue // corrupt manifest: keep the blob, skip its layers
+		}
+		for _, l := range m.Layers {
+			live[string(l.Digest)] = true
+		}
+	}
+	return live, nil
+}
+
+// GC reclaims everything no tag reaches: it drops the manifest markers
+// of untagged manifests (so the refs stop pinning their blobs) and then
+// sweeps the unreachable blobs. The exclusive lock makes the sweep
+// mutually exclusive with in-flight pushes and reads — a push's layers
+// cannot be collected between their Put and the manifest's existence
+// check, and a Pull cannot fetch a manifest mid-sweep. Returns how many
+// blobs were removed.
+func (r *Registry) GC() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live, err := r.liveDigestsLocked()
+	if err != nil {
+		return 0, err
+	}
+	var stale []string
+	for _, ref := range r.blobs.Refs() {
+		if dig, ok := strings.CutPrefix(ref, manifestRefPrefix); ok && !live[dig] {
+			stale = append(stale, ref)
+		}
+	}
+	if err := r.blobs.DeleteRefs(stale); err != nil {
+		return 0, err
+	}
+	return r.blobs.GC(live)
 }
 
 // Push is the ORAS convenience verb: store files as layers under one
 // manifest and tag it. Files map name → content; names land in layer
-// annotations like `oras push` does.
+// annotations like `oras push` does, in sorted name order so the layer
+// list — and therefore the manifest digest — is deterministic.
 func (r *Registry) Push(tag, artifactType string, files map[string][]byte, annotations map[string]string) (Digest, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
@@ -190,26 +333,45 @@ func (r *Registry) Push(tag, artifactType string, files map[string][]byte, annot
 	sort.Strings(names)
 	m := Manifest{ArtifactType: artifactType, Annotations: annotations}
 	for _, n := range names {
-		desc := r.PushBlob("application/octet-stream", files[n])
-		desc.Annotations = map[string]string{"org.opencontainers.image.title": n}
-		m.Layers = append(m.Layers, desc)
+		dig, err := r.blobs.Put(files[n])
+		if err != nil {
+			return "", err
+		}
+		m.Layers = append(m.Layers, Descriptor{
+			MediaType: "application/octet-stream", Digest: Digest(dig), Size: int64(len(files[n])),
+			Annotations: map[string]string{"org.opencontainers.image.title": n},
+		})
 	}
-	d, err := r.PushManifest(m)
+	// One batched ref update covers the manifest marker and the tag, so
+	// an artifact push persists the backing index once, not twice.
+	data, err := m.encode()
 	if err != nil {
 		return "", err
 	}
-	return d, r.Tag(tag, d)
+	dig, err := r.blobs.Put(data)
+	if err != nil {
+		return "", err
+	}
+	if err := r.blobs.SetRefs(map[string]string{
+		manifestRefPrefix + dig: dig,
+		tagRefPrefix + tag:      dig,
+	}); err != nil {
+		return "", err
+	}
+	return Digest(dig), nil
 }
 
 // Pull fetches all files of a tagged artifact.
 func (r *Registry) Pull(tag string) (map[string][]byte, error) {
-	m, _, err := r.Resolve(tag)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, _, err := r.resolveLocked(tag)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]byte, len(m.Layers))
 	for i, l := range m.Layers {
-		data, err := r.FetchBlob(l.Digest)
+		data, err := r.fetchBlobLocked(l.Digest)
 		if err != nil {
 			return nil, err
 		}

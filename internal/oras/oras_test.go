@@ -3,9 +3,12 @@ package oras
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"cloudhpc/internal/store"
 )
 
 func TestDigestOfStable(t *testing.T) {
@@ -26,7 +29,10 @@ func TestDigestOfStable(t *testing.T) {
 func TestPushFetchBlob(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
-	desc := r.PushBlob("text/plain", []byte("data"))
+	desc, err := r.PushBlob("text/plain", []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if desc.Size != 4 {
 		t.Fatalf("size = %d", desc.Size)
 	}
@@ -52,7 +58,7 @@ func TestBlobDeduplication(t *testing.T) {
 func TestFetchReturnsCopy(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
-	desc := r.PushBlob("t", []byte("immutable"))
+	desc, _ := r.PushBlob("t", []byte("immutable"))
 	got, _ := r.FetchBlob(desc.Digest)
 	got[0] = 'X'
 	again, _ := r.FetchBlob(desc.Digest)
@@ -73,7 +79,7 @@ func TestManifestNeedsLayers(t *testing.T) {
 func TestTagResolve(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
-	desc := r.PushBlob("t", []byte("x"))
+	desc, _ := r.PushBlob("t", []byte("x"))
 	d, err := r.PushManifest(Manifest{ArtifactType: "test", Layers: []Descriptor{desc}})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +125,7 @@ func TestPushPullRoundTrip(t *testing.T) {
 func TestManifestDigestCanonical(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
-	desc := r.PushBlob("t", []byte("x"))
+	desc, _ := r.PushBlob("t", []byte("x"))
 	m1 := Manifest{ArtifactType: "a", Layers: []Descriptor{desc},
 		Annotations: map[string]string{"k1": "v1", "k2": "v2"}}
 	m2 := Manifest{ArtifactType: "a", Layers: []Descriptor{desc},
@@ -141,7 +147,11 @@ func TestConcurrentPushes(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
 				data := []byte{byte(i), byte(j)}
-				desc := r.PushBlob("t", data)
+				desc, err := r.PushBlob("t", data)
+				if err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
 				if got, err := r.FetchBlob(desc.Digest); err != nil || !bytes.Equal(got, data) {
 					t.Errorf("concurrent fetch mismatch")
 					return
@@ -159,11 +169,156 @@ func TestBlobRoundTripProperty(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
 	f := func(data []byte) bool {
-		desc := r.PushBlob("t", data)
+		desc, err := r.PushBlob("t", data)
+		if err != nil {
+			return false
+		}
 		got, err := r.FetchBlob(desc.Digest)
 		return err == nil && bytes.Equal(got, data) && desc.Size == int64(len(data))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRegistryPersistsOverDiskStore proves the pluggable backend end to
+// end: a registry over a disk store survives process exit — reopening the
+// same directory yields a registry that resolves every tag and verifies
+// every blob.
+func TestRegistryPersistsOverDiskStore(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	bs, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRegistryWith(bs)
+	files := map[string][]byte{"runs.jsonl": []byte(`{"env":"e"}` + "\n")}
+	if _, err := r1.Push("results/e/app", "app/results", files, map[string]string{"records": "1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	bs2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistryWith(bs2)
+	if tags := r2.Tags(); len(tags) != 1 || tags[0] != "results/e/app" {
+		t.Fatalf("tags after reopen = %v", tags)
+	}
+	got, err := r2.Pull("results/e/app")
+	if err != nil || !bytes.Equal(got["runs.jsonl"], files["runs.jsonl"]) {
+		t.Fatalf("pull after reopen: %v %q", err, got)
+	}
+	if r2.BlobCount() != 1 || r2.ManifestCount() != 1 {
+		t.Fatalf("counts after reopen: %d blobs, %d manifests", r2.BlobCount(), r2.ManifestCount())
+	}
+}
+
+// TestFetchCorruptBlobReportsMismatch pins the verification path: bytes
+// damaged underneath the registry surface as ErrDigestMismatch, never as
+// silently wrong content.
+func TestFetchCorruptBlobReportsMismatch(t *testing.T) {
+	t.Parallel()
+	bs := store.NewMemory()
+	r := NewRegistryWith(bs)
+	desc, _ := r.PushBlob("t", []byte("pristine"))
+	bs.Corrupt(string(desc.Digest))
+	if _, err := r.FetchBlob(desc.Digest); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("want ErrDigestMismatch, got %v", err)
+	}
+}
+
+// TestLiveDigestsCoverManifestClosure: GC against the registry's live set
+// sweeps an untagged orphan blob but keeps every manifest and layer.
+func TestLiveDigestsCoverManifestClosure(t *testing.T) {
+	t.Parallel()
+	bs := store.NewMemory()
+	r := NewRegistryWith(bs)
+	if _, err := r.Push("keep", "t", map[string][]byte{"a": []byte("layer-a")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	orphan, _ := bs.Put([]byte("orphan"))
+	live, err := r.LiveDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := bs.GC(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || bs.Has(orphan) {
+		t.Fatalf("gc removed %d, orphan present=%v", removed, bs.Has(orphan))
+	}
+	if _, err := r.Pull("keep"); err != nil {
+		t.Fatalf("gc broke a tagged artifact: %v", err)
+	}
+}
+
+// TestGCExcludesInFlightPushes races GC sweeps against artifact pushes:
+// the registry's lock must prevent a sweep from collecting layer blobs
+// between their Put and their manifest's existence check, so every
+// pushed artifact pulls back intact.
+func TestGCExcludesInFlightPushes(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := r.GC(); err != nil {
+				t.Errorf("gc: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		tag := fmt.Sprintf("results/run-%d", i)
+		if _, err := r.Push(tag, "t", map[string][]byte{"out": []byte(fmt.Sprintf("payload %d", i))}, nil); err != nil {
+			t.Fatalf("push %s: %v", tag, err)
+		}
+		if _, err := r.Pull(tag); err != nil {
+			t.Fatalf("pull %s after concurrent gc: %v", tag, err)
+		}
+	}
+	<-done
+}
+
+// TestGCReclaimsSupersededArtifacts: when a tag moves to a new manifest,
+// the old manifest and its unshared layers become unreachable and GC
+// must actually reclaim them (tags are the liveness roots — manifest
+// markers alone must not pin garbage forever).
+func TestGCReclaimsSupersededArtifacts(t *testing.T) {
+	t.Parallel()
+	bs := store.NewMemory()
+	r := NewRegistryWith(bs)
+	if _, err := r.Push("results/x", "t", map[string][]byte{"a": []byte("version one")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := bs.Len()
+	if _, err := r.Push("results/x", "t", map[string][]byte{"a": []byte("version two")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The superseded manifest and its layer must both go.
+	if removed != 2 {
+		t.Fatalf("gc removed %d blobs, want 2 (old layer + old manifest)", removed)
+	}
+	if bs.Len() != before {
+		t.Fatalf("store holds %d blobs after gc, want %d", bs.Len(), before)
+	}
+	if r.ManifestCount() != 1 {
+		t.Fatalf("manifest count = %d, want 1", r.ManifestCount())
+	}
+	got, err := r.Pull("results/x")
+	if err != nil || string(got["a"]) != "version two" {
+		t.Fatalf("live artifact damaged by gc: %v %q", err, got)
+	}
+	// Idempotent: nothing left to sweep.
+	if removed, _ := r.GC(); removed != 0 {
+		t.Fatalf("second gc removed %d", removed)
 	}
 }

@@ -1,0 +1,332 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Disk is the on-disk BlobStore. Layout under the root directory:
+//
+//	blobs/<hex>    one file per blob, named by its sha256
+//	index.json     refs (name → digest); blobs are inventoried by scan
+//
+// Every write goes through a temporary file and an atomic rename, so
+// readers never observe a partial file and a crash mid-write leaves at
+// worst an orphan temp file. Writes are not fsynced (the store is a
+// cache; recompute covers loss), so a power loss can tear a
+// recently-renamed blob — torn content is caught by Get's digest
+// verification and healed by the next Put of the same digest, and an
+// orphan blob (crash before any index write) is adopted by Open's
+// directory rescan: content addressing means an orphan is never wrong,
+// only unindexed.
+//
+// A Disk store is safe for concurrent use within one process. Sharing one
+// directory between processes is safe for blobs (idempotent, atomic) but
+// last-writer-wins for refs; the study tooling treats that as acceptable
+// because every writer stores the same content under the same keys.
+type Disk struct {
+	dir string
+
+	mu    sync.Mutex
+	blobs map[string]int64  // digest → size
+	refs  map[string]string // name → digest
+}
+
+// indexFile is the persisted form of the store's mutable state: just the
+// refs. The blob inventory is deliberately not persisted — the blobs
+// directory is the truth and Open rebuilds the inventory by scanning it —
+// so Put never has to rewrite the index (an N-blob ingest would otherwise
+// rewrite a growing index N times under the store mutex).
+type indexFile struct {
+	Version int               `json:"version"`
+	Refs    map[string]string `json:"refs"`
+}
+
+const indexVersion = 1
+
+// Open opens (creating if needed) a disk store rooted at dir.
+func Open(dir string) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Disk{
+		dir:   dir,
+		blobs: make(map[string]int64),
+		refs:  make(map[string]string),
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	if err := s.reconcile(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Disk) Dir() string { return s.dir }
+
+func (s *Disk) indexPath() string        { return filepath.Join(s.dir, "index.json") }
+func (s *Disk) blobPath(h string) string { return filepath.Join(s.dir, "blobs", h) }
+
+// loadIndex reads index.json; a missing index is an empty store (the
+// blobs directory scan in reconcile recovers any existing content).
+func (s *Disk) loadIndex() error {
+	data, err := os.ReadFile(s.indexPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading index: %w", err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		// A torn or damaged index is recoverable: the blobs are the truth,
+		// the refs are lost. Rebuild rather than refuse to open.
+		return nil
+	}
+	if idx.Refs != nil {
+		s.refs = idx.Refs
+	}
+	return nil
+}
+
+// reconcile makes the in-memory inventory agree with the blobs directory:
+// orphan files (crash between blob rename and index write) are adopted,
+// indexed-but-missing blobs are dropped, and refs whose target vanished
+// are deleted.
+func (s *Disk) reconcile() error {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "blobs"))
+	if err != nil {
+		return fmt.Errorf("store: scanning blobs: %w", err)
+	}
+	onDisk := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), "tmp-") {
+			continue
+		}
+		if _, err := parseDigest("sha256:" + e.Name()); err != nil {
+			continue // foreign file; leave it alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		onDisk["sha256:"+e.Name()] = info.Size()
+	}
+	s.blobs = onDisk
+	for name, d := range s.refs {
+		if _, ok := s.blobs[d]; !ok {
+			delete(s.refs, name)
+		}
+	}
+	return s.persistIndexLocked()
+}
+
+// persistIndexLocked atomically rewrites index.json. Callers hold s.mu
+// (or have exclusive access during Open).
+func (s *Disk) persistIndexLocked() error {
+	data, err := json.Marshal(indexFile{Version: indexVersion, Refs: s.refs})
+	if err != nil {
+		return err
+	}
+	return s.atomicWrite(s.indexPath(), data)
+}
+
+// atomicWrite writes data to path via a temp file + rename in the same
+// directory, so readers never observe a partial file.
+func (s *Disk) atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: renaming into %s: %w", path, err)
+	}
+	return nil
+}
+
+// Put implements BlobStore. A duplicate Put verifies the existing file
+// and rewrites it when the bytes no longer hash to the digest — the
+// self-healing path: after a torn write or bit rot, the recompute that
+// the corruption forced re-stores pristine content instead of leaving
+// the digest permanently poisoned behind the dedup check.
+func (s *Disk) Put(data []byte) (string, error) {
+	d := DigestOf(data)
+	h, _ := parseDigest(d)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[d]; ok {
+		if onDisk, err := os.ReadFile(s.blobPath(h)); err == nil && DigestOf(onDisk) == d {
+			return d, nil
+		}
+		// Damaged or unreadable: fall through and rewrite.
+	}
+	if err := s.atomicWrite(s.blobPath(h), data); err != nil {
+		return "", err
+	}
+	// No index write: the blob file itself is the durable record (Open
+	// rescans the directory), so Put costs one file write, not two.
+	s.blobs[d] = int64(len(data))
+	return d, nil
+}
+
+// Get implements BlobStore: reads and re-verifies the blob end to end.
+func (s *Disk) Get(digest string) ([]byte, error) {
+	h, err := parseDigest(digest)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.blobPath(h))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", digest, err)
+	}
+	if DigestOf(data) != digest {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, digest)
+	}
+	return data, nil
+}
+
+// Has implements BlobStore.
+func (s *Disk) Has(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blobs[digest]
+	return ok
+}
+
+// Len implements BlobStore.
+func (s *Disk) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}
+
+// SetRef implements BlobStore. Re-pointing a ref at the digest it
+// already holds — every warm re-push does this — skips the index write
+// entirely, so only genuinely new refs pay the rewrite.
+func (s *Disk) SetRef(name, digest string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[digest]; !ok {
+		return fmt.Errorf("%w: ref %q target %s", ErrNotFound, name, digest)
+	}
+	if s.refs[name] == digest {
+		return nil
+	}
+	s.refs[name] = digest
+	return s.persistIndexLocked()
+}
+
+// SetRefs implements BlobStore: all targets validated up front, all
+// refs applied, one index write (none if nothing changed).
+func (s *Disk) SetRefs(refs map[string]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, digest := range refs {
+		if _, ok := s.blobs[digest]; !ok {
+			return fmt.Errorf("%w: ref %q target %s", ErrNotFound, name, digest)
+		}
+	}
+	changed := false
+	for name, digest := range refs {
+		if s.refs[name] != digest {
+			s.refs[name] = digest
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return s.persistIndexLocked()
+}
+
+// Ref implements BlobStore.
+func (s *Disk) Ref(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.refs[name]
+	return d, ok
+}
+
+// Refs implements BlobStore.
+func (s *Disk) Refs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedKeys(s.refs)
+}
+
+// DeleteRef implements BlobStore.
+func (s *Disk) DeleteRef(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.refs[name]; !ok {
+		return nil
+	}
+	delete(s.refs, name)
+	return s.persistIndexLocked()
+}
+
+// DeleteRefs implements BlobStore: all removals, one index write (none
+// if nothing was present).
+func (s *Disk) DeleteRefs(names []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for _, name := range names {
+		if _, ok := s.refs[name]; ok {
+			delete(s.refs, name)
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return s.persistIndexLocked()
+}
+
+// GC implements BlobStore: sweeps blobs that are neither in live nor the
+// direct target of a ref. Refs are untouched, so no index write happens —
+// the blob files and the in-memory inventory are the only casualties.
+func (s *Disk) GC(live map[string]bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	targets := make(map[string]bool, len(s.refs))
+	for _, d := range s.refs {
+		targets[d] = true
+	}
+	removed := 0
+	for d := range s.blobs {
+		if live[d] || targets[d] {
+			continue
+		}
+		h, err := parseDigest(d)
+		if err != nil {
+			continue
+		}
+		if err := os.Remove(s.blobPath(h)); err != nil && !os.IsNotExist(err) {
+			return removed, fmt.Errorf("store: gc %s: %w", d, err)
+		}
+		delete(s.blobs, d)
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,267 @@
+// Package store is the persistent content-addressed blob store under the
+// result pipeline: sha256-named blobs written with atomic renames, a
+// small index file carrying named references, and a mark-and-sweep GC.
+// It is the durable half of the archival discipline the study practiced —
+// the paper's release content-addresses 25,541 run datasets in an OCI
+// registry — lifted out of process memory so that every cmd/ invocation
+// and CI step can share one store instead of recomputing the study.
+//
+// Two implementations share the BlobStore interface: Disk, the on-disk
+// store (one file per blob under <dir>/blobs, an index.json for refs),
+// and Memory, the in-process store the tests and the default in-memory
+// oras registry use. Content addressing makes writes idempotent and reads
+// self-verifying: Get re-hashes every blob and returns ErrCorrupt when
+// the bytes no longer match their name, which is what lets the cache
+// layers above fall back to recompute instead of serving damaged data.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store errors. Disk and Memory wrap them with context; callers match
+// with errors.Is.
+var (
+	// ErrNotFound reports a digest (or ref target) absent from the store.
+	ErrNotFound = errors.New("store: blob not found")
+	// ErrCorrupt reports a blob whose bytes no longer hash to its name.
+	ErrCorrupt = errors.New("store: blob content does not match digest")
+	// ErrBadDigest reports a malformed digest string (wrong scheme or not
+	// 64 hex digits — also the guard against path traversal on disk).
+	ErrBadDigest = errors.New("store: malformed digest")
+)
+
+// DigestOf computes the canonical "sha256:<hex>" content address.
+func DigestOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// parseDigest validates a digest and returns its hex part.
+func parseDigest(d string) (string, error) {
+	hexPart, ok := strings.CutPrefix(d, "sha256:")
+	if !ok || len(hexPart) != sha256.Size*2 {
+		return "", fmt.Errorf("%w: %q", ErrBadDigest, d)
+	}
+	for _, c := range hexPart {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("%w: %q", ErrBadDigest, d)
+		}
+	}
+	return hexPart, nil
+}
+
+// BlobStore is the storage contract shared by the on-disk and in-memory
+// stores, and the pluggable backend of the oras registry. Blobs are
+// immutable and content-addressed; refs are mutable names pointing at
+// digests (tags, manifest markers, cache keys). Implementations are safe
+// for concurrent use within one process.
+type BlobStore interface {
+	// Put stores data under its content digest and returns the digest.
+	// Storing identical content twice deduplicates.
+	Put(data []byte) (string, error)
+	// Get returns a copy of the blob's bytes, verifying the content
+	// against the digest (ErrCorrupt on mismatch, ErrNotFound if absent).
+	Get(digest string) ([]byte, error)
+	// Has reports whether the digest is present.
+	Has(digest string) bool
+	// Len reports the number of stored blobs.
+	Len() int
+	// SetRef points name at an existing digest (ErrNotFound otherwise).
+	SetRef(name, digest string) error
+	// SetRefs points several names at existing digests with at most one
+	// index persist — the batch form composite pushes use so an
+	// N-artifact ingest writes the index N times, not 2N. All targets
+	// are validated before any ref moves.
+	SetRefs(refs map[string]string) error
+	// Ref resolves a name to its digest.
+	Ref(name string) (string, bool)
+	// Refs returns all ref names, sorted.
+	Refs() []string
+	// DeleteRef removes a ref; deleting an absent ref is a no-op.
+	DeleteRef(name string) error
+	// DeleteRefs removes several refs with at most one index persist —
+	// the batch form GC uses to drop stale manifest markers.
+	DeleteRefs(names []string) error
+	// GC deletes every blob that is neither in live nor the direct target
+	// of a ref, returning how many were removed. Callers that layer
+	// indirection on top of refs (a manifest blob referencing layer
+	// blobs) must close over that indirection when building live.
+	GC(live map[string]bool) (removed int, err error)
+}
+
+// Memory is the in-process BlobStore: the test backend, and the default
+// backend of an oras registry. The zero value is not usable; call
+// NewMemory.
+type Memory struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	refs  map[string]string
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{blobs: make(map[string][]byte), refs: make(map[string]string)}
+}
+
+// Put implements BlobStore. Like Disk.Put it self-heals: re-storing a
+// digest whose held bytes were damaged (the Corrupt test hook) replaces
+// them with the pristine content.
+func (m *Memory) Put(data []byte) (string, error) {
+	d := DigestOf(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if held, ok := m.blobs[d]; !ok || DigestOf(held) != d {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		m.blobs[d] = cp
+	}
+	return d, nil
+}
+
+// Get implements BlobStore. Memory verifies content like Disk does, so a
+// test that reaches in and damages a blob observes the same ErrCorrupt
+// path production would.
+func (m *Memory) Get(digest string) ([]byte, error) {
+	if _, err := parseDigest(digest); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	data, ok := m.blobs[digest]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+	}
+	if DigestOf(data) != digest {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, digest)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Has implements BlobStore.
+func (m *Memory) Has(digest string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.blobs[digest]
+	return ok
+}
+
+// Len implements BlobStore.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}
+
+// SetRef implements BlobStore.
+func (m *Memory) SetRef(name, digest string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[digest]; !ok {
+		return fmt.Errorf("%w: ref %q target %s", ErrNotFound, name, digest)
+	}
+	m.refs[name] = digest
+	return nil
+}
+
+// SetRefs implements BlobStore.
+func (m *Memory) SetRefs(refs map[string]string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, digest := range refs {
+		if _, ok := m.blobs[digest]; !ok {
+			return fmt.Errorf("%w: ref %q target %s", ErrNotFound, name, digest)
+		}
+	}
+	for name, digest := range refs {
+		m.refs[name] = digest
+	}
+	return nil
+}
+
+// Ref implements BlobStore.
+func (m *Memory) Ref(name string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.refs[name]
+	return d, ok
+}
+
+// Refs implements BlobStore.
+func (m *Memory) Refs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedKeys(m.refs)
+}
+
+// DeleteRef implements BlobStore.
+func (m *Memory) DeleteRef(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.refs, name)
+	return nil
+}
+
+// DeleteRefs implements BlobStore.
+func (m *Memory) DeleteRefs(names []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, name := range names {
+		delete(m.refs, name)
+	}
+	return nil
+}
+
+// GC implements BlobStore.
+func (m *Memory) GC(live map[string]bool) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	removed := 0
+	for d := range m.blobs {
+		if live[d] || m.refTargetLocked(d) {
+			continue
+		}
+		delete(m.blobs, d)
+		removed++
+	}
+	return removed, nil
+}
+
+// Corrupt overwrites a stored blob's bytes without renaming it — a test
+// hook for exercising the ErrCorrupt fallback paths. It reports whether
+// the digest was present.
+func (m *Memory) Corrupt(digest string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[digest]; !ok {
+		return false
+	}
+	m.blobs[digest] = []byte("corrupted")
+	return true
+}
+
+func (m *Memory) refTargetLocked(digest string) bool {
+	for _, d := range m.refs {
+		if d == digest {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,11 +1,11 @@
 package trace
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"cloudhpc/internal/jsonl"
 )
 
 // JSON export of the event log, for archiving alongside the study's other
@@ -13,27 +13,42 @@ import (
 
 // eventJSON is the wire form: severity as a string, time in nanoseconds.
 type eventJSON struct {
-	AtNs     int64   `json:"at_ns"`
-	Env      string  `json:"env,omitempty"`
-	Category string  `json:"category"`
-	Severity string  `json:"severity"`
-	Msg      string  `json:"msg"`
-	Cost     float64 `json:"cost_usd,omitempty"`
+	AtNs     int64        `json:"at_ns"`
+	Env      string       `json:"env,omitempty"`
+	Category string       `json:"category"`
+	Severity severityName `json:"severity"`
+	Msg      string       `json:"msg"`
+	Cost     float64      `json:"cost_usd,omitempty"`
+}
+
+// severityName validates during JSON decoding, so a bad severity fails
+// inside the shared JSONL scanner and the error carries the exact file
+// line — not a post-hoc record index.
+type severityName string
+
+func (s *severityName) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	if _, err := severityFromString(str); err != nil {
+		return err
+	}
+	*s = severityName(str)
+	return nil
 }
 
 // MarshalJSONL encodes the log as JSON lines in insertion order.
 func (l *Log) MarshalJSONL() ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, e := range l.Events() {
-		if err := enc.Encode(eventJSON{
+	events := l.Events()
+	out := make([]eventJSON, len(events))
+	for i, e := range events {
+		out[i] = eventJSON{
 			AtNs: int64(e.At), Env: e.Env, Category: string(e.Category),
-			Severity: e.Severity.String(), Msg: e.Msg, Cost: e.Cost,
-		}); err != nil {
-			return nil, err
+			Severity: severityName(e.Severity.String()), Msg: e.Msg, Cost: e.Cost,
 		}
 	}
-	return buf.Bytes(), nil
+	return jsonl.Marshal(out)
 }
 
 // severityFromString inverts Severity.String.
@@ -52,27 +67,20 @@ func severityFromString(s string) (Severity, error) {
 
 // UnmarshalJSONL rebuilds a log from JSON lines.
 func UnmarshalJSONL(data []byte) (*Log, error) {
+	decoded, err := jsonl.Unmarshal[eventJSON]("trace", data)
+	if err != nil {
+		return nil, err
+	}
 	l := NewLog()
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
-		}
-		var ej eventJSON
-		if err := json.Unmarshal(sc.Bytes(), &ej); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		sev, err := severityFromString(ej.Severity)
+	for _, ej := range decoded {
+		sev, err := severityFromString(string(ej.Severity))
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, err // unreachable: severityName validated at decode
 		}
 		l.Add(Event{
 			At: time.Duration(ej.AtNs), Env: ej.Env, Category: Category(ej.Category),
 			Severity: sev, Msg: ej.Msg, Cost: ej.Cost,
 		})
 	}
-	return l, sc.Err()
+	return l, nil
 }

@@ -1,6 +1,15 @@
 #!/bin/sh
-# Regenerates BENCH_baseline.json — the committed data point of the perf
-# trajectory — from the executor benchmarks. Run from the repo root:
+# Regenerates a committed benchmark data point from the executor
+# benchmarks. With no arguments it produces BENCH_baseline.json (the
+# full-study executor baseline); with a bench regex and a note it
+# produces any other data point — the store cold/warm comparison is:
+#
+#	sh scripts/bench_baseline.sh \
+#	  'BenchmarkStudyStoreCold$|BenchmarkStudyStoreWarm$' \
+#	  'cold = full compute + serialize into a fresh on-disk store; warm = whole-study decode from the store, no simulation; compare the cold/warm ratio, not absolutes' \
+#	  > BENCH_store.json
+#
+# Run from the repo root:
 #
 #	sh scripts/bench_baseline.sh > BENCH_baseline.json
 #
@@ -8,11 +17,21 @@
 # numbers on purpose) and note the machine in the "host" field.
 set -e
 
-go test -run XXX -bench 'BenchmarkFullStudy$|BenchmarkFullStudyGranularity|BenchmarkUnitPrecompute' -benchtime=10x 2>/dev/null |
+pattern="${1:-BenchmarkFullStudy\$|BenchmarkFullStudyGranularity|BenchmarkUnitPrecompute}"
+note="${2:-full-study executor wall-clock baseline; ns_per_op medians move with hardware — compare shapes, not absolutes}"
+
+# The note reaches awk via the environment (awk -v mangles backslash
+# escapes) and is JSON-escaped before interpolation.
+BENCH_NOTE="$note"
+export BENCH_NOTE
+go test -run XXX -bench "$pattern" -benchtime=10x 2>/dev/null |
 awk '
 BEGIN {
+	note = ENVIRON["BENCH_NOTE"]
+	gsub(/\\/, "&&", note) # & = the matched backslash; && doubles it
+	gsub(/"/, "\\\"", note)
 	printf "{\n"
-	printf "  \"note\": \"full-study executor wall-clock baseline; ns_per_op medians move with hardware — compare shapes, not absolutes\",\n"
+	printf "  \"note\": \"%s\",\n", note
 	"date -u +%Y-%m-%dT%H:%M:%SZ" | getline d
 	printf "  \"recorded\": \"%s\",\n", d
 	"go env GOOS" | getline os
