@@ -9,6 +9,7 @@
 package cloudhpc
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -557,5 +558,64 @@ func BenchmarkStudyStoreWarm(b *testing.B) {
 		if _, err := core.CachedRunFull(2025); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerStudyCold and BenchmarkRunnerStudySubscribed quantify
+// what the session layer costs. Cold is BenchmarkStudyStoreCold's exact
+// workload — full compute serialized into a fresh on-disk store — but
+// driven through a core.Runner session with no subscribers: the
+// acceptance bar is parity within noise (≤2%) of the store-cold number,
+// because unobserved sessions pay only atomic counters. Subscribed
+// attaches one actively-draining subscriber to the same workload, the
+// upper bound anyone pays for watching a study live.
+// scripts/bench_baseline.sh turns the pair plus the store-cold
+// reference into BENCH_runner.json.
+func BenchmarkRunnerStudyCold(b *testing.B) {
+	benchRunnerStudy(b, false)
+}
+
+func BenchmarkRunnerStudySubscribed(b *testing.B) {
+	benchRunnerStudy(b, true)
+}
+
+func benchRunnerStudy(b *testing.B, subscribe bool) {
+	defer core.SetDefaultResultStore(nil)
+	defer core.FlushCachedRuns()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rs, err := core.OpenResultStore(filepath.Join(b.TempDir(), fmt.Sprintf("store-%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.Logf = nil
+		core.FlushCachedRuns()
+		r := &core.Runner{Store: rs}
+		b.StartTimer()
+		sess, err := r.Start(context.Background(), core.DefaultSpec(2025))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var drain func() int
+		if subscribe {
+			ch, _ := sess.Subscribe()
+			done := make(chan int, 1)
+			go func() {
+				n := 0
+				for range ch {
+					n++
+				}
+				done <- n
+			}()
+			drain = func() int { return <-done }
+		}
+		res, err := sess.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if drain != nil {
+			b.ReportMetric(float64(drain()), "events")
+		}
+		b.ReportMetric(float64(len(res.Runs)), "runs")
 	}
 }

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	archive [-spec FILE] [-seed N] [-store DIR] [-verify]
+//	archive [-spec FILE] [-seed N] [-store DIR] [-progress auto|on|off] [-verify]
 package main
 
 import (
@@ -20,7 +20,6 @@ import (
 	"os"
 
 	"cloudhpc/internal/cli"
-	"cloudhpc/internal/core"
 	"cloudhpc/internal/dataset"
 	"cloudhpc/internal/oras"
 )
@@ -34,13 +33,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	spec, err := study.Spec()
+	res, _, err := study.Run(nil)
 	if err != nil {
-		fatal(err)
-	}
-	res, err := core.CachedRunSpec(spec)
-	if err != nil {
-		fatal(err)
+		cli.Fail("archive", err)
 	}
 
 	// Share the result store's registry when one is configured: the

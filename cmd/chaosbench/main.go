@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	chaosbench [-spec FILE] [-seed N] [-chaos default|FILE] [-workers N] [-granularity env|env-app] [-store DIR] [-no-baseline] [-incidents]
+//	chaosbench [-spec FILE] [-seed N] [-chaos default|FILE] [-workers N] [-granularity env|env-app] [-store DIR] [-progress auto|on|off] [-no-baseline] [-incidents]
 //
 // Plan files are line-oriented (see internal/chaos):
 //
@@ -46,9 +46,9 @@ func main() {
 		fatal(fmt.Errorf("no chaos plan: pass -chaos default or a plan file"))
 	}
 
-	res, err := core.CachedRunSpec(spec)
+	res, err := study.RunSpec(spec, nil)
 	if err != nil {
-		fatal(err)
+		cli.Fail("chaosbench", err)
 	}
 
 	fmt.Printf("chaotic study complete: %d runs, %d injected incidents (seed %d)\n\n",
@@ -66,9 +66,9 @@ func main() {
 		// the spec-keyed cache.
 		clean := *spec
 		clean.Chaos = ""
-		base, err := core.CachedRunSpec(&clean)
+		base, err := study.RunSpec(&clean, nil)
 		if err != nil {
-			fatal(err)
+			cli.Fail("chaosbench", err)
 		}
 		fmt.Println("\n== Chaos vs fault-free baseline ==")
 		fmt.Printf("%-10s %12s %12s %12s\n", "cloud", "baseline", "chaotic", "delta")

@@ -6,13 +6,12 @@
 //
 // Usage:
 //
-//	cloudbench [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-store DIR] [-trace]
+//	cloudbench [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-store DIR] [-progress auto|on|off] [-trace]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
 	"cloudhpc/internal/apps"
@@ -30,20 +29,17 @@ func main() {
 	abortOverBudget := flag.Bool("abort-over-budget", false, "stop an environment when its spend exceeds its share of the provider budget")
 	flag.Parse()
 
-	spec, err := study.Spec()
-	if err != nil {
-		fatal(err)
+	var configure func(*core.Options)
+	if *pause != 0 || *testClusters || *abortOverBudget {
+		configure = func(o *core.Options) {
+			o.PauseBetweenScales = *pause
+			o.TestClusters = *testClusters
+			o.AbortOverBudget = *abortOverBudget
+		}
 	}
-	st, err := core.NewFromSpec(spec)
+	res, spec, err := study.Run(configure)
 	if err != nil {
-		fatal(err)
-	}
-	st.Opts.PauseBetweenScales = *pause
-	st.Opts.TestClusters = *testClusters
-	st.Opts.AbortOverBudget = *abortOverBudget
-	res, err := st.RunFull()
-	if err != nil {
-		fatal(err)
+		cli.Fail("cloudbench", err)
 	}
 
 	fmt.Printf("study complete: %d runs across %d environments (seed %d)\n\n",
@@ -58,7 +54,7 @@ func main() {
 	fmt.Println("\n== AMG2023 costs (paper Table 4) ==")
 	fmt.Print(report.Table4(res.Table4()))
 
-	funnel := st.Builder.Funnel()
+	funnel := res.Builds
 	fmt.Printf("\n== Container builds (paper: 220 built, 97 intended, 74 used) ==\n")
 	fmt.Printf("attempted %d, built %d, usable %d, failed %d\n",
 		funnel.Attempted, funnel.Built, funnel.Usable, funnel.Failed)
@@ -93,9 +89,4 @@ func main() {
 		fmt.Println("\n== Event trace ==")
 		fmt.Print(res.Log.Render())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cloudbench:", err)
-	os.Exit(1)
 }

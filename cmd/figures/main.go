@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-spec FILE] [-seed N] [-store DIR] [-only table1|table2|table3|table4|fig1|...|fig8|hookup|stream|ecc|costs] [-csv]
+//	figures [-spec FILE] [-seed N] [-store DIR] [-progress auto|on|off] [-only table1|table2|table3|table4|fig1|...|fig8|hookup|stream|ecc|costs] [-csv]
 package main
 
 import (
@@ -27,14 +27,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit figures as CSV")
 	flag.Parse()
 
-	spec, err := study.Spec()
-	if err != nil {
-		fatal(err)
-	}
 	// Every artifact below derives from one cached study execution.
-	res, err := core.CachedRunSpec(spec)
+	res, spec, err := study.Run(nil)
 	if err != nil {
-		fatal(err)
+		cli.Fail("figures", err)
 	}
 
 	renderFig := func(fig *metrics.Figure) string {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	report [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-store DIR] [-o report.md] [-chaos default|FILE]
+//	report [-spec FILE] [-seed N] [-workers N] [-granularity env|env-app] [-store DIR] [-progress auto|on|off] [-o report.md] [-chaos default|FILE]
 package main
 
 import (
@@ -23,27 +23,19 @@ func main() {
 	testClusters := flag.Bool("test-clusters", false, "shake out each environment on a small test cluster first")
 	flag.Parse()
 
-	spec, err := study.Spec()
-	if err != nil {
-		fatal(err)
-	}
-
-	var res *core.Results
-	if *pause == 0 && !*testClusters {
-		// No non-spec options: share the process-wide spec-keyed cache.
-		res, err = core.CachedRunSpec(spec)
-	} else {
-		var st *core.Study
-		st, err = core.NewFromSpec(spec)
-		if err != nil {
-			fatal(err)
+	// No non-spec options: the runner shares the process-wide spec-keyed
+	// cache; with them, it bypasses the cached tiers (the dataset depends
+	// on more than the spec).
+	var configure func(*core.Options)
+	if *pause != 0 || *testClusters {
+		configure = func(o *core.Options) {
+			o.PauseBetweenScales = *pause
+			o.TestClusters = *testClusters
 		}
-		st.Opts.PauseBetweenScales = *pause
-		st.Opts.TestClusters = *testClusters
-		res, err = st.RunFull()
 	}
+	res, _, err := study.Run(configure)
 	if err != nil {
-		fatal(err)
+		cli.Fail("report", err)
 	}
 	md, err := report.Markdown(res)
 	if err != nil {

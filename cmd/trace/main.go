@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	trace [-spec FILE] [-seed N] [-store DIR] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
+//	trace [-spec FILE] [-seed N] [-store DIR] [-progress auto|on|off] [-env azure-aks-cpu] [-severity unexpected|blocking] [-category setup|development|application-setup|manual-intervention] [-json]
 package main
 
 import (
@@ -12,7 +12,6 @@ import (
 	"os"
 
 	"cloudhpc/internal/cli"
-	"cloudhpc/internal/core"
 	"cloudhpc/internal/trace"
 )
 
@@ -35,13 +34,9 @@ func main() {
 		fatal(fmt.Errorf("unknown severity %q", *severity))
 	}
 
-	spec, err := study.Spec()
+	res, _, err := study.Run(nil)
 	if err != nil {
-		fatal(err)
-	}
-	res, err := core.CachedRunSpec(spec)
-	if err != nil {
-		fatal(err)
+		cli.Fail("trace", err)
 	}
 
 	filtered := trace.NewLog()

@@ -3,16 +3,14 @@
 //
 // Usage:
 //
-//	usability [-spec FILE] [-seed N] [-store DIR] [-evidence]
+//	usability [-spec FILE] [-seed N] [-store DIR] [-progress auto|on|off] [-evidence]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"cloudhpc/internal/cli"
-	"cloudhpc/internal/core"
 	"cloudhpc/internal/usability"
 )
 
@@ -21,13 +19,9 @@ func main() {
 	evidence := flag.Bool("evidence", false, "print the events behind each score")
 	flag.Parse()
 
-	spec, err := study.Spec()
+	res, _, err := study.Run(nil)
 	if err != nil {
-		fatal(err)
-	}
-	res, err := core.CachedRunSpec(spec)
-	if err != nil {
-		fatal(err)
+		cli.Fail("usability", err)
 	}
 
 	assessments := res.Table3()
@@ -51,9 +45,4 @@ func main() {
 			}
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "usability:", err)
-	os.Exit(1)
 }

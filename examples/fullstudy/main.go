@@ -1,17 +1,20 @@
-// Fullstudy: run the entire cross-cloud study once via a declarative
-// study spec and slice the cached dataset three ways.
+// Fullstudy: run the entire cross-cloud study as an observable
+// core.Runner session — watching its progress events live — and slice
+// the cached dataset three ways.
 //
-// core.CachedRunSpec memoizes one study execution per canonical spec
-// hash for the life of the process, so asking for a dataset repeatedly —
-// as this example, the root benchmarks, and the cmd/ tools all do — pays
-// for the simulation once. Execution follows the spec's partitioning
-// policy (here: env×app granularity, so the worker pool scales past the
-// environment count); the dataset is byte-identical for any granularity
-// and worker count, so a cached result is interchangeable with a fresh
-// one.
+// Runner.Start returns a Session: a subscribable event stream
+// (study/env/unit started·finished·cached, injected incidents,
+// percent-complete from the partition plan), cooperative cancellation,
+// and Wait. Events are pure observation — the dataset is byte-identical
+// with or without subscribers. Runner.Run (and the CachedRunSpec
+// wrapper) memoizes one execution per canonical spec hash for the life
+// of the process and single-flights concurrent same-spec callers, so
+// asking for a dataset repeatedly — as this example, the root
+// benchmarks, and the cmd/ tools all do — pays for the simulation once.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,13 +35,38 @@ granularity env-app
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.CachedRunSpec(spec)
+
+	// Start the study as a session and watch it execute. Cancelling ctx
+	// (or calling sess.Cancel) would stop dispatching work, drain what is
+	// in flight, and return ctx's error from Wait.
+	runner := &core.Runner{}
+	sess, err := runner.Start(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, unsubscribe := sess.Subscribe()
+	go func() {
+		for ev := range events {
+			switch ev.Kind {
+			case core.EventStudyStarted:
+				fmt.Printf("started: %d work units planned\n", ev.Total)
+			case core.EventEnvFinished:
+				done, total := sess.Progress()
+				fmt.Printf("  %-26s done (%d/%d units, %.0f%%)\n",
+					ev.Env, done, total, 100*float64(done)/float64(total))
+			case core.EventStudyCached:
+				fmt.Printf("served from the %s cache\n", ev.Tier)
+			}
+		}
+	}()
+	res, err := sess.Wait()
+	unsubscribe()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Slice 1: dataset size per environment.
-	fmt.Printf("%d runs across %d environments\n\n", len(res.Runs), len(res.Hookups))
+	fmt.Printf("\n%d runs across %d environments\n\n", len(res.Runs), len(res.Hookups))
 
 	// Slice 2: the cheapest and dearest AMG2023 environments (Table 4).
 	rows := res.Table4()
@@ -47,9 +75,10 @@ granularity env-app
 
 	// Slice 3: per-cloud spend (§3.4). The default spec at the same seed
 	// hashes identically to the spec above (granularity never enters the
-	// hash), so this second call returns the identical cached dataset
-	// without re-running.
-	again, err := core.CachedRunSpec(core.DefaultSpec(2025))
+	// hash), so this second call returns the identical memoized dataset
+	// without re-running — Runner.Run blocks like the old CachedRunSpec,
+	// which still exists as exactly this wrapper.
+	again, err := runner.Run(context.Background(), core.DefaultSpec(2025))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +91,7 @@ granularity env-app
 	// restricted to the Azure environments at two scales. (Scales are
 	// bounded by the study's quota model — Azure GPU grants 33 nodes, so a
 	// 64-node override would fail the GPU environments, correctly.)
-	azure, err := core.CachedRunSpec(&core.StudySpec{
+	azure, err := runner.Run(context.Background(), &core.StudySpec{
 		Seed: 2025, Envs: []string{"azure-*"}, Scales: []int{16, 32},
 	})
 	if err != nil {

@@ -1,14 +1,17 @@
 // Package cli deduplicates the study flag plumbing shared by the cmd/
 // mains (report, cloudbench, chaosbench, figures, trace, usability,
-// archive): the -seed, -workers, -chaos, -granularity, -spec, and -store
-// flags, and the precedence rule that combines them into one
-// core.StudySpec. Before this package each main grew its own copy of the
-// same flags and they drifted; now a main registers the set once and
-// resolves it once.
+// archive): the -seed, -workers, -chaos, -granularity, -spec, -store,
+// and -progress flags, the precedence rule that combines them into one
+// core.StudySpec, and the shared run harness (RunSpec: a core.Runner
+// session with SIGINT → graceful cancellation and the stderr progress
+// renderer). Before this package each main grew its own copy of the
+// same flags and they drifted; now a main registers the set once,
+// resolves it once, and runs through one harness.
 package cli
 
 import (
 	"flag"
+	"os"
 
 	"cloudhpc/internal/core"
 )
@@ -23,6 +26,7 @@ type StudyFlags struct {
 	spec        *string
 	granularity *string
 	store       *string
+	progress    *string
 	chaosDflt   string
 
 	storeOpened bool
@@ -40,7 +44,22 @@ func Register(fs *flag.FlagSet, chaosDefault string) *StudyFlags {
 	f.spec = fs.String("spec", "", `study spec: "default" or a spec file path (envs, apps, scales, iterations, chaos, workers, granularity)`)
 	f.granularity = fs.String("granularity", "", `work-partitioning unit: "env" or "env-app"; the dataset is identical for either`)
 	f.store = fs.String("store", "", "persistent result store directory: studies and (env, app) units are content-addressed there and reused across runs")
+	f.progress = fs.String("progress", "auto", `study progress feed on stderr: "auto" (only when stderr is a terminal), "on", or "off"`)
 	return f
+}
+
+// progressOn resolves the -progress flag: "on" and "off" are explicit;
+// "auto" (and anything else) enables the feed only when stderr is a
+// terminal, so piped and CI runs stay quiet by default.
+func (f *StudyFlags) progressOn() bool {
+	switch *f.progress {
+	case "on":
+		return true
+	case "off":
+		return false
+	}
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 // OpenStore resolves the -store flag: when set, it opens (creating if

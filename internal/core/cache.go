@@ -1,15 +1,18 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
-// The cached-dataset layer is a three-tier pipeline:
+// The cached-dataset layer is a three-tier pipeline driven by Runner:
 //
 //	memory  → the process-wide map below, keyed by canonical spec hash
 //	store   → the persistent ResultStore (when one is configured):
 //	          whole-study bundles under "study/<hash>", and — during
 //	          compute — per-(env, app) unit artifacts under
 //	          "unit/<sub-hash>" for incremental reuse
-//	compute → Study.RunFull
+//	compute → one context-aware study execution (Study.runSession)
 //
 // Every consumer that only needs a given spec's dataset (the root
 // benchmark harness, cmd/figures, cmd/report, cmd/trace, the examples)
@@ -29,17 +32,22 @@ import "sync"
 // invariance is what makes a store entry trustworthy: whatever policy
 // computed it, a warm load is byte-identical.
 //
-// The map lock is held only for entry lookup; each entry resolves its
-// dataset under its own sync.Once, so concurrent calls for different
-// specs execute in parallel while duplicate same-spec calls coalesce
-// onto one load-or-compute.
+// The map lock is held only for entry lookup; each entry is resolved by
+// exactly one leading Runner session (single-flight), so concurrent
+// calls for different specs execute in parallel while duplicate
+// same-spec calls coalesce onto one load-or-compute and all receive the
+// shared result — or, if the leader's context is cancelled, the shared
+// context error (which is then dropped from the map, never memoized).
 var (
 	cacheMu sync.Mutex
 	cache   = map[string]*cacheEntry{}
 )
 
+// cacheEntry is one single-flight memoization slot: the leader fills res
+// and err, then closes done; followers wait on done (or their own
+// context) and read the shared outcome.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *Results
 	err  error
 }
@@ -48,7 +56,9 @@ type cacheEntry struct {
 // memory tier (the persistent store, if any, is untouched). It exists
 // for benchmarks and tests that measure or exercise the store tier,
 // which the memory tier would otherwise shadow; production callers never
-// need it.
+// need it. In-flight executions are unaffected: their entries are
+// dropped from the map, but callers already attached still receive the
+// shared outcome.
 func FlushCachedRuns() {
 	cacheMu.Lock()
 	cache = map[string]*cacheEntry{}
@@ -66,52 +76,22 @@ func CachedRunFull(seed uint64) (*Results, error) {
 // CachedRunSpec returns the study dataset for a spec through the
 // memory → store → compute tiers, using the process-default ResultStore
 // (none means memory → compute). The returned Results are shared: treat
-// them as read-only. Callers that need non-spec Options (pauses, test
-// clusters, budget aborts) must build a Study and call RunFull
-// themselves — such datasets depend on more than the spec and are never
-// served from, or saved to, the study tier (their unit draws still are:
-// units depend only on spec-sliced inputs). The first caller's
-// Workers/Granularity policy drives the one execution; since the dataset
-// is policy-invariant, later callers observe no difference.
+// them as read-only. It is a thin compatibility wrapper over Runner.Run
+// with a background context; callers that want cancellation, progress
+// events, or an injected logger use a Runner directly. Callers that need
+// non-spec Options (pauses, test clusters, budget aborts) set
+// Runner.Configure (or build a Study and call Run/RunFull themselves) —
+// such datasets depend on more than the spec and are never served from,
+// or saved to, the study tier (their unit draws still are: units depend
+// only on spec-sliced inputs). The first caller's Workers/Granularity
+// policy drives the one execution; since the dataset is policy-invariant,
+// later callers observe no difference.
 func CachedRunSpec(spec *StudySpec) (*Results, error) {
-	return cachedRunSpecIn(DefaultResultStore(), spec)
+	return (&Runner{}).Run(context.Background(), spec)
 }
 
 // cachedRunSpecIn is CachedRunSpec against an explicit store (nil
-// disables the persistent tier). One resolution serves the key, the
-// store lookup, and the execution, so the dataset memoized under the
-// hash is exactly the one that resolution described (a chaos plan file
-// edited between two resolutions could otherwise cache a dataset under a
-// stale key).
+// disables the persistent tier entirely, ignoring any process default).
 func cachedRunSpecIn(rs *ResultStore, spec *StudySpec) (*Results, error) {
-	r, err := spec.Resolve()
-	if err != nil {
-		return nil, err
-	}
-	key := r.Hash()
-	cacheMu.Lock()
-	e, ok := cache[key]
-	if !ok {
-		e = &cacheEntry{}
-		cache[key] = e
-	}
-	cacheMu.Unlock()
-
-	e.once.Do(func() {
-		if rs != nil {
-			if res, ok := rs.LoadStudy(r); ok {
-				e.res = res
-				return
-			}
-		}
-		st := newStudy(r, spec)
-		st.Store = rs
-		e.res, e.err = st.RunFull()
-		if e.err == nil && rs != nil {
-			if err := rs.SaveStudy(r, e.res); err != nil {
-				rs.logf("core: result store: saving study/%s failed: %v", key, err)
-			}
-		}
-	})
-	return e.res, e.err
+	return (&Runner{Store: rs, disableStore: rs == nil}).Run(context.Background(), spec)
 }

@@ -46,13 +46,27 @@
 // pre-spec shared "core/run/<env>" stream naming so historical datasets
 // (the original seed-2025 golden) remain reproducible.
 //
+// # Sessions and observability
+//
+// The public execution surface is Runner: Run(ctx, spec) blocks for the
+// dataset, Start(ctx, spec) returns a Session — a subscribable event
+// stream (study/env/unit started·finished·cached, injected incidents,
+// plan progress), Progress counters, cooperative Cancel, and Wait.
+// Events are pure observation (no RNG draws, no ordering impact), so a
+// subscribed session is byte-identical to a blind RunFull; cancellation
+// stops dispatching new work, drains in-flight shards at scale/app
+// boundaries, and returns ctx's error without ever tearing the store
+// (artifact writes are atomic). Studies are one-shot: a second
+// Run/RunFull on the same Study returns ErrStudyConsumed.
+//
 // # Caching and persistence
 //
-// CachedRunSpec resolves a dataset through three tiers: a per-process
-// memory map keyed by canonical spec hash (CachedRunFull is the
-// default-spec shorthand), a persistent content-addressed ResultStore
+// Runner.Run (and the CachedRunSpec/CachedRunFull wrappers) resolves a
+// dataset through three tiers: a per-process memory map keyed by
+// canonical spec hash — single-flight, so concurrent same-spec callers
+// share one execution — a persistent content-addressed ResultStore
 // when one is configured (-store DIR via internal/cli, or
-// SetDefaultResultStore), and finally Study.RunFull. The store holds
+// SetDefaultResultStore), and finally study execution. The store holds
 // whole-study bundles under "study/<spec-hash>" and per-(env, app) unit
 // outputs under "unit/<sub-hash>" (UnitKey); because a unit's sub-hash
 // covers only that unit's own inputs, a spec that edits one environment

@@ -43,6 +43,7 @@ import (
 	"cloudhpc/internal/apps"
 	"cloudhpc/internal/chaos"
 	"cloudhpc/internal/cloud"
+	"cloudhpc/internal/containers"
 	"cloudhpc/internal/dataset"
 	"cloudhpc/internal/oras"
 	"cloudhpc/internal/sim"
@@ -52,7 +53,8 @@ import (
 
 // storeSchemaVersion is bumped whenever the serialized forms change;
 // artifacts from another version are treated as misses and recomputed.
-const storeSchemaVersion = 1
+// v2: study metadata gained the container-build funnel.
+const storeSchemaVersion = 2
 
 // Record converts a live run record to its archived form (errors flatten
 // to strings so the archive round-trips through JSON).
@@ -181,6 +183,18 @@ func (rs *ResultStore) logf(format string, args ...any) {
 	}
 }
 
+// logvia routes a warning through an injected per-run logger when one is
+// set (Runner.Logf → Study.Logf → here), else through the store's own
+// Logf — the hook that lets a service embedder capture persist warnings
+// without touching the shared store's default.
+func (rs *ResultStore) logvia(logf func(format string, args ...any), format string, args ...any) {
+	if logf != nil {
+		logf(format, args...)
+		return
+	}
+	rs.logf(format, args...)
+}
+
 // The process-default result store, set by internal/cli from the -store
 // flag; nil means the persistent tier is disabled and the pipeline is
 // memory → compute, exactly as before the store existed.
@@ -206,6 +220,7 @@ type studyMeta struct {
 	Findings  []apps.Finding                   `json:"findings,omitempty"`
 	Incidents []chaos.Incident                 `json:"incidents,omitempty"`
 	Recovery  chaos.Accounting                 `json:"recovery"`
+	Builds    containers.Funnel                `json:"builds"`
 }
 
 // SaveStudy archives a complete study dataset under the resolved spec's
@@ -230,7 +245,7 @@ func (rs *ResultStore) SaveStudy(r *ResolvedSpec, res *Results) error {
 		Runs:    len(res.Runs),
 		ClockNs: int64(res.Meter.Now()),
 		ECCOn:   res.ECCOn, Hookups: res.Hookups, Findings: res.Findings,
-		Incidents: res.Incidents, Recovery: res.Recovery,
+		Incidents: res.Incidents, Recovery: res.Recovery, Builds: res.Builds,
 	})
 	if err != nil {
 		return err
@@ -254,6 +269,12 @@ func (rs *ResultStore) SaveStudy(r *ResolvedSpec, res *Results) error {
 // schema drift, torn write) is a logged warning and a miss — the caller
 // falls back to compute.
 func (rs *ResultStore) LoadStudy(r *ResolvedSpec) (*Results, bool) {
+	return rs.loadStudyVia(r, nil)
+}
+
+// loadStudyVia is LoadStudy with an injectable warning logger (nil means
+// the store's own).
+func (rs *ResultStore) loadStudyVia(r *ResolvedSpec, logf func(format string, args ...any)) (*Results, bool) {
 	key := r.Hash()
 	files, err := rs.reg.Pull("study/" + key)
 	if errors.Is(err, oras.ErrTagUnknown) {
@@ -263,18 +284,18 @@ func (rs *ResultStore) LoadStudy(r *ResolvedSpec) (*Results, bool) {
 	if err != nil {
 		rs.corrupt.Add(1)
 		rs.studyMisses.Add(1)
-		rs.logf("core: result store: study/%s unreadable (%v); falling back to compute", key, err)
+		rs.logvia(logf, "core: result store: study/%s unreadable (%v); falling back to compute", key, err)
 		return nil, false
 	}
 	res, err := decodeStudy(r, key, files)
 	if err != nil {
 		rs.corrupt.Add(1)
 		rs.studyMisses.Add(1)
-		rs.logf("core: result store: study/%s undecodable (%v); falling back to compute", key, err)
+		rs.logvia(logf, "core: result store: study/%s undecodable (%v); falling back to compute", key, err)
 		return nil, false
 	}
 	rs.studyHits.Add(1)
-	rs.logf("core: result store: warm hit study/%s", key)
+	rs.logvia(logf, "core: result store: warm hit study/%s", key)
 	return res, true
 }
 
@@ -330,6 +351,7 @@ func decodeStudy(r *ResolvedSpec, key string, files map[string][]byte) (*Results
 		Log:  lg, Meter: meter, Envs: r.Envs,
 		ECCOn: meta.ECCOn, Hookups: meta.Hookups,
 		Findings: meta.Findings, Incidents: meta.Incidents, Recovery: meta.Recovery,
+		Builds: meta.Builds,
 	}
 	if res.ECCOn == nil {
 		res.ECCOn = make(map[string]float64)
@@ -375,26 +397,28 @@ func UnitKey(seed uint64, env apps.EnvSpec, app string, iterations int, plan *ch
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
 }
 
-// saveUnit archives one computed unit. Failures are warnings: a unit
-// that fails to store just recomputes next time.
-func (rs *ResultStore) saveUnit(meta dataset.UnitMeta, u *unitPlan) {
+// saveUnit archives one computed unit. Failures are warnings (routed
+// through logf when injected): a unit that fails to store just
+// recomputes next time.
+func (rs *ResultStore) saveUnit(meta dataset.UnitMeta, u *unitPlan, logf func(format string, args ...any)) {
 	files, err := dataset.MarshalUnit(meta, unitRecords(meta.Env, meta.App, u))
 	if err == nil {
 		_, err = rs.reg.Push("unit/"+meta.Key, dataset.UnitArtifactType, files, nil)
 	}
 	if err != nil {
-		rs.logf("core: result store: storing unit/%s failed: %v", meta.Key, err)
+		rs.logvia(logf, "core: result store: storing unit/%s failed: %v", meta.Key, err)
 	}
 }
 
 // loadUnit returns the archived unit plan for a key, or (nil, false) on
-// a miss; unreadable or mismatched artifacts warn and miss. The decoded
+// a miss; unreadable or mismatched artifacts warn (through logf when
+// injected) and miss. The decoded
 // runs are validated against the exact (nodes, iter) schedule the
 // environment assembly will replay — a stale artifact that still
 // decodes (a draw-schedule change not captured by the key or a schema
 // bump) must degrade to recompute here, because once handed to the
 // assembly an out-of-step plan fails the whole study.
-func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterations int) (*unitPlan, bool) {
+func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterations int, logf func(format string, args ...any)) (*unitPlan, bool) {
 	files, err := rs.reg.Pull("unit/" + key)
 	if errors.Is(err, oras.ErrTagUnknown) {
 		rs.unitMisses.Add(1)
@@ -403,7 +427,7 @@ func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterat
 	if err != nil {
 		rs.corrupt.Add(1)
 		rs.unitMisses.Add(1)
-		rs.logf("core: result store: unit/%s unreadable (%v); recomputing", key, err)
+		rs.logvia(logf, "core: result store: unit/%s unreadable (%v); recomputing", key, err)
 		return nil, false
 	}
 	meta, recs, err := dataset.UnmarshalUnit(files)
@@ -416,7 +440,7 @@ func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterat
 	if err != nil {
 		rs.corrupt.Add(1)
 		rs.unitMisses.Add(1)
-		rs.logf("core: result store: unit/%s undecodable (%v); recomputing", key, err)
+		rs.logvia(logf, "core: result store: unit/%s undecodable (%v); recomputing", key, err)
 		return nil, false
 	}
 	u := &unitPlan{runs: make([]plannedRun, 0, len(recs))}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrStudyConsumed reports a second RunFull/Run on the same Study.
+// Studies are one-shot by construction — a run merges the shards into
+// the study-level substrates, so a rerun would stitch a second timeline
+// onto an already-merged one and silently corrupt the dataset. The old
+// API did exactly that; the redesigned surface makes reuse a defined
+// error instead. Build a fresh Study, or use a Runner, for another run.
+var ErrStudyConsumed = errors.New("core: study already consumed (RunFull/Run are one-shot; build a new Study or use a Runner)")
+
+// Runner is the execution surface of the result pipeline: a handle that
+// turns StudySpecs into datasets through the memory → store → compute
+// tiers, with context cancellation, single-flight deduplication, and —
+// via Start — an observable Session per execution. The zero value is
+// ready to use and equivalent to the process defaults (the -store flag's
+// result store, warnings to the store's own logger).
+//
+// Run and Start are safe for concurrent use. Concurrent calls for the
+// same resolved spec share one execution: one caller leads (computes or
+// loads), the rest follow and receive the shared Results — or, if the
+// leader's context is cancelled, the shared context error. A
+// cancellation error is never memoized: the next caller recomputes.
+type Runner struct {
+	// Store is the persistent result store consulted and fed by this
+	// runner's executions; nil means the process default
+	// (DefaultResultStore — the -store flag). Tests inside the package
+	// can force the persistent tier off with disableStore.
+	Store *ResultStore
+	// Logf, when non-nil, receives the store/persist warnings (corrupt
+	// artifacts, failed saves, warm-hit notices) raised by this runner's
+	// executions instead of the store's own logger — the injection point
+	// for service embedders that must capture them. Nil keeps the default
+	// (ResultStore.Logf, which itself defaults to log.Printf).
+	Logf func(format string, args ...any)
+	// Configure, when non-nil, adjusts each study's Options before
+	// execution — the hook for the non-spec knobs (pauses, test clusters,
+	// budget aborts). Such datasets depend on more than the spec, so a
+	// configured runner bypasses the memory and study-store tiers
+	// entirely (unit draws still flow through the unit tier: units
+	// depend only on spec-sliced inputs).
+	Configure func(*Options)
+
+	// disableStore forces the persistent tier off even when a process
+	// default store is installed (test hook; see cachedRunSpecIn).
+	disableStore bool
+}
+
+// resultStore resolves the runner's persistent tier.
+func (r *Runner) resultStore() *ResultStore {
+	if r.disableStore {
+		return nil
+	}
+	if r.Store != nil {
+		return r.Store
+	}
+	return DefaultResultStore()
+}
+
+// Run resolves and executes spec through the cache tiers and returns the
+// dataset — the context-aware, single-flight successor of the one-shot
+// Study.RunFull. The returned Results are shared: treat them as
+// read-only. On cancellation Run returns promptly with ctx's error; work
+// already dispatched drains cleanly and the persistent store is left
+// consistent (every artifact write is atomic).
+func (r *Runner) Run(ctx context.Context, spec *StudySpec) (*Results, error) {
+	sess, err := r.Start(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Wait()
+}
+
+// Start begins executing spec and returns its Session without waiting:
+// subscribe for events, poll Progress, Cancel, and Wait for the dataset.
+// Spec resolution errors surface here, before any execution.
+//
+// Concurrent Start calls for the same resolved spec share one
+// execution. The leading session observes it fully (env, unit, incident
+// events); following sessions observe it at study granularity only
+// (started, then cached/failed) — their Wait returns the shared result
+// either way. Cancelling the leading session cancels the shared
+// execution; cancelling a follower detaches only that follower.
+func (r *Runner) Start(ctx context.Context, spec *StudySpec) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rspec, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	sess := newSession(cancel)
+
+	if r.Configure != nil {
+		// Non-spec options: the dataset depends on more than the spec, so
+		// it is never served from, or memoized into, the study tiers.
+		st := newStudy(rspec, spec)
+		st.Store = r.resultStore()
+		st.Logf = r.Logf
+		r.Configure(&st.Opts)
+		go func() {
+			defer cancel()
+			res, err := st.runSession(runCtx, sess)
+			sess.finish(res, err)
+		}()
+		return sess, nil
+	}
+
+	key := rspec.Hash()
+	cacheMu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		cache[key] = e
+	}
+	cacheMu.Unlock()
+	if ok {
+		go sess.follow(runCtx, cancel, e)
+		return sess, nil
+	}
+	go r.lead(runCtx, cancel, sess, rspec, spec, key, e)
+	return sess, nil
+}
+
+// lead runs the single-flight execution for a cache entry: store tier
+// first, compute otherwise, then publishes the outcome to the entry (for
+// followers) and the session. A context error is broadcast but never
+// memoized — the entry is dropped so the next caller recomputes —
+// whereas a study error is memoized exactly as the old cached layer did.
+func (r *Runner) lead(ctx context.Context, cancel context.CancelFunc, sess *Session, rspec *ResolvedSpec, spec *StudySpec, key string, e *cacheEntry) {
+	defer cancel()
+	rs := r.resultStore()
+	var res *Results
+	var err error
+	if rs != nil {
+		if warm, ok := rs.loadStudyVia(rspec, r.Logf); ok {
+			res = warm
+			sess.emit(Event{Kind: EventStudyCached, Tier: "store"})
+		}
+	}
+	if res == nil {
+		st := newStudy(rspec, spec)
+		st.Store = rs
+		st.Logf = r.Logf
+		res, err = st.runSession(ctx, sess)
+		if err == nil && rs != nil {
+			if serr := rs.SaveStudy(rspec, res); serr != nil {
+				rs.logvia(r.Logf, "core: result store: saving study/%s failed: %v", key, serr)
+			}
+		}
+	}
+	if err != nil && errors.Is(err, ctx.Err()) {
+		// Cancelled: share the error with current followers, but do not
+		// poison the memoization for future callers.
+		cacheMu.Lock()
+		if cache[key] == e {
+			delete(cache, key)
+		}
+		cacheMu.Unlock()
+	}
+	e.res, e.err = res, err
+	close(e.done)
+	sess.finish(res, err)
+}
+
+// follow attaches a session to an in-flight (or already-complete)
+// single-flight entry: study-granularity events only, shared outcome.
+// The follower's own context can detach it early; the shared execution
+// keeps running for whoever leads it.
+func (s *Session) follow(ctx context.Context, cancel context.CancelFunc, e *cacheEntry) {
+	defer cancel()
+	select {
+	case <-e.done:
+	default:
+		// In flight: this session observes the study from the outside.
+		s.emit(Event{Kind: EventStudyStarted})
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			s.finish(nil, ctx.Err())
+			return
+		}
+	}
+	if e.err == nil && e.res != nil {
+		s.emit(Event{Kind: EventStudyCached, Tier: "memory"})
+	}
+	s.finish(e.res, e.err)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// subscriberBuffer is each subscriber channel's capacity. A full study
+// emits well under a thousand events, so an actively-draining subscriber
+// never drops; one that stalls loses events (counted by Dropped) rather
+// than ever blocking execution.
+const subscriberBuffer = 1024
+
+// replayCap bounds the events buffered before the first subscriber
+// attaches. Start necessarily races the caller's Subscribe, so the
+// session keeps the opening events (study-started/cached, the first
+// envs and units) and replays them to the first subscriber; a session
+// nobody ever subscribes to stops buffering at the cap and degrades to
+// a two-atomic-load no-op per event.
+const replayCap = 256
+
+// Session is one observable study execution started by Runner.Start. It
+// exposes the event stream (Subscribe), plan-completion counters
+// (Progress), cooperative cancellation (Cancel), and the terminal result
+// (Wait). A session is safe for concurrent use by any number of
+// subscribers and waiters.
+//
+// Observation is pure and close to free when unused: events draw from no
+// RNG stream and impose no ordering, and with zero subscribers the emit
+// path is two atomic loads once the small replay buffer fills, so a
+// no-subscriber session runs within noise of a bare RunFull
+// (BenchmarkRunnerStudyCold vs BenchmarkStudyStoreCold).
+type Session struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	res    *Results
+	err    error
+
+	total     atomic.Int64
+	completed atomic.Int64
+	dropped   atomic.Int64
+
+	mu         sync.Mutex
+	subs       map[chan Event]bool
+	closed     bool
+	replay     []Event
+	replayDone atomic.Bool // first subscriber attached, or cap reached
+	nsubs      atomic.Int32
+}
+
+func newSession(cancel context.CancelFunc) *Session {
+	return &Session{cancel: cancel, done: make(chan struct{}), subs: make(map[chan Event]bool)}
+}
+
+// Subscribe registers a new event stream on the session and returns the
+// channel plus an unsubscribe func. The first subscriber receives the
+// buffered opening events (up to replayCap), so subscribing right after
+// Start observes the stream from the beginning. Delivery never blocks
+// execution: a subscriber that falls more than subscriberBuffer events
+// behind loses the overflow (counted by Dropped) instead of stalling
+// the study. The channel is closed when the session completes or the
+// subscriber unsubscribes; subscribing after completion yields the
+// replayed opening events (first subscriber only) and a closed channel.
+func (s *Session) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, subscriberBuffer)
+	s.mu.Lock()
+	for _, ev := range s.replay {
+		ch <- ev // subscriberBuffer ≥ replayCap: never blocks
+	}
+	s.replay = nil
+	if s.closed {
+		s.replayDone.Store(true)
+		s.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	// Register before flipping replayDone: emit's lock-free fast path
+	// reads the two atomics without s.mu, so a subscriber must be
+	// countable the instant replay capture ends or an event landing in
+	// that window would vanish unobserved.
+	s.subs[ch] = true
+	s.nsubs.Add(1)
+	s.replayDone.Store(true)
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.subs[ch] {
+			delete(s.subs, ch)
+			s.nsubs.Add(-1)
+			close(ch)
+		}
+	}
+}
+
+// Wait blocks until the session completes and returns its dataset. All
+// waiters receive the same (shared, read-only) Results or the same
+// error; after cancellation that error is the context's.
+func (s *Session) Wait() (*Results, error) {
+	<-s.done
+	return s.res, s.err
+}
+
+// Done returns a channel closed when the session completes, for callers
+// that select rather than block.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Cancel requests cooperative cancellation: the executor stops
+// dispatching new work units, drains in-flight ones, and Wait returns
+// the context error. Cancelling a session that leads a single-flight
+// execution cancels it for every caller sharing it; cancelling a
+// follower detaches only that follower.
+func (s *Session) Cancel() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+}
+
+// Progress reports completed and planned work-unit counts from the
+// partition plan. Total is 0 until the study starts (and stays 0 for a
+// dataset served from a cache tier — there is no plan to execute).
+func (s *Session) Progress() (done, total int) {
+	return int(s.completed.Load()), int(s.total.Load())
+}
+
+// Dropped reports how many events were discarded because a subscriber's
+// buffer was full.
+func (s *Session) Dropped() int64 { return s.dropped.Load() }
+
+// setTotal records the partition plan size. Nil-safe: the no-session
+// paths (Study.RunFull, Study.Run) pass a nil *Session through the
+// executor and every observation hook degrades to a no-op.
+func (s *Session) setTotal(n int) {
+	if s == nil {
+		return
+	}
+	s.total.Store(int64(n))
+}
+
+// taskDone counts one completed work unit and publishes the progress
+// event. Nil-safe.
+func (s *Session) taskDone() {
+	if s == nil {
+		return
+	}
+	done := s.completed.Add(1)
+	s.emit(Event{Kind: EventProgress, Done: int(done), Total: int(s.total.Load())})
+}
+
+// emit delivers an event to every subscriber (or the pre-subscriber
+// replay buffer) without ever blocking the caller. Nil-safe, and two
+// atomic loads on the steady no-subscriber path.
+func (s *Session) emit(ev Event) {
+	if s == nil || (s.nsubs.Load() == 0 && s.replayDone.Load()) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.subs) == 0 {
+		if !s.replayDone.Load() {
+			if s.replay = append(s.replay, ev); len(s.replay) >= replayCap {
+				s.replayDone.Store(true)
+			}
+		}
+		return
+	}
+	for ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// counts stamps the current plan counters onto a study-closing event.
+func (s *Session) counts(ev Event) Event {
+	if s != nil {
+		ev.Done, ev.Total = int(s.completed.Load()), int(s.total.Load())
+	}
+	return ev
+}
+
+// finish publishes the terminal state exactly once: the closing event,
+// the result, and the closed done channel; all subscriber channels close
+// after the closing event is delivered.
+func (s *Session) finish(res *Results, err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.emit(s.counts(Event{Kind: EventStudyFailed, Err: err}))
+	} else {
+		s.emit(s.counts(Event{Kind: EventStudyFinished}))
+	}
+	s.res, s.err = res, err
+	s.mu.Lock()
+	s.closed = true
+	for ch := range s.subs {
+		delete(s.subs, ch)
+		s.nsubs.Add(-1)
+		close(ch)
+	}
+	s.mu.Unlock()
+	close(s.done)
+}

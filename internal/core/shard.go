@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -58,9 +59,19 @@ type shard struct {
 	planned []*unitPlan
 	// store, when non-nil, serves and receives unit plans (drawPlanned
 	// mode only); computes counts the units this shard actually computed,
-	// shared with the parent study's probe.
+	// shared with the parent study's probe. logf overrides the store's
+	// own warning logger when the study injected one.
 	store    *ResultStore
 	computes *atomic.Int64
+	logf     func(format string, args ...any)
+
+	// ctx is the run's cancellation context and sess its observing
+	// session (both may be nil on legacy paths); they are assigned by
+	// runSession before dispatch. Cancellation checks never draw from an
+	// RNG stream, so an uncancelled run is bit-identical with or without
+	// them.
+	ctx  context.Context
+	sess *Session
 
 	res *Results // shard-local slice of the dataset
 	err error
@@ -136,8 +147,19 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 		sh.planned = make([]*unitPlan, len(sh.models))
 		sh.store = st.Store
 		sh.computes = &st.unitComputes
+		sh.logf = st.Logf
 	}
 	return sh
+}
+
+// canceled reports the run's cancellation state; the executor checks it
+// between scales and applications so an in-flight shard drains within a
+// fraction of its lifecycle rather than running to completion.
+func (sh *shard) canceled() error {
+	if sh.ctx == nil {
+		return nil
+	}
+	return sh.ctx.Err()
 }
 
 // budgetShare splits the provider's configured budget evenly across its
@@ -210,6 +232,9 @@ func (sh *shard) runEnvironment() error {
 	maxNodes := apps.MaxNodesFor(spec)
 
 	for _, nodes := range spec.Scales {
+		if err := sh.canceled(); err != nil {
+			return err // cooperative drain; partial state is discarded unmerged
+		}
 		if nodes > maxNodes {
 			sh.log.Addf(sh.sim.Now(), spec.Key, trace.Info, trace.Routine,
 				"size %d skipped: inability to get GPUs", nodes)
@@ -284,6 +309,9 @@ func (sh *shard) runScale(nodes int, images map[string]containers.Image) error {
 	}
 
 	for appIdx, m := range sh.models {
+		if err := sh.canceled(); err != nil {
+			return err
+		}
 		iters := itersFor(spec, nodes, m.Name(), sh.iterations)
 		if iters < sh.iterations {
 			sh.log.Addf(sh.sim.Now(), spec.Key, trace.Info, trace.Routine,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,11 +50,21 @@ type Study struct {
 	// store (SetDefaultResultStore); ignored under LegacyRunStreams (a
 	// shared sequential stream has no independently addressable units).
 	Store *ResultStore
+	// Logf, when non-nil, receives the store/persist warnings this
+	// study's execution raises (corrupt unit artifacts, failed saves)
+	// instead of the store's own logger. Runner plumbs its injected
+	// logger through here; nil keeps the store default.
+	Logf func(format string, args ...any)
 
 	// unitComputes counts (env, app) unit precomputations this study
 	// actually performed — the compute probe the incremental-execution
 	// tests assert against (store-served units don't count).
 	unitComputes atomic.Int64
+	// consumed flips on the first Run/RunFull. A study is one-shot: a
+	// run merges the shards into the study-level substrates, so a rerun
+	// would stitch a second timeline onto the first and silently corrupt
+	// the merge state. Reuse returns ErrStudyConsumed instead.
+	consumed atomic.Bool
 }
 
 // UnitComputes reports how many (env, app) units RunFull computed rather
@@ -100,6 +111,9 @@ type Results struct {
 	// Recovery is the study-wide recovery accounting (zero without a
 	// chaos plan).
 	Recovery Recovery
+	// Builds is the merged container-build funnel (paper §3.1): attempts,
+	// images, usable images, failures across every environment.
+	Builds containers.Funnel
 }
 
 // New creates the paper's full study with the given seed — shorthand for
@@ -152,7 +166,14 @@ func newStudy(r *ResolvedSpec, spec *StudySpec) *Study {
 	}
 }
 
-// RunFull executes the whole study and returns the dataset.
+// RunFull executes the whole study and returns the dataset — the
+// original blocking surface, kept as a thin wrapper over Run with a
+// background context. See Run for the execution model.
+func (st *Study) RunFull() (*Results, error) {
+	return st.Run(context.Background())
+}
+
+// Run executes the whole study under ctx and returns the dataset.
 //
 // Execution follows a work-partitioning plan. At GranularityEnv every
 // environment of the matrix runs as one independent shard with its own
@@ -172,15 +193,42 @@ func newStudy(r *ResolvedSpec, spec *StudySpec) *Study {
 // study in matrix order, the returned Results — run records, trace, and
 // billing — are byte-identical for every worker count and granularity.
 //
-// RunFull is intended to be called once per Study: it merges the shards
-// into st.Log, st.Meter, st.Builder, and st.Registry.
-func (st *Study) RunFull() (*Results, error) {
+// Cancelling ctx stops dispatching new work units, drains the in-flight
+// ones (each of which also checks the context between scales and
+// applications, so the drain is bounded by fractions of one unit's
+// runtime), skips the merge, and returns ctx's error. The persistent
+// store is never left torn: every artifact write is atomic.
+//
+// A Study is one-shot — Run merges the shards into st.Log, st.Meter,
+// st.Builder, and st.Registry — so a second call returns
+// ErrStudyConsumed.
+func (st *Study) Run(ctx context.Context) (*Results, error) {
+	return st.runSession(ctx, nil)
+}
+
+// runSession is Run with an optional observing session: every study,
+// environment, and unit transition (plus injected incidents and plan
+// progress) is emitted as an Event. Emission is pure observation — no
+// RNG draws, no ordering impact — and nil-safe, so the sessionless
+// wrappers pay nothing.
+func (st *Study) runSession(ctx context.Context, sess *Session) (*Results, error) {
 	gran, err := ParseGranularity(string(st.Opts.Granularity))
 	if err != nil {
 		return nil, err
 	}
 	if st.Opts.LegacyRunStreams && gran != GranularityEnv {
 		return nil, fmt.Errorf("core: LegacyRunStreams requires granularity %q: a shared per-environment stream cannot be split into (env, app) units", GranularityEnv)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Consume only once the run is actually going to execute — a refused
+	// attempt (bad options, dead context) leaves the study reusable.
+	if st.consumed.Swap(true) {
+		return nil, ErrStudyConsumed
 	}
 	if st.Iterations <= 0 {
 		st.Iterations = Iterations
@@ -189,6 +237,8 @@ func (st *Study) RunFull() (*Results, error) {
 	shards := make([]*shard, len(st.Envs))
 	for i, spec := range st.Envs {
 		shards[i] = st.newShard(spec)
+		shards[i].ctx = ctx
+		shards[i].sess = sess
 	}
 
 	// Build the task list. Tasks may enqueue follow-up tasks (a shard's
@@ -215,6 +265,9 @@ func (st *Study) RunFull() (*Results, error) {
 		workers = 1
 	}
 
+	sess.setTotal(total)
+	sess.emit(Event{Kind: EventStudyStarted, Total: total})
+
 	queue := make(chan func(), total)
 	var pending sync.WaitGroup
 	pending.Add(total)
@@ -232,16 +285,22 @@ func (st *Study) RunFull() (*Results, error) {
 	for _, sh := range shards {
 		sh := sh
 		if !unitized || sh.spec.Unavailable != "" || len(sh.models) == 0 {
-			queue <- sh.run
+			queue <- st.envTask(ctx, sess, sh)
 			continue
 		}
 		remaining := int32(len(sh.models))
 		for appIdx := range sh.models {
 			appIdx := appIdx
 			queue <- func() {
-				sh.ensureUnit(appIdx)
+				// A cancelled plan still runs its dispatch accounting (the
+				// assembly enqueue keeps the pending count exact); only the
+				// work itself — and its progress credit — is skipped.
+				if ctx.Err() == nil {
+					sh.resolveUnit(appIdx)
+					sess.taskDone()
+				}
 				if atomic.AddInt32(&remaining, -1) == 0 {
-					queue <- sh.run // hierarchical merge level 1: units → environment
+					queue <- st.envTask(ctx, sess, sh) // hierarchical merge level 1: units → environment
 				}
 			}
 		}
@@ -250,7 +309,44 @@ func (st *Study) RunFull() (*Results, error) {
 	close(queue)
 	pool.Wait()
 
+	if err := ctx.Err(); err != nil {
+		// Cancelled: the pool has drained, partial shard state is
+		// discarded unmerged (the study substrates were never touched),
+		// and any unit artifacts already stored are complete — the store
+		// only ever sees atomic whole-artifact writes.
+		return nil, err
+	}
 	return st.merge(shards) // hierarchical merge level 2: environments → study
+}
+
+// envTask wraps one environment shard's execution as a pool task,
+// bracketed by its observation events: started/skipped, the injected
+// incidents, and finished/failed.
+func (st *Study) envTask(ctx context.Context, sess *Session, sh *shard) func() {
+	return func() {
+		if ctx.Err() != nil {
+			return
+		}
+		defer sess.taskDone()
+		if sh.spec.Unavailable != "" {
+			sh.run() // logs the not-deployed trace event
+			sess.emit(Event{Kind: EventEnvSkipped, Env: sh.spec.Key})
+			return
+		}
+		sess.emit(Event{Kind: EventEnvStarted, Env: sh.spec.Key})
+		sh.run()
+		if sh.chaos != nil {
+			for _, inc := range sh.chaos.Incidents() {
+				inc := inc
+				sess.emit(Event{Kind: EventIncident, Env: sh.spec.Key, Incident: &inc})
+			}
+		}
+		if sh.err != nil {
+			sess.emit(Event{Kind: EventEnvFailed, Env: sh.spec.Key, Err: sh.err})
+		} else {
+			sess.emit(Event{Kind: EventEnvFinished, Env: sh.spec.Key})
+		}
+	}
 }
 
 // merge stitches the finished shards into one dataset in canonical matrix
@@ -302,5 +398,6 @@ func (st *Study) merge(shards []*shard) (*Results, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	res.Builds = st.Builder.Funnel()
 	return res, nil
 }

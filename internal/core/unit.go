@@ -136,20 +136,22 @@ func PlanUnitForBench(seed uint64, spec apps.EnvSpec, m apps.Model, iterations i
 // tier order: already filled (no-op), decoded from the persistent result
 // store (a unit whose sub-hash was stored by any earlier study — the
 // incremental-execution path), or computed on the calling worker and
-// stored for the next study. Units of the same shard may run
-// concurrently: each owns a private simulation, and each writes only its
-// own planned-run slot.
-func (sh *shard) ensureUnit(appIdx int) {
+// stored for the next study. It reports whether the unit was served
+// without compute (filled or store-decoded) — the observation feed for
+// EventUnitCached. Units of the same shard may run concurrently: each
+// owns a private simulation, and each writes only its own planned-run
+// slot.
+func (sh *shard) ensureUnit(appIdx int) (cached bool) {
 	if sh.planned[appIdx] != nil {
-		return
+		return true
 	}
 	m := sh.models[appIdx]
 	var key string
 	if sh.store != nil {
 		key = UnitKey(sh.sim.Seed(), sh.spec, m.Name(), sh.iterations, sh.opts.Chaos)
-		if u, ok := sh.store.loadUnit(key, sh.spec, m.Name(), sh.iterations); ok {
+		if u, ok := sh.store.loadUnit(key, sh.spec, m.Name(), sh.iterations, sh.logf); ok {
 			sh.planned[appIdx] = u
-			return
+			return true
 		}
 	}
 	sh.computes.Add(1)
@@ -158,21 +160,43 @@ func (sh *shard) ensureUnit(appIdx int) {
 		sh.store.saveUnit(dataset.UnitMeta{
 			Version: storeSchemaVersion, Key: key, Seed: sh.sim.Seed(),
 			Env: sh.spec.Key, App: m.Name(), Iterations: sh.iterations,
-		}, u)
+		}, u, sh.logf)
 	}
 	sh.planned[appIdx] = u
+	return false
+}
+
+// resolveUnit is ensureUnit bracketed by its observation events: one
+// EventUnitStarted, then EventUnitCached (filled or store-decoded) or
+// EventUnitFinished (computed). Emission is pure observation; with no
+// session attached this is exactly ensureUnit.
+func (sh *shard) resolveUnit(appIdx int) {
+	m := sh.models[appIdx]
+	sh.sess.emit(Event{Kind: EventUnitStarted, Env: sh.spec.Key, App: m.Name()})
+	kind := EventUnitFinished
+	if sh.ensureUnit(appIdx) {
+		kind = EventUnitCached
+	}
+	sh.sess.emit(Event{Kind: kind, Env: sh.spec.Key, App: m.Name()})
 }
 
 // ensureUnits fills every unit slot of a planned-mode shard that was not
 // dispatched as its own work unit — the GranularityEnv-with-store path,
 // where the shard is one task and resolves its units serially before
-// replaying the lifecycle.
+// replaying the lifecycle. Cancellation stops between units; the caller
+// notices via its own context checks.
 func (sh *shard) ensureUnits() {
 	if sh.mode != drawPlanned {
 		return
 	}
 	for i := range sh.models {
-		sh.ensureUnit(i)
+		if sh.canceled() != nil {
+			return
+		}
+		if sh.planned[i] != nil {
+			continue // dispatched as its own task; already observed there
+		}
+		sh.resolveUnit(i)
 	}
 }
 
