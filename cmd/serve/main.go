@@ -1,0 +1,89 @@
+// Command serve is the study service daemon: core.Runner sessions over
+// line-oriented JSON-RPC 2.0. By default it speaks the protocol on
+// stdin/stdout (one connection, initialize required); with -http it
+// serves any number of clients over streamable HTTP (POST /rpc with
+// NDJSON request lines, responses and event notifications streamed
+// back; GET /healthz). Submissions are single-flight by spec hash:
+// every client submitting the same study shares one execution and one
+// sequence-numbered event stream, and a disconnected client reattaches
+// with study.subscribe {after: <last seq>} to resume exactly where it
+// left off. See ARCHITECTURE.md, "Study service".
+//
+// Usage:
+//
+//	serve [-http ADDR] [-store DIR] [-drain wait|cancel] [-replay N]
+//	serve -connect URL -spec FILE [-after N]      # client: submit + stream events
+//	serve -connect URL -stop                      # client: drain and stop the daemon
+//
+// The daemon exits 0 after a graceful drain — on SIGTERM, SIGINT, or a
+// shutdown RPC — with the result store consistent: sessions end through
+// the executor's cooperative path and every store write is atomic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudhpc/internal/cli"
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/rpc"
+)
+
+func main() {
+	httpAddr := flag.String("http", "", "serve over HTTP on this address (e.g. 127.0.0.1:8787) instead of stdio")
+	store := flag.String("store", "", "persistent result store directory shared by every session")
+	drain := flag.String("drain", rpc.DrainWait, `shutdown drain policy: "wait" lets running studies finish, "cancel" cancels them first`)
+	replay := flag.Int("replay", 0, fmt.Sprintf("per-session replay-ring bound for reattaching subscribers (0 = %d)", rpc.DefaultServerReplay))
+	connect := flag.String("connect", "", "client mode: base URL of a running daemon (e.g. http://127.0.0.1:8787)")
+	spec := flag.String("spec", "", `client mode: study spec to submit, "default" or a spec file path`)
+	after := flag.Uint64("after", 0, "client mode: resume the event stream after this sequence number")
+	stop := flag.Bool("stop", false, "client mode: ask the daemon to drain and exit")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	if *connect != "" {
+		ctx := context.Background()
+		if *stop {
+			if err := cli.ServeShutdown(ctx, *connect); err != nil {
+				cli.Fail("serve", err)
+			}
+			return
+		}
+		if *spec == "" {
+			cli.Fail("serve", fmt.Errorf("client mode needs -spec (or -stop)"))
+		}
+		if err := cli.ServeClient(ctx, *connect, *spec, *after, os.Stdout, os.Stderr); err != nil {
+			cli.Fail("serve", err)
+		}
+		return
+	}
+
+	switch *drain {
+	case rpc.DrainWait, rpc.DrainCancel:
+	default:
+		cli.Fail("serve", fmt.Errorf("unknown -drain policy %q (want %q or %q)", *drain, rpc.DrainWait, rpc.DrainCancel))
+	}
+	var rs *core.ResultStore
+	if *store != "" {
+		var err error
+		if rs, err = core.OpenResultStore(*store); err != nil {
+			cli.Fail("serve", err)
+		}
+		core.SetDefaultResultStore(rs)
+	}
+	srv := &rpc.Server{
+		Runner: &core.Runner{Store: rs},
+		Drain:  *drain,
+		Replay: *replay,
+		Logf:   logf,
+		Info:   rpc.Implementation{Name: "cloudhpc-serve"},
+	}
+	if err := cli.ServeDaemon(srv, *httpAddr, logf); err != nil {
+		cli.Fail("serve", err)
+	}
+}

@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/rpc"
+)
+
+// The serve harness: the daemon and client halves of cmd/serve, kept
+// here so the main stays a flag shell and the behavior is testable from
+// the package that owns the rest of the CLI plumbing.
+
+// ServeDaemon runs srv until it drains: over streamable HTTP when
+// httpAddr is set, over stdin/stdout otherwise. SIGTERM and SIGINT
+// trigger a graceful shutdown (per srv's drain policy); so does a
+// shutdown RPC from any client, and — on stdio — the peer closing its
+// end of the pipe. The return is nil exactly when the daemon drained
+// cleanly, with every session ended through the executor's cooperative
+// path and the result store quiescent.
+func ServeDaemon(srv *rpc.Server, httpAddr string, logf func(format string, args ...any)) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if httpAddr == "" {
+		// Stdio: one connection, one client. The daemon lives as long as
+		// the conversation (or until a signal interrupts it).
+		connDone := make(chan error, 1)
+		go func() {
+			connDone <- srv.ServeConn(ctx, os.Stdin, os.Stdout)
+		}()
+		select {
+		case err := <-connDone:
+			srv.Shutdown()
+			return err
+		case <-ctx.Done():
+			logf("serve: signal received, draining (%s policy)", srv.Drain)
+			srv.Shutdown()
+			return nil
+		}
+	}
+
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	logf("serve: listening on http://%s (POST /rpc, GET /healthz)", ln.Addr())
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		logf("serve: signal received, draining (%s policy)", srv.Drain)
+	case <-srv.Drained():
+		logf("serve: shutdown requested over RPC, drained")
+	}
+	srv.Shutdown()
+	// Close rather than http.Server.Shutdown: subscribe streams are
+	// open-ended responses that would hold a graceful HTTP shutdown
+	// forever, and every study is already drained — the sockets carry
+	// nothing durable.
+	hs.Close()
+	return nil
+}
+
+// ServeClient is the daemon's counterpart for scripts and the CI smoke:
+// it submits the spec to a running daemon, subscribes from the given
+// cursor, and echoes every study.event notification line verbatim to
+// out — raw wire bytes, so two clients (or one client before and after
+// a reattach) can be compared byte for byte. Session identity and
+// replay accounting go to info (stderr), keeping out pure. It returns
+// once the stream ends: the session completed and the terminal event
+// was delivered.
+func ServeClient(ctx context.Context, url, specRef string, after uint64, out, info io.Writer) error {
+	spec, err := core.LoadSpec(specRef)
+	if err != nil {
+		return err
+	}
+	client := &rpc.Client{URL: url}
+	sub, err := client.Submit(ctx, spec.String())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(info, "serve-client: session %s (spec %s, created=%v), subscribing after %d\n",
+		sub.Session, sub.SpecHash[:12], sub.Created, after)
+	var last rpc.StudyEvent
+	res, err := client.Subscribe(ctx, sub.Session, after, func(raw []byte, ev rpc.StudyEvent) error {
+		last = ev
+		_, werr := fmt.Fprintf(out, "%s\n", raw)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	if res.Missed > 0 {
+		fmt.Fprintf(info, "serve-client: warning: cursor %d predates the replay window, %d event(s) unrecoverable\n", after, res.Missed)
+	}
+	if last.Kind == string(core.EventStudyFailed) {
+		return fmt.Errorf("study failed: %s", last.Err)
+	}
+	return nil
+}
+
+// ServeShutdown asks a running daemon to drain and exit, returning once
+// the drain has completed.
+func ServeShutdown(ctx context.Context, url string) error {
+	return (&rpc.Client{URL: url}).Shutdown(ctx)
+}
+
+// IsInterruptOrClosed extends IsInterrupt for client streams cut by a
+// daemon teardown mid-subscribe.
+func IsInterruptOrClosed(err error) bool {
+	return IsInterrupt(err) || errors.Is(err, io.ErrUnexpectedEOF)
+}

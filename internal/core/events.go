@@ -58,6 +58,12 @@ const (
 // the partition-plan completion counts on EventStudyStarted,
 // EventProgress, and the study-closing kinds.
 type Event struct {
+	// Seq is the event's 1-based position in its session's stream,
+	// assigned at emission. Sequence numbers are monotonic per session
+	// and shared by every subscriber — the cursor a disconnected
+	// subscriber passes to Session.SubscribeFrom to resume exactly where
+	// it left off.
+	Seq  uint64
 	Kind EventKind
 	Env  string
 	App  string

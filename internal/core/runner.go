@@ -42,7 +42,10 @@ type Runner struct {
 	// budget aborts). Such datasets depend on more than the spec, so a
 	// configured runner bypasses the memory and study-store tiers
 	// entirely (unit draws still flow through the unit tier: units
-	// depend only on spec-sliced inputs).
+	// depend only on spec-sliced inputs). The one exception is the
+	// observation-only Options.ReplayEvents: a Configure that changes
+	// nothing else keeps every cached tier, because the dataset does not
+	// depend on how many events a session retains for replay.
 	Configure func(*Options)
 
 	// disableStore forces the persistent tier off even when a process
@@ -100,18 +103,28 @@ func (r *Runner) Start(ctx context.Context, spec *StudySpec) (*Session, error) {
 	sess := newSession(cancel)
 
 	if r.Configure != nil {
-		// Non-spec options: the dataset depends on more than the spec, so
-		// it is never served from, or memoized into, the study tiers.
-		st := newStudy(rspec, spec)
-		st.Store = r.resultStore()
-		st.Logf = r.Logf
-		r.Configure(&st.Opts)
-		go func() {
-			defer cancel()
-			res, err := st.runSession(runCtx, sess)
-			sess.finish(res, err)
-		}()
-		return sess, nil
+		// Apply the hook to a probe copy of the options the study would
+		// start with, so observation-only configuration (ReplayEvents)
+		// can be told apart from dataset-affecting configuration.
+		base := Options{Workers: spec.Workers, Granularity: spec.Granularity, Chaos: rspec.Plan}
+		opts := base
+		r.Configure(&opts)
+		sess.setReplayBound(opts.ReplayEvents)
+		if !observationOnlyConfigure(base, opts) {
+			// Non-spec options: the dataset depends on more than the
+			// spec, so it is never served from, or memoized into, the
+			// study tiers.
+			st := newStudy(rspec, spec)
+			st.Opts = opts
+			st.Store = r.resultStore()
+			st.Logf = r.Logf
+			go func() {
+				defer cancel()
+				res, err := st.runSession(runCtx, sess)
+				sess.finish(res, err)
+			}()
+			return sess, nil
+		}
 	}
 
 	key := rspec.Hash()
@@ -128,6 +141,16 @@ func (r *Runner) Start(ctx context.Context, spec *StudySpec) (*Session, error) {
 	}
 	go r.lead(runCtx, cancel, sess, rspec, spec, key, e)
 	return sess, nil
+}
+
+// observationOnlyConfigure reports whether a Configure hook changed
+// nothing but observation knobs (ReplayEvents): such runs still execute
+// exactly the spec's dataset, so they keep the memory and study-store
+// tiers — a service embedder can widen every session's replay window
+// without giving up single-flight or warm loads.
+func observationOnlyConfigure(base, configured Options) bool {
+	base.ReplayEvents, configured.ReplayEvents = 0, 0
+	return base == configured
 }
 
 // lead runs the single-flight execution for a cache entry: store tier

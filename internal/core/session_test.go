@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSubscribeFromResumesExactly pins the reattach primitive: a
+// subscriber that detaches mid-stream and resubscribes with its last
+// sequence number receives exactly the events it missed, in order, with
+// nothing counted missed — provided the replay ring is wide enough.
+func TestSubscribeFromResumesExactly(t *testing.T) {
+	t.Parallel()
+	spec := &StudySpec{Seed: 770001, Workers: 1, Granularity: GranularityEnvApp}
+	r := &Runner{disableStore: true, Configure: func(o *Options) { o.ReplayEvents = 1 << 14 }}
+	sess, err := r.Start(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Retain()
+	full := collectEvents(sess.SubscribeFrom(0).Events)
+
+	// A second subscriber reads a prefix, detaches, then resumes.
+	early := sess.SubscribeFrom(0)
+	var prefix []Event
+	for ev := range early.Events {
+		prefix = append(prefix, ev)
+		if len(prefix) == 5 {
+			break
+		}
+	}
+	early.Close()
+	if _, err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	resumed := sess.SubscribeFrom(prefix[len(prefix)-1].Seq)
+	if resumed.Missed != 0 {
+		t.Fatalf("resume missed %d events despite a wide replay ring", resumed.Missed)
+	}
+	var tail []Event
+	for ev := range resumed.Events {
+		tail = append(tail, ev)
+	}
+
+	whole := append(append([]Event(nil), prefix...), tail...)
+	want := full()
+	if len(whole) != len(want) {
+		t.Fatalf("prefix+resume = %d events, full subscriber saw %d", len(whole), len(want))
+	}
+	for i := range want {
+		if whole[i].Seq != want[i].Seq || whole[i].Kind != want[i].Kind ||
+			whole[i].Env != want[i].Env || whole[i].App != want[i].App {
+			t.Fatalf("event %d diverged after resume: %+v vs %+v", i, whole[i], want[i])
+		}
+		if uint64(i+1) != want[i].Seq {
+			t.Fatalf("sequence numbers must be contiguous from 1: event %d has seq %d", i, want[i].Seq)
+		}
+	}
+}
+
+// TestReplayRingOverflowCounted pins the satellite fix: the replay bound
+// is configurable through Runner.Configure, and overflowing it is
+// counted — a subscriber whose cursor predates the retained window is
+// told exactly how many events it can never see, instead of a silent
+// gap.
+func TestReplayRingOverflowCounted(t *testing.T) {
+	t.Parallel()
+	const bound = 8
+	spec := &StudySpec{Seed: 770002, Workers: 1}
+	r := &Runner{disableStore: true, Configure: func(o *Options) { o.ReplayEvents = bound }}
+	sess, err := r.Start(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Retain()
+	if _, err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	last := sess.Seq()
+	if last <= bound {
+		t.Fatalf("study emitted only %d events; the overflow test needs more than %d", last, bound)
+	}
+	sub := sess.SubscribeFrom(0)
+	var got []Event
+	for ev := range sub.Events {
+		got = append(got, ev)
+	}
+	if len(got) != bound {
+		t.Fatalf("replay after overflow = %d events, want the ring bound %d", len(got), bound)
+	}
+	if want := last - bound; sub.Missed != want {
+		t.Fatalf("Missed = %d, want %d (emitted %d, retained %d)", sub.Missed, want, last, bound)
+	}
+	if sess.Lost() != sub.Missed {
+		t.Fatalf("Session.Lost = %d, Subscription.Missed = %d: the counters must agree from seq 0", sess.Lost(), sub.Missed)
+	}
+	// The retained window is the newest tail, ending at the closing event.
+	if got[len(got)-1].Seq != last || got[len(got)-1].Kind != EventStudyFinished {
+		t.Fatalf("ring tail = seq %d %s, want seq %d %s", got[len(got)-1].Seq, got[len(got)-1].Kind, last, EventStudyFinished)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("retained window must be contiguous: seq %d follows %d", got[i].Seq, got[i-1].Seq)
+		}
+	}
+	// A cursor inside the retained window resumes cleanly.
+	mid := sess.SubscribeFrom(got[3].Seq)
+	if mid.Missed != 0 {
+		t.Fatalf("in-window cursor missed %d events", mid.Missed)
+	}
+	n := 0
+	for range mid.Events {
+		n++
+	}
+	if n != bound-4 {
+		t.Fatalf("in-window resume delivered %d events, want %d", n, bound-4)
+	}
+}
+
+// TestNeverSubscribedSessionCountsOverflow: a session nobody subscribes
+// to stops recording at the ring bound (the cheap path), but the
+// overflow is counted, not silent — a late first subscriber learns how
+// many events are gone.
+func TestNeverSubscribedSessionCountsOverflow(t *testing.T) {
+	t.Parallel()
+	const bound = 4
+	spec := &StudySpec{Seed: 770003, Workers: 1}
+	r := &Runner{disableStore: true, Configure: func(o *Options) { o.ReplayEvents = bound }}
+	sess, err := r.Start(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sub := sess.SubscribeFrom(0)
+	var got []Event
+	for ev := range sub.Events {
+		got = append(got, ev)
+	}
+	if len(got) != bound {
+		t.Fatalf("late subscriber replayed %d events, want the opening %d", len(got), bound)
+	}
+	// Without Retain the ring keeps the opening events, so the retained
+	// window starts at seq 1 and the missed tail follows it.
+	if got[0].Seq != 1 {
+		t.Fatalf("opening capture starts at seq %d, want 1", got[0].Seq)
+	}
+	if want := sess.Seq() - bound; sub.Missed != want || sub.Missed == 0 {
+		t.Fatalf("Missed = %d, want %d", sub.Missed, want)
+	}
+}
+
+// TestObservationOnlyConfigureKeepsCacheTiers: a Configure hook that
+// changes only Options.ReplayEvents still rides the spec-keyed memory
+// tier — same shared *Results as an unconfigured runner — because the
+// dataset does not depend on observation knobs.
+func TestObservationOnlyConfigureKeepsCacheTiers(t *testing.T) {
+	t.Parallel()
+	spec := &StudySpec{Seed: 770004, Envs: []string{"google-gke-cpu"}, Scales: []int{2}, Iterations: 1}
+	plain := &Runner{disableStore: true}
+	base, err := plain.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observing := &Runner{disableStore: true, Configure: func(o *Options) { o.ReplayEvents = 4096 }}
+	res, err := observing.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != base {
+		t.Fatal("observation-only Configure fell off the memory tier: got a recomputed dataset")
+	}
+}

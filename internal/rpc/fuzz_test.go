@@ -1,0 +1,78 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzRPCDecode throws arbitrary bytes at the per-line framing and
+// arbitrary text at the study.submit spec payload. Whatever arrives, the
+// server must not panic, must keep the connection's framing intact, and
+// every line it writes back must be a well-formed JSON-RPC 2.0 message.
+// The conversation always ends with a shutdown under the cancel drain
+// policy, so a fuzzed line that manages to start a real study is
+// cancelled rather than executed to completion.
+func FuzzRPCDecode(f *testing.F) {
+	f.Add(`{"jsonrpc":"2.0","id":7,"method":"study.progress","params":{"session":"S1"}}`, "seed 1\nenvs google-gke-cpu\nscales 2\niterations 1\nworkers 1\n")
+	f.Add(`{"jsonrpc":"2.0","id":8,"method":"study.subscribe","params":{"session":"S1","after":2}}`, "seed 2\n")
+	f.Add(`{"jsonrpc":"2.0","method":"study.cancel","params":{"session":"S1"}}`, "bogus directive")
+	f.Add(`{"jsonrpc":"2.0","id":1,"method":"initialize","params":{"protocolVersion":"99"}}`, "")
+	f.Add("\x00\x01\x02{}[]", "iterations 0")
+	f.Add(`{"jsonrpc":"2.0","id":[1,2],"method":"shutdown"}`, "envs *")
+	f.Add(`{"id":3}`, strings.Repeat("#", 100))
+	f.Add(`{"jsonrpc":"2.0","id":9,"method":"study.submit","params":{"spec":9}}`, "seed 3\nseed 4")
+	f.Fuzz(func(t *testing.T, line, spec string) {
+		srv := &Server{Drain: DrainCancel}
+		params, err := json.Marshal(SubmitParams{Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitLine, err := json.Marshal(request{JSONRPC: "2.0", ID: json.RawMessage(`2`), Method: "study.submit", Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in bytes.Buffer
+		in.WriteString(initLine + "\n")
+		in.Write(append(submitLine, '\n'))
+		in.WriteString(line + "\n")
+		in.WriteString(`{"jsonrpc":"2.0","id":99,"method":"shutdown"}` + "\n")
+
+		var out bytes.Buffer
+		// ServeConn returns only after every forwarder has unwound, so
+		// reading out afterwards is race-free.
+		if err := srv.ServeConn(context.Background(), &in, &out); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("serve: %v", err)
+		}
+		// A fuzzed shutdown line can end the connection before the
+		// scripted one; drain regardless so no study outlives the test.
+		srv.Shutdown()
+
+		for _, ln := range bytes.Split(out.Bytes(), []byte("\n")) {
+			ln = bytes.TrimSpace(ln)
+			if len(ln) == 0 {
+				continue
+			}
+			var msg struct {
+				JSONRPC string          `json:"jsonrpc"`
+				Method  string          `json:"method"`
+				ID      json.RawMessage `json:"id"`
+				Result  json.RawMessage `json:"result"`
+				Error   *Error          `json:"error"`
+			}
+			if err := json.Unmarshal(ln, &msg); err != nil {
+				t.Fatalf("server wrote an unparseable line %q: %v", ln, err)
+			}
+			if msg.JSONRPC != "2.0" {
+				t.Fatalf("server wrote a non-2.0 line %q", ln)
+			}
+			if msg.Method == "" && msg.Result == nil && msg.Error == nil {
+				t.Fatalf("server wrote a line that is neither response nor notification: %q", ln)
+			}
+		}
+	})
+}

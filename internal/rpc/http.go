@@ -1,0 +1,38 @@
+package rpc
+
+import (
+	"io"
+	"net/http"
+)
+
+// Handler exposes the protocol over streamable HTTP:
+//
+//	POST /rpc      request lines in the body, response and notification
+//	               lines streamed back as application/x-ndjson. A POST
+//	               carrying a study.subscribe keeps its response open
+//	               until the subscribed sessions end — the streaming
+//	               transport — and each line is flushed as it is written.
+//	GET  /healthz  liveness probe ("ok").
+//
+// Each POST is its own connection and starts initialized: the handshake
+// is per stdio connection, not per HTTP request, or the streamable
+// transport would be unusable. Everything else — the session registry,
+// single-flight, replay cursors — is shared with every other connection
+// of the same Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/rpc", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		c := s.newConn(w, true)
+		c.streamTail = true
+		c.serve(r.Context(), r.Body)
+	})
+	return mux
+}

@@ -1,0 +1,235 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cloudhpc/internal/core"
+)
+
+// DefaultServerReplay is the replay-ring bound the server configures on
+// every session it starts when Server.Replay is unset. It is wider than
+// core.DefaultReplayEvents because reattach-after-disconnect is the
+// service's whole point: the window must comfortably hold a full study's
+// event stream so a client that reconnects with any cursor misses
+// nothing.
+const DefaultServerReplay = 4096
+
+// DrainWait and DrainCancel are the shutdown drain policies: wait lets
+// every running study finish before shutdown acknowledges; cancel
+// cancels them all first and waits only for the cooperative drain.
+// Either way sessions end through the normal executor path, so every
+// store write stays atomic and the store is consistent on exit.
+const (
+	DrainWait   = "wait"
+	DrainCancel = "cancel"
+)
+
+// Server is the study service: a long-lived registry of Runner sessions
+// addressed by ID, shared by every connection (stdio or HTTP). Submitting
+// a spec whose hash is already registered returns the existing session —
+// single-flight at the service layer, on top of the Runner's own — so any
+// number of clients submitting the same study observe one execution and
+// one event stream. The zero value serves with a default Runner, the
+// wait drain policy, and DefaultServerReplay; fields must be set before
+// the first connection is served.
+type Server struct {
+	// Runner executes submitted studies; nil means a zero core.Runner
+	// (process-default store). The server copies it and layers an
+	// observation-only Configure that widens each session's replay ring
+	// to Replay — which keeps the Runner's memory and store tiers (see
+	// core.Options.ReplayEvents).
+	Runner *core.Runner
+	// Drain is the shutdown policy: DrainWait (default) or DrainCancel.
+	Drain string
+	// Replay overrides the per-session replay-ring bound advertised in
+	// the initialize capabilities; 0 means DefaultServerReplay.
+	Replay int
+	// Logf, when non-nil, receives server diagnostics (and is passed to
+	// the Runner when it has no Logf of its own). Nil discards them.
+	Logf func(format string, args ...any)
+	// Info is the serverInfo reported by initialize; a zero value is
+	// filled with the module's name.
+	Info Implementation
+
+	mu       sync.Mutex
+	runner   *core.Runner
+	byHash   map[string]*studySession
+	byID     map[string]*studySession
+	nextID   int
+	down     bool
+	drained  chan struct{}
+	shutOnce sync.Once
+}
+
+// studySession is one registered execution: the service-layer identity
+// (ID, spec hash) around a core.Session.
+type studySession struct {
+	id   string
+	hash string
+	sess *core.Session
+}
+
+// state derives the session's lifecycle state and terminal error.
+func (ss *studySession) state() (string, error) {
+	select {
+	case <-ss.sess.Done():
+	default:
+		return "running", nil
+	}
+	_, err := ss.sess.Wait()
+	switch {
+	case err == nil:
+		return "done", nil
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled", err
+	default:
+		return "failed", err
+	}
+}
+
+func (s *Server) effectiveReplay() int {
+	if s.Replay > 0 {
+		return s.Replay
+	}
+	return DefaultServerReplay
+}
+
+func (s *Server) drainPolicy() string {
+	if s.Drain == DrainCancel {
+		return DrainCancel
+	}
+	return DrainWait
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// ensureLocked lazily builds the registry and the server's runner: a
+// copy of the user's Runner whose Configure additionally widens each
+// session's replay ring. Widening is observation-only, so a Runner that
+// had no Configure of its own keeps its memory and store tiers.
+func (s *Server) ensureLocked() {
+	if s.byID != nil {
+		return
+	}
+	s.byHash = make(map[string]*studySession)
+	s.byID = make(map[string]*studySession)
+	s.drained = make(chan struct{})
+	base := s.Runner
+	if base == nil {
+		base = &core.Runner{}
+	}
+	r := *base
+	if r.Logf == nil {
+		r.Logf = s.Logf
+	}
+	orig := r.Configure
+	replay := s.effectiveReplay()
+	r.Configure = func(o *core.Options) {
+		if orig != nil {
+			orig(o)
+		}
+		if o.ReplayEvents == 0 {
+			o.ReplayEvents = replay
+		}
+	}
+	s.runner = &r
+}
+
+// submit registers (or rejoins) the execution of one spec text.
+func (s *Server) submit(specText string) (*SubmitResult, *Error) {
+	spec, err := core.ParseSpec(specText)
+	if err != nil {
+		return nil, errf(CodeInvalidParams, "spec: %v", err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, errf(CodeInvalidParams, "spec: %v", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked()
+	if s.down {
+		return nil, errf(CodeShuttingDown, "server is shutting down")
+	}
+	if ss, ok := s.byHash[hash]; ok {
+		return &SubmitResult{Session: ss.id, SpecHash: hash, Created: false}, nil
+	}
+	// Start under s.mu: it only resolves the spec and spawns the
+	// execution goroutine, and holding the lock makes submit itself
+	// single-flight — two clients racing the same hash cannot both
+	// register a session. The session's context is the server's (not the
+	// connection's): studies outlive the connections that submitted them.
+	sess, err := s.runner.Start(context.Background(), spec)
+	if err != nil {
+		return nil, errf(CodeInvalidParams, "spec: %v", err)
+	}
+	// Retain the replay ring from the start: service clients attach,
+	// detach, and reattach at will, and a cursor must stay resumable even
+	// while nobody is subscribed.
+	sess.Retain()
+	s.nextID++
+	ss := &studySession{id: fmt.Sprintf("S%d", s.nextID), hash: hash, sess: sess}
+	s.byHash[hash] = ss
+	s.byID[ss.id] = ss
+	s.logf("rpc: session %s started (spec %s)", ss.id, hash[:12])
+	return &SubmitResult{Session: ss.id, SpecHash: hash, Created: true}, nil
+}
+
+// lookup resolves a session ID.
+func (s *Server) lookup(id string) (*studySession, *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked()
+	ss, ok := s.byID[id]
+	if !ok {
+		return nil, errf(CodeUnknownSession, "unknown session %q", id)
+	}
+	return ss, nil
+}
+
+// Shutdown drains the server per its policy and returns when every
+// registered session has completed. It is idempotent and safe to call
+// concurrently (from the shutdown RPC and a signal handler at once);
+// every caller blocks until the one drain finishes. New submissions are
+// refused with CodeShuttingDown the moment it is called.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.ensureLocked()
+	s.down = true
+	sessions := make([]*studySession, 0, len(s.byID))
+	for _, ss := range s.byID {
+		sessions = append(sessions, ss)
+	}
+	drained := s.drained
+	s.mu.Unlock()
+	s.shutOnce.Do(func() {
+		if s.drainPolicy() == DrainCancel {
+			for _, ss := range sessions {
+				ss.sess.Cancel()
+			}
+		}
+		for _, ss := range sessions {
+			<-ss.sess.Done()
+		}
+		s.logf("rpc: drained %d session(s) (%s policy)", len(sessions), s.drainPolicy())
+		close(drained)
+	})
+	<-drained
+}
+
+// Drained returns a channel closed when a Shutdown drain has completed —
+// the daemon main selects on it (against its signal handler) to know
+// when an RPC-initiated shutdown should exit the process.
+func (s *Server) Drained() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked()
+	return s.drained
+}
