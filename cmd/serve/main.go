@@ -9,11 +9,20 @@
 // with study.subscribe {after: <last seq>} to resume exactly where it
 // left off. See ARCHITECTURE.md, "Study service".
 //
+// A daemon started with -store is also a store-federation hub: the
+// store.* method family (inventory, fetch, put, refs) exposes its
+// result store for digest-exchange sync, and `serve -sync URL -store
+// DIR` is the branch side — push the local store's novel artifacts to
+// the hub, pull what the hub has that the branch lacks, so two stores
+// converge to the union and every subsequent run on either side is
+// warm. See ARCHITECTURE.md, "Store federation".
+//
 // Usage:
 //
 //	serve [-http ADDR] [-store DIR] [-drain wait|cancel] [-replay N]
 //	serve -connect URL -spec FILE [-after N]      # client: submit + stream events
 //	serve -connect URL -stop                      # client: drain and stop the daemon
+//	serve -sync URL -store DIR                    # client: reconcile stores (push, then pull)
 //
 // The daemon exits 0 after a graceful drain — on SIGTERM, SIGINT, or a
 // shutdown RPC — with the result store consistent: sessions end through
@@ -40,10 +49,21 @@ func main() {
 	spec := flag.String("spec", "", `client mode: study spec to submit, "default" or a spec file path`)
 	after := flag.Uint64("after", 0, "client mode: resume the event stream after this sequence number")
 	stop := flag.Bool("stop", false, "client mode: ask the daemon to drain and exit")
+	syncURL := flag.String("sync", "", "client mode: reconcile the local -store with a running daemon's store (push, then pull)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	if *syncURL != "" {
+		if *store == "" {
+			cli.Fail("serve", fmt.Errorf("-sync needs -store DIR (the local store to reconcile)"))
+		}
+		if err := cli.ServeSync(context.Background(), *syncURL, *store, logf); err != nil {
+			cli.Fail("serve", err)
+		}
+		return
 	}
 
 	if *connect != "" {

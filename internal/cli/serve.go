@@ -10,10 +10,26 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cloudhpc/internal/core"
 	"cloudhpc/internal/rpc"
+	"cloudhpc/internal/store"
 )
+
+// serveReadHeaderTimeout bounds how long a connected client may take to
+// finish its request headers. Without it one slow-header (or silent)
+// client parks a connection goroutine forever — a trivial resource-
+// exhaustion hole for a daemon meant to outlive its clients. A var so
+// the daemon test can shrink it to something testable.
+var serveReadHeaderTimeout = 10 * time.Second
+
+// newHTTPServer builds the daemon's HTTP server around a handler —
+// shared by ServeDaemon and the header-timeout regression test, so the
+// test exercises exactly the configuration the daemon runs.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{Handler: h, ReadHeaderTimeout: serveReadHeaderTimeout}
+}
 
 // The serve harness: the daemon and client halves of cmd/serve, kept
 // here so the main stays a flag shell and the behavior is testable from
@@ -52,7 +68,7 @@ func ServeDaemon(srv *rpc.Server, httpAddr string, logf func(format string, args
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	logf("serve: listening on http://%s (POST /rpc, GET /healthz)", ln.Addr())
@@ -108,6 +124,47 @@ func ServeClient(ctx context.Context, url, specRef string, after uint64, out, in
 	if last.Kind == string(core.EventStudyFailed) {
 		return fmt.Errorf("study failed: %s", last.Err)
 	}
+	if last.Kind != string(core.EventStudyFinished) {
+		// The stream can end without delivering a terminal event: a
+		// reattach whose after cursor is at or past the session's final
+		// sequence number subscribes to a completed stream and receives
+		// nothing. The zero-valued last would sail past the failure check
+		// above and report success for a study that failed — fall back to
+		// the session's recorded state instead of trusting silence.
+		pr, perr := client.Progress(ctx, sub.Session)
+		if perr != nil {
+			return fmt.Errorf("stream ended without a terminal event and the state poll failed: %w", perr)
+		}
+		fmt.Fprintf(info, "serve-client: stream ended without a terminal event; session state %q\n", pr.State)
+		if pr.State == "failed" || pr.State == "cancelled" {
+			return fmt.Errorf("study %s: %s", pr.State, pr.Err)
+		}
+	}
+	return nil
+}
+
+// ServeSync reconciles a local store directory with a running daemon's
+// store over the store.* method family: first push every blob and ref
+// the daemon lacks, then pull everything it has that the local store
+// lacks. Both stores converge to the union — two machines that each ran
+// half of an env matrix end up each serving the full matrix warm — and
+// re-syncing converged stores transfers zero blobs.
+func ServeSync(ctx context.Context, url, dir string, logf func(format string, args ...any)) error {
+	bs, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	peer := rpc.StorePeer{C: &rpc.Client{URL: url}}
+	pushed, err := store.Push(ctx, bs, peer)
+	if err != nil {
+		return fmt.Errorf("sync push: %w", err)
+	}
+	logf("serve-sync: pushed %s to %s", pushed, url)
+	pulled, err := store.Pull(ctx, bs, peer)
+	if err != nil {
+		return fmt.Errorf("sync pull: %w", err)
+	}
+	logf("serve-sync: pulled %s from %s", pulled, url)
 	return nil
 }
 

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudhpc/internal/rpc"
+)
+
+// TestDaemonReadHeaderTimeout: the daemon's HTTP server must shed a
+// client that connects and never finishes its request headers, instead
+// of parking a goroutine on it forever. The timeout is shrunk to
+// something testable and the connection watched for the server-side
+// close.
+func TestDaemonReadHeaderTimeout(t *testing.T) {
+	saved := serveReadHeaderTimeout
+	serveReadHeaderTimeout = 100 * time.Millisecond
+	defer func() { serveReadHeaderTimeout = saved }()
+
+	hs := newHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "served\n")
+	}))
+	if hs.ReadHeaderTimeout != 100*time.Millisecond {
+		t.Fatalf("newHTTPServer dropped the header timeout: %v", hs.ReadHeaderTimeout)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// A client that opens the request but never ends its headers.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow"); err != nil {
+		t.Fatal(err)
+	}
+	// On timeout the server answers with an error status and closes; if
+	// it never times out, ReadAll blocks until the deadline trips and
+	// errors instead.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("server kept the half-headered connection open past the timeout: %v", err)
+	}
+	if bytes.Contains(got, []byte("200 OK")) {
+		t.Fatalf("half-headered request was served: %q", got)
+	}
+
+	// An honest client is unaffected.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("well-formed request after timeout config: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+// fakeDaemon is a canned /rpc endpoint: it answers each request line
+// from a fixed method → result table, so client-side behavior can be
+// pinned against daemon states that are hard to stage for real (here: a
+// subscribe stream that ends without ever delivering an event).
+func fakeDaemon(t *testing.T, results map[string]any) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/rpc" {
+			http.NotFound(w, r)
+			return
+		}
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var req struct {
+				ID     json.RawMessage `json:"id"`
+				Method string          `json:"method"`
+			}
+			if err := json.Unmarshal(line, &req); err != nil {
+				t.Errorf("fake daemon got unparseable line %q: %v", line, err)
+				return
+			}
+			res, ok := results[req.Method]
+			if !ok {
+				t.Errorf("fake daemon got unexpected method %q", req.Method)
+				return
+			}
+			reply, _ := json.Marshal(map[string]any{"jsonrpc": "2.0", "id": req.ID, "result": res})
+			w.Write(append(reply, '\n'))
+		}
+	}))
+}
+
+// TestServeClientDetectsSilentFailure is the reattach-after-failure
+// regression: a subscribe whose cursor is at or past a failed session's
+// final event receives nothing, and ServeClient used to read that
+// silence as success. It must fall back to the session's recorded state
+// and report the failure.
+func TestServeClientDetectsSilentFailure(t *testing.T) {
+	t.Parallel()
+	ts := fakeDaemon(t, map[string]any{
+		"study.submit": rpc.SubmitResult{Session: "S1", SpecHash: strings.Repeat("ab", 32), Created: false},
+		// Subscribe acknowledges and the stream ends: zero events.
+		"study.subscribe": rpc.SubscribeResult{Session: "S1", After: 40},
+		"study.progress":  rpc.ProgressResult{Session: "S1", State: "failed", Err: "executor: boom"},
+	})
+	defer ts.Close()
+
+	var out, info bytes.Buffer
+	err := ServeClient(t.Context(), ts.URL, "default", 40, &out, &info)
+	if err == nil {
+		t.Fatalf("reattach to a failed study reported success (info: %s)", info.String())
+	}
+	if !strings.Contains(err.Error(), "failed") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error does not carry the recorded failure: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("event output should be empty, got %q", out.String())
+	}
+}
+
+// TestServeClientSilentFinishedIsSuccess: the same silent reattach
+// against a session that finished cleanly must stay a success.
+func TestServeClientSilentFinishedIsSuccess(t *testing.T) {
+	t.Parallel()
+	ts := fakeDaemon(t, map[string]any{
+		"study.submit":    rpc.SubmitResult{Session: "S1", SpecHash: strings.Repeat("cd", 32), Created: false},
+		"study.subscribe": rpc.SubscribeResult{Session: "S1", After: 40},
+		"study.progress":  rpc.ProgressResult{Session: "S1", State: "finished", Done: 4, Total: 4},
+	})
+	defer ts.Close()
+
+	var out, info bytes.Buffer
+	if err := ServeClient(t.Context(), ts.URL, "default", 40, &out, &info); err != nil {
+		t.Fatalf("silent reattach to a finished study: %v", err)
+	}
+	if !strings.Contains(info.String(), `state "finished"`) {
+		t.Fatalf("info does not record the fallback poll: %s", info.String())
+	}
+}

@@ -102,6 +102,14 @@ type Registry struct {
 	// sweep.
 	mu    sync.RWMutex
 	blobs store.BlobStore
+
+	// pins are digests GC must treat as live even though no tag reaches
+	// them yet: blobs landed by a store-sync ingest whose refs have not
+	// arrived. An in-flight Push is protected by mu; a sync spans many
+	// RPC round trips and cannot hold a lock that long, so it pins
+	// instead (see Pin).
+	pinMu sync.Mutex
+	pins  map[string]int
 }
 
 // NewRegistry returns an empty registry over an in-memory store.
@@ -293,19 +301,113 @@ func (r *Registry) liveDigestsLocked() (map[string]bool, error) {
 	return live, nil
 }
 
+// SyncInventory snapshots the backend's sync manifest (see
+// store.TakeInventory) under the registry's shared lock, so a
+// concurrent GC cannot tear the snapshot between the blob scan and the
+// ref filter.
+func (r *Registry) SyncInventory() store.Inventory {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return store.TakeInventory(r.blobs)
+}
+
+// IngestBlob stores sync-delivered bytes and pins the resulting digest
+// until release runs. Put and Pin happen under the registry's shared
+// lock, so a GC sweep can never land between them — the ingested blob
+// is continuously protected from the moment it exists until its refs
+// arrive (or the ingest is abandoned and release runs anyway).
+func (r *Registry) IngestBlob(data []byte) (digest string, release func(), err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, err := r.blobs.Put(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return d, r.Pin(d), nil
+}
+
+// ReconcileRefs applies a sync ref batch last-writer-wins, skipping any
+// name whose target blob the backend does not hold — a ref must never
+// outrun its content. It runs under the registry's shared lock, so the
+// presence check and the application cannot interleave with a GC sweep.
+func (r *Registry) ReconcileRefs(refs map[string]string) (applied, skipped int, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	apply := make(map[string]string, len(refs))
+	for name, d := range refs {
+		if r.blobs.Has(d) {
+			apply[name] = d
+		} else {
+			skipped++
+		}
+	}
+	if len(apply) == 0 {
+		return 0, skipped, nil
+	}
+	if err := r.blobs.SetRefs(apply); err != nil {
+		return 0, skipped, err
+	}
+	return len(apply), skipped, nil
+}
+
+// Pin marks digests as live for GC until the returned release runs —
+// how a store-sync ingest keeps just-transferred blobs alive across the
+// window between their Put and the ref batch that anchors them, the
+// same protection an in-flight Push gets from the registry lock.
+// Pins nest (the same digest pinned twice needs two releases); release
+// is idempotent.
+func (r *Registry) Pin(digests ...string) (release func()) {
+	r.pinMu.Lock()
+	if r.pins == nil {
+		r.pins = make(map[string]int)
+	}
+	for _, d := range digests {
+		r.pins[d]++
+	}
+	r.pinMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.pinMu.Lock()
+			for _, d := range digests {
+				if r.pins[d]--; r.pins[d] <= 0 {
+					delete(r.pins, d)
+				}
+			}
+			r.pinMu.Unlock()
+		})
+	}
+}
+
+// pinned snapshots the currently pinned digests.
+func (r *Registry) pinned() map[string]bool {
+	r.pinMu.Lock()
+	defer r.pinMu.Unlock()
+	out := make(map[string]bool, len(r.pins))
+	for d := range r.pins {
+		out[d] = true
+	}
+	return out
+}
+
 // GC reclaims everything no tag reaches: it drops the manifest markers
 // of untagged manifests (so the refs stop pinning their blobs) and then
 // sweeps the unreachable blobs. The exclusive lock makes the sweep
 // mutually exclusive with in-flight pushes and reads — a push's layers
 // cannot be collected between their Put and the manifest's existence
-// check, and a Pull cannot fetch a manifest mid-sweep. Returns how many
-// blobs were removed.
+// check, and a Pull cannot fetch a manifest mid-sweep. Pinned digests
+// (in-flight sync ingests, whose refs have not landed yet) survive the
+// sweep exactly like tagged content. Returns how many blobs were
+// removed.
 func (r *Registry) GC() (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	live, err := r.liveDigestsLocked()
 	if err != nil {
 		return 0, err
+	}
+	for d := range r.pinned() {
+		live[d] = true
 	}
 	var stale []string
 	for _, ref := range r.blobs.Refs() {

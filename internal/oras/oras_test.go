@@ -322,3 +322,81 @@ func TestGCReclaimsSupersededArtifacts(t *testing.T) {
 		t.Fatalf("second gc removed %d", removed)
 	}
 }
+
+// TestGCExcludesPinnedSyncIngests: a blob delivered by a store sync has
+// no ref until the peer's ref batch lands, so only its pin keeps GC
+// away. Pinned it must survive a sweep; released it is garbage again.
+func TestGCExcludesPinnedSyncIngests(t *testing.T) {
+	t.Parallel()
+	bs := store.NewMemory()
+	r := NewRegistryWith(bs)
+	d, release, err := r.IngestBlob([]byte("mid-sync payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := r.GC(); err != nil || removed != 0 {
+		t.Fatalf("gc swept a pinned sync ingest: removed=%d err=%v", removed, err)
+	}
+	if !bs.Has(d) {
+		t.Fatal("pinned blob gone after gc")
+	}
+	release()
+	release() // idempotent
+	if removed, err := r.GC(); err != nil || removed != 1 {
+		t.Fatalf("gc after release: removed=%d err=%v, want 1", removed, err)
+	}
+	if bs.Has(d) {
+		t.Fatal("released unanchored blob survived gc")
+	}
+}
+
+// TestPinNesting: the same digest pinned twice needs two releases
+// before GC may take it.
+func TestPinNesting(t *testing.T) {
+	t.Parallel()
+	bs := store.NewMemory()
+	r := NewRegistryWith(bs)
+	d, rel1, err := r.IngestBlob([]byte("doubly wanted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2 := r.Pin(d)
+	rel1()
+	if removed, _ := r.GC(); removed != 0 {
+		t.Fatalf("gc ignored the remaining pin: removed=%d", removed)
+	}
+	rel2()
+	if removed, _ := r.GC(); removed != 1 {
+		t.Fatalf("gc after final release: removed=%d, want 1", removed)
+	}
+}
+
+// TestReconcileRefsSkipsMissingTargets: a sync ref batch may reference
+// blobs the backend lost (or that GC swept between POSTs over HTTP) —
+// those names must be skipped, never applied dangling.
+func TestReconcileRefsSkipsMissingTargets(t *testing.T) {
+	t.Parallel()
+	bs := store.NewMemory()
+	r := NewRegistryWith(bs)
+	d, err := bs.Put([]byte("present"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	absent := string(DigestOf([]byte("never stored")))
+	applied, skipped, err := r.ReconcileRefs(map[string]string{
+		"oras/tag/study/here":  d,
+		"oras/tag/study/there": absent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", applied, skipped)
+	}
+	if got, ok := bs.Ref("oras/tag/study/here"); !ok || got != d {
+		t.Fatalf("servable ref not applied: %q %v", got, ok)
+	}
+	if _, ok := bs.Ref("oras/tag/study/there"); ok {
+		t.Fatal("dangling ref applied")
+	}
+}

@@ -51,7 +51,14 @@ func (c *Client) post(ctx context.Context, method string, params any) (io.ReadCl
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint(), bytes.NewReader(append(line, '\n')))
+	return c.postBody(ctx, append(line, '\n'))
+}
+
+// postBody sends pre-framed request lines as one POST body — the
+// multi-request form chunked store.put uploads use, since the server
+// stages an upload per connection and each POST is one connection.
+func (c *Client) postBody(ctx context.Context, body []byte) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint(), bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -62,9 +69,17 @@ func (c *Client) post(ctx context.Context, method string, params any) (io.ReadCl
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
-		return nil, fmt.Errorf("rpc: %s: HTTP %s", method, resp.Status)
+		return nil, fmt.Errorf("rpc: POST %s: HTTP %s", c.endpoint(), resp.Status)
 	}
 	return resp.Body, nil
+}
+
+// newLineScanner builds the protocol's standard line scanner: NDJSON
+// lines up to the framing cap.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return sc
 }
 
 // decodeResponse parses one response line into result.
@@ -89,8 +104,7 @@ func (c *Client) call(ctx context.Context, method string, params, result any) er
 		return err
 	}
 	defer body.Close()
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	sc := newLineScanner(body)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
 			return err
@@ -141,8 +155,7 @@ func (c *Client) Subscribe(ctx context.Context, session string, after uint64, fn
 		return res, err
 	}
 	defer body.Close()
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	sc := newLineScanner(body)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
 			return res, err

@@ -43,6 +43,13 @@ type conn struct {
 	mu   sync.Mutex
 	subs map[string]*core.Subscription
 	wg   sync.WaitGroup
+
+	// Store-sync staging (guarded by mu): the one in-flight chunked
+	// upload and the GC-pin releases for blobs ingested on this
+	// connection (lifted when a ref batch lands, or at connection end).
+	upDigest string
+	upBuf    []byte
+	pinned   []func()
 }
 
 func (s *Server) newConn(w io.Writer, initialized bool) *conn {
@@ -149,6 +156,9 @@ func (c *conn) serve(ctx context.Context, r io.Reader) error {
 	// already drained; on streamable HTTP this is what holds the response
 	// open until the subscribed sessions end.
 	c.wg.Wait()
+	// The conversation is over: any sync blobs still pinned (pushed but
+	// never anchored by a store.refs) go back under normal GC rules.
+	c.releasePins()
 	if closing {
 		return nil
 	}
@@ -168,6 +178,7 @@ func (c *conn) teardown() {
 	for _, sub := range subs {
 		sub.Close()
 	}
+	c.releasePins()
 }
 
 // handleLine decodes and dispatches one request line. It reports whether
@@ -200,7 +211,8 @@ func (c *conn) handleLine(line []byte) (closing bool) {
 	switch req.Method {
 	case "initialize":
 		result, rpcErr = c.initialize(req.Params)
-	case "study.submit", "study.subscribe", "study.unsubscribe", "study.progress", "study.cancel":
+	case "study.submit", "study.subscribe", "study.unsubscribe", "study.progress", "study.cancel",
+		"store.inventory", "store.fetch", "store.put", "store.refs":
 		if !c.initialized {
 			rpcErr = errf(CodeNotInitialized, "initialize required before %q", req.Method)
 			break
@@ -216,6 +228,14 @@ func (c *conn) handleLine(line []byte) (closing bool) {
 			result, rpcErr = c.progress(req.Params)
 		case "study.cancel":
 			result, rpcErr, after = c.cancelStudy(req.Params)
+		case "store.inventory":
+			result, rpcErr = c.storeInventory()
+		case "store.fetch":
+			result, rpcErr = c.storeFetch(req.Params)
+		case "store.put":
+			result, rpcErr = c.storePut(req.Params)
+		case "store.refs":
+			result, rpcErr = c.storeRefs(req.Params)
 		}
 	default:
 		rpcErr = errf(CodeMethodNotFound, "unknown method %q", req.Method)
@@ -267,6 +287,7 @@ func (c *conn) initialize(raw json.RawMessage) (any, *Error) {
 				Cancel:       true,
 				SingleFlight: true,
 			},
+			Store: c.srv.hasStore(),
 			Drain: c.srv.drainPolicy(),
 		},
 		ServerInfo: info,

@@ -8,6 +8,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/store"
 )
 
 // FuzzRPCDecode throws arbitrary bytes at the per-line framing and
@@ -51,6 +54,71 @@ func FuzzRPCDecode(f *testing.F) {
 		// A fuzzed shutdown line can end the connection before the
 		// scripted one; drain regardless so no study outlives the test.
 		srv.Shutdown()
+
+		for _, ln := range bytes.Split(out.Bytes(), []byte("\n")) {
+			ln = bytes.TrimSpace(ln)
+			if len(ln) == 0 {
+				continue
+			}
+			var msg struct {
+				JSONRPC string          `json:"jsonrpc"`
+				Method  string          `json:"method"`
+				ID      json.RawMessage `json:"id"`
+				Result  json.RawMessage `json:"result"`
+				Error   *Error          `json:"error"`
+			}
+			if err := json.Unmarshal(ln, &msg); err != nil {
+				t.Fatalf("server wrote an unparseable line %q: %v", ln, err)
+			}
+			if msg.JSONRPC != "2.0" {
+				t.Fatalf("server wrote a non-2.0 line %q", ln)
+			}
+			if msg.Method == "" && msg.Result == nil && msg.Error == nil {
+				t.Fatalf("server wrote a line that is neither response nor notification: %q", ln)
+			}
+		}
+	})
+}
+
+// FuzzSyncDecode throws arbitrary bytes at the store.* wire handlers:
+// whatever a hostile sync peer sends — malformed digests, bad base64,
+// impossible offsets, ref batches at phantom blobs — the daemon must
+// not panic, must never store content that does not hash to its name,
+// and every reply line must be well-formed JSON-RPC 2.0.
+func FuzzSyncDecode(f *testing.F) {
+	f.Add(`{"jsonrpc":"2.0","id":5,"method":"store.inventory"}`)
+	f.Add(`{"jsonrpc":"2.0","id":6,"method":"store.fetch","params":{"digest":"sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"}}`)
+	f.Add(`{"jsonrpc":"2.0","id":7,"method":"store.fetch","params":{"digest":"../../etc/passwd","offset":-4}}`)
+	f.Add(`{"jsonrpc":"2.0","id":8,"method":"store.put","params":{"digest":"sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff","data":"AAAA","last":true}}`)
+	f.Add(`{"jsonrpc":"2.0","id":9,"method":"store.put","params":{"digest":"sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff","offset":7,"data":"!!!not base64!!!"}}`)
+	f.Add(`{"jsonrpc":"2.0","id":10,"method":"store.refs","params":{"refs":{"":"sha256:00","study/x":"nope"}}}`)
+	f.Add(`{"jsonrpc":"2.0","id":11,"method":"store.refs","params":{"refs":7}}`)
+	f.Add(`{"jsonrpc":"2.0","method":"store.put","params":{"digest":"sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff","offset":9007199254740993,"data":""}}`)
+	f.Fuzz(func(t *testing.T, line string) {
+		bs := store.NewMemory()
+		srv := &Server{Drain: DrainCancel, Runner: &core.Runner{Store: core.NewResultStore(bs)}}
+		var in bytes.Buffer
+		in.WriteString(initLine + "\n")
+		in.WriteString(line + "\n")
+		in.WriteString(`{"jsonrpc":"2.0","id":99,"method":"shutdown"}` + "\n")
+
+		var out bytes.Buffer
+		if err := srv.ServeConn(context.Background(), &in, &out); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("serve: %v", err)
+		}
+		srv.Shutdown()
+
+		// Content addressing must hold whatever got through: every stored
+		// blob hashes to its advertised digest.
+		for _, d := range bs.Digests() {
+			data, err := bs.Get(d)
+			if err != nil {
+				t.Fatalf("stored blob unreadable: %v", err)
+			}
+			if store.DigestOf(data) != d {
+				t.Fatalf("stored content does not hash to its name %s", d)
+			}
+		}
 
 		for _, ln := range bytes.Split(out.Bytes(), []byte("\n")) {
 			ln = bytes.TrimSpace(ln)

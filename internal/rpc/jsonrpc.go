@@ -19,7 +19,17 @@
 //	study.unsubscribe stop this connection's stream for a session
 //	study.progress    plan completion counters and session state
 //	study.cancel      cooperative cancellation
+//	store.inventory   the result store's sync manifest: digests + refs
+//	store.fetch       one blob chunk out (base64; loop offsets until eof)
+//	store.put         one blob chunk in (chunks of one digest arrive in
+//	                  order on one connection; last=true verifies + stores)
+//	store.refs        reconcile a ref batch last-writer-wins
 //	shutdown          graceful drain (per the server's policy), then quit
+//
+// The store.* family is the wire form of internal/store's digest-exchange
+// sync (store.Peer): a running daemon is also a sync hub, and the same
+// verbs are what a future remote unit worker needs to claim and return
+// units.
 package rpc
 
 import (
@@ -48,6 +58,7 @@ const (
 	CodeUnknownSession = -32001 // session ID not in the registry
 	CodeNotInitialized = -32002 // request before initialize (stdio)
 	CodeShuttingDown   = -32003 // submit after shutdown began
+	CodeNoStore        = -32004 // store.* method on a daemon without a result store
 )
 
 // request is one incoming JSON-RPC 2.0 message. A missing ID marks a
@@ -108,10 +119,12 @@ type InitializeResult struct {
 	ServerInfo      Implementation `json:"serverInfo"`
 }
 
-// Capabilities advertises the study surface and the server's drain
-// policy for shutdown.
+// Capabilities advertises the study surface, whether the store.* sync
+// family is available (false when the daemon runs without a result
+// store), and the server's drain policy for shutdown.
 type Capabilities struct {
 	Study StudyCapabilities `json:"study"`
+	Store bool              `json:"store"`
 	Drain string            `json:"drain"`
 }
 
@@ -196,6 +209,68 @@ type CancelResult struct {
 // was cancelled, per the drain policy) and the store is quiescent.
 type ShutdownResult struct {
 	OK bool `json:"ok"`
+}
+
+// StoreInventoryResult is store.inventory's reply: the result store's
+// sync manifest — every servable blob digest plus the ref set (refs
+// whose target blob is unservable are withheld; see
+// store.TakeInventory).
+type StoreInventoryResult struct {
+	Digests []string          `json:"digests"`
+	Refs    map[string]string `json:"refs"`
+}
+
+// StoreFetchParams asks for one chunk of a blob, starting at Offset.
+// The caller loops, advancing Offset by the bytes received, until EOF.
+type StoreFetchParams struct {
+	Digest string `json:"digest"`
+	Offset int64  `json:"offset,omitempty"`
+}
+
+// StoreFetchResult carries one blob chunk: up to syncChunkBytes of
+// payload, base64-encoded so a chunk line stays under the framing cap.
+// EOF marks the chunk that reaches the end of the blob.
+type StoreFetchResult struct {
+	Digest string `json:"digest"`
+	Size   int64  `json:"size"`
+	Offset int64  `json:"offset"`
+	Data   string `json:"data"`
+	EOF    bool   `json:"eof"`
+}
+
+// StorePutParams carries one inbound blob chunk. Chunks of one digest
+// must arrive in offset order on one connection (the server stages them
+// per connection); Last finalizes the upload — the assembled bytes are
+// verified against Digest before anything is stored, so a store can
+// never be handed content that does not match its name.
+type StorePutParams struct {
+	Digest string `json:"digest"`
+	Offset int64  `json:"offset,omitempty"`
+	Data   string `json:"data,omitempty"`
+	Last   bool   `json:"last,omitempty"`
+}
+
+// StorePutResult acknowledges a chunk. Stored is true once the blob is
+// durably in the store — only on the Last chunk's reply, after the
+// assembled content verified against its digest.
+type StorePutResult struct {
+	Digest string `json:"digest"`
+	Stored bool   `json:"stored"`
+}
+
+// StoreRefsParams is a ref batch to reconcile last-writer-wins: each
+// name is pointed at its digest, overwriting whatever the name held.
+type StoreRefsParams struct {
+	Refs map[string]string `json:"refs"`
+}
+
+// StoreRefsResult reports the reconciliation: Applied names now carry
+// the requested digest; Skipped names were withheld because the store
+// does not hold their target blob (a ref must never outrun its
+// content).
+type StoreRefsResult struct {
+	Applied int `json:"applied"`
+	Skipped int `json:"skipped"`
 }
 
 // StudyEvent is one core.Event on the wire, the params of a study.event

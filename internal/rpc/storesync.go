@@ -1,0 +1,318 @@
+package rpc
+
+// The store.* method family: internal/store's digest-exchange sync on
+// the wire, making a running daemon a federation hub. The server side
+// answers inventory/fetch/put/refs against the Runner's result store;
+// StorePeer is the client side, a store.Peer over the HTTP transport,
+// so cli.ServeSync drives the same Push/Pull that reconciles two
+// in-process stores.
+//
+// Blob payloads ride the existing NDJSON framing base64-encoded, in
+// chunks of at most syncChunkBytes raw bytes so every line stays under
+// maxLineBytes. Uploads are staged per connection (chunks of one digest
+// arrive in order) and verified against their digest before anything
+// is stored; stored-but-unref'd blobs are pinned against GC until the
+// connection's ref batch lands (oras.Registry.Pin — the sync analogue
+// of the registry lock an in-flight push holds).
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"cloudhpc/internal/oras"
+	"cloudhpc/internal/store"
+)
+
+// syncChunkBytes bounds one blob chunk's raw payload. Base64 inflates
+// by 4/3, so a chunk line (payload plus framing) stays comfortably
+// under the maxLineBytes cap.
+const syncChunkBytes = 2 << 20
+
+// maxSyncBlobBytes bounds one assembled upload — a hostile client must
+// not balloon daemon memory by streaming chunks forever. Far above any
+// study bundle the store produces today.
+const maxSyncBlobBytes = 1 << 28
+
+// storeRegistry resolves the registry behind the store.* methods: the
+// explicitly configured Runner store. A daemon started without -store
+// has no sync surface (the process-default store is deliberately not
+// consulted here — a hub must opt in to sharing a store).
+func (c *conn) storeRegistry() (*oras.Registry, *Error) {
+	if c.srv.Runner != nil && c.srv.Runner.Store != nil {
+		return c.srv.Runner.Store.Registry(), nil
+	}
+	return nil, errf(CodeNoStore, "daemon has no result store (start it with -store DIR)")
+}
+
+// hasStore reports whether the store.* family is served — the
+// initialize capability bit.
+func (s *Server) hasStore() bool {
+	return s.Runner != nil && s.Runner.Store != nil
+}
+
+func (c *conn) storeInventory() (any, *Error) {
+	reg, e := c.storeRegistry()
+	if e != nil {
+		return nil, e
+	}
+	inv := reg.SyncInventory()
+	return StoreInventoryResult{Digests: inv.Digests, Refs: inv.Refs}, nil
+}
+
+func (c *conn) storeFetch(raw json.RawMessage) (any, *Error) {
+	reg, e := c.storeRegistry()
+	if e != nil {
+		return nil, e
+	}
+	var p StoreFetchParams
+	if e := unmarshalParams(raw, &p); e != nil {
+		return nil, e
+	}
+	if !store.ValidDigest(p.Digest) {
+		return nil, errf(CodeInvalidParams, "malformed digest %q", p.Digest)
+	}
+	data, err := reg.FetchBlob(oras.Digest(p.Digest))
+	if err != nil {
+		// Unknown and corrupt both mean "cannot serve": the store's Get
+		// has already evicted an unservable blob from the inventory, so
+		// the peer's next diff stops asking.
+		return nil, errf(CodeInvalidParams, "fetch %s: %v", p.Digest, err)
+	}
+	size := int64(len(data))
+	if p.Offset < 0 || p.Offset > size {
+		return nil, errf(CodeInvalidParams, "offset %d outside blob of %d bytes", p.Offset, size)
+	}
+	end := min(p.Offset+syncChunkBytes, size)
+	return StoreFetchResult{
+		Digest: p.Digest,
+		Size:   size,
+		Offset: p.Offset,
+		Data:   base64.StdEncoding.EncodeToString(data[p.Offset:end]),
+		EOF:    end == size,
+	}, nil
+}
+
+// resetUpload abandons the connection's staged upload (bad chunk,
+// digest mismatch): the next store.put starts fresh at offset 0.
+func (c *conn) resetUpload() {
+	c.mu.Lock()
+	c.upDigest, c.upBuf = "", nil
+	c.mu.Unlock()
+}
+
+func (c *conn) storePut(raw json.RawMessage) (any, *Error) {
+	reg, e := c.storeRegistry()
+	if e != nil {
+		return nil, e
+	}
+	var p StorePutParams
+	if e := unmarshalParams(raw, &p); e != nil {
+		return nil, e
+	}
+	if !store.ValidDigest(p.Digest) {
+		return nil, errf(CodeInvalidParams, "malformed digest %q", p.Digest)
+	}
+	chunk, err := base64.StdEncoding.DecodeString(p.Data)
+	if err != nil {
+		c.resetUpload()
+		return nil, errf(CodeInvalidParams, "chunk payload is not base64: %v", err)
+	}
+
+	c.mu.Lock()
+	switch {
+	case c.upDigest == "":
+		if p.Offset != 0 {
+			c.mu.Unlock()
+			return nil, errf(CodeInvalidParams, "first chunk of %s must start at offset 0, got %d", p.Digest, p.Offset)
+		}
+		c.upDigest = p.Digest
+	case c.upDigest != p.Digest:
+		d := c.upDigest
+		c.mu.Unlock()
+		return nil, errf(CodeInvalidParams, "upload of %s already in flight on this connection", d)
+	case p.Offset != int64(len(c.upBuf)):
+		got := int64(len(c.upBuf))
+		c.mu.Unlock()
+		c.resetUpload()
+		return nil, errf(CodeInvalidParams, "chunk offset %d does not continue upload at %d", p.Offset, got)
+	}
+	if int64(len(c.upBuf))+int64(len(chunk)) > maxSyncBlobBytes {
+		c.mu.Unlock()
+		c.resetUpload()
+		return nil, errf(CodeInvalidParams, "upload exceeds %d bytes", maxSyncBlobBytes)
+	}
+	c.upBuf = append(c.upBuf, chunk...)
+	last := p.Last
+	var assembled []byte
+	if last {
+		assembled = c.upBuf
+		c.upDigest, c.upBuf = "", nil
+	}
+	c.mu.Unlock()
+
+	if !last {
+		return StorePutResult{Digest: p.Digest, Stored: false}, nil
+	}
+	// Arrival-side verification: the store must never be handed content
+	// that does not hash to its declared name.
+	if got := store.DigestOf(assembled); got != p.Digest {
+		return nil, errf(CodeInvalidParams, "assembled content hashes to %s, not %s", got, p.Digest)
+	}
+	dig, release, err := reg.IngestBlob(assembled)
+	if err != nil {
+		return nil, errf(CodeInternal, "storing %s: %v", p.Digest, err)
+	}
+	c.mu.Lock()
+	c.pinned = append(c.pinned, release)
+	c.mu.Unlock()
+	return StorePutResult{Digest: dig, Stored: true}, nil
+}
+
+func (c *conn) storeRefs(raw json.RawMessage) (any, *Error) {
+	reg, e := c.storeRegistry()
+	if e != nil {
+		return nil, e
+	}
+	var p StoreRefsParams
+	if e := unmarshalParams(raw, &p); e != nil {
+		return nil, e
+	}
+	for name, d := range p.Refs {
+		if name == "" || !store.ValidDigest(d) {
+			return nil, errf(CodeInvalidParams, "bad ref %q -> %q", name, d)
+		}
+	}
+	applied, skipped, err := reg.ReconcileRefs(p.Refs)
+	if err != nil {
+		return nil, errf(CodeInternal, "reconciling refs: %v", err)
+	}
+	// The refs are down: blobs this connection ingested are either
+	// anchored now or legitimately unreferenced, so the GC pins lift.
+	c.releasePins()
+	return StoreRefsResult{Applied: applied, Skipped: skipped}, nil
+}
+
+// releasePins lifts the connection's GC pins and drops any staged
+// upload — called when a ref batch lands and when the connection ends.
+func (c *conn) releasePins() {
+	c.mu.Lock()
+	pins := c.pinned
+	c.pinned = nil
+	c.upDigest, c.upBuf = "", nil
+	c.mu.Unlock()
+	for _, release := range pins {
+		release()
+	}
+}
+
+// StorePeer speaks the store.* family to a daemon: the wire
+// implementation of store.Peer, so store.Push and store.Pull drive a
+// remote hub exactly like a local directory. Blob uploads send all
+// chunks of one digest in a single POST — the HTTP transport gives each
+// POST its own connection, and the server stages chunked uploads per
+// connection.
+type StorePeer struct {
+	C *Client
+}
+
+// Inventory implements store.Peer.
+func (p StorePeer) Inventory(ctx context.Context) (store.Inventory, error) {
+	var res StoreInventoryResult
+	if err := p.C.call(ctx, "store.inventory", struct{}{}, &res); err != nil {
+		return store.Inventory{}, err
+	}
+	return store.Inventory{Digests: res.Digests, Refs: res.Refs}, nil
+}
+
+// Fetch implements store.Peer: loops chunk requests until EOF and
+// returns the assembled bytes (the sync layer re-verifies the digest).
+func (p StorePeer) Fetch(ctx context.Context, digest string) ([]byte, error) {
+	var buf []byte
+	for {
+		var res StoreFetchResult
+		err := p.C.call(ctx, "store.fetch", StoreFetchParams{Digest: digest, Offset: int64(len(buf))}, &res)
+		if err != nil {
+			return nil, err
+		}
+		chunk, err := base64.StdEncoding.DecodeString(res.Data)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: store.fetch %s: bad chunk payload: %w", digest, err)
+		}
+		if res.Offset != int64(len(buf)) {
+			return nil, fmt.Errorf("rpc: store.fetch %s: chunk at offset %d, expected %d", digest, res.Offset, len(buf))
+		}
+		buf = append(buf, chunk...)
+		if res.EOF {
+			return buf, nil
+		}
+		if len(chunk) == 0 {
+			return nil, fmt.Errorf("rpc: store.fetch %s: empty non-final chunk", digest)
+		}
+	}
+}
+
+// Put implements store.Peer: all chunks of the blob travel in one POST
+// so the server's per-connection staging sees them in order, and the
+// server's GC pin covers the blob at least until that POST completes.
+func (p StorePeer) Put(ctx context.Context, data []byte) (string, error) {
+	digest := store.DigestOf(data)
+	var body bytes.Buffer
+	n := 0
+	for off := 0; ; off += syncChunkBytes {
+		end := min(off+syncChunkBytes, len(data))
+		params, err := json.Marshal(StorePutParams{
+			Digest: digest,
+			Offset: int64(off),
+			Data:   base64.StdEncoding.EncodeToString(data[off:end]),
+			Last:   end == len(data),
+		})
+		if err != nil {
+			return "", err
+		}
+		n++
+		line, err := json.Marshal(request{JSONRPC: "2.0", ID: json.RawMessage(strconv.Itoa(n)), Method: "store.put", Params: params})
+		if err != nil {
+			return "", err
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+		if end == len(data) {
+			break
+		}
+	}
+	respBody, err := p.C.postBody(ctx, body.Bytes())
+	if err != nil {
+		return "", err
+	}
+	defer respBody.Close()
+	sc := newLineScanner(respBody)
+	var res StorePutResult
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", fmt.Errorf("rpc: store.put: %d of %d chunk replies", i, n)
+		}
+		if err := decodeResponse(sc.Bytes(), &res); err != nil {
+			return "", err
+		}
+	}
+	if !res.Stored {
+		return "", fmt.Errorf("rpc: store.put %s: final chunk not acknowledged as stored", digest)
+	}
+	return res.Digest, nil
+}
+
+// SetRefs implements store.Peer.
+func (p StorePeer) SetRefs(ctx context.Context, refs map[string]string) (int, error) {
+	var res StoreRefsResult
+	if err := p.C.call(ctx, "store.refs", StoreRefsParams{Refs: refs}, &res); err != nil {
+		return 0, err
+	}
+	return res.Applied, nil
+}

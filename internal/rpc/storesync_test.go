@@ -1,0 +1,197 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"cloudhpc/internal/core"
+	"cloudhpc/internal/store"
+)
+
+// newSyncHub starts an HTTP daemon over a fresh in-memory result store
+// and returns the hub's backing store plus a StorePeer dialing it — the
+// full wire path cli.ServeSync takes, minus the flags.
+func newSyncHub(t *testing.T) (*store.Memory, StorePeer) {
+	t.Helper()
+	bs := store.NewMemory()
+	srv := &Server{
+		Runner: &core.Runner{Store: core.NewResultStore(bs)},
+		Drain:  DrainCancel,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		ts.Close()
+	})
+	return bs, StorePeer{C: &Client{URL: ts.URL}}
+}
+
+// TestStoreSyncOverHTTP drives store.Push and store.Pull through the
+// wire peer: a local store's content lands on the hub blob-for-blob and
+// ref-for-ref, a second local store pulls the union back, and re-syncing
+// the converged pair transfers zero blobs.
+func TestStoreSyncOverHTTP(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	hub, peer := newSyncHub(t)
+
+	local := store.NewMemory()
+	var want [][]byte
+	for _, content := range []string{"alpha result", "beta result", "gamma result"} {
+		want = append(want, []byte(content))
+		d, err := local.Put([]byte(content))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := local.SetRef("oras/tag/study/"+content[:5], d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := store.Push(ctx, local, peer)
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if st.BlobsSent != 3 || st.RefsApplied != 3 {
+		t.Fatalf("push stats %+v, want 3 blobs 3 refs", st)
+	}
+	for _, content := range want {
+		d := store.DigestOf(content)
+		got, err := hub.Get(d)
+		if err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("hub blob %s: %q %v", d, got, err)
+		}
+	}
+	if got, want := len(hub.Refs()), 3; got != want {
+		t.Fatalf("hub refs = %d, want %d", got, want)
+	}
+
+	// A second branch pulls the union down over the same wire.
+	other := store.NewMemory()
+	st, err = store.Pull(ctx, other, peer)
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if st.BlobsSent != 3 || st.RefsApplied != 3 {
+		t.Fatalf("pull stats %+v, want 3 blobs 3 refs", st)
+	}
+	for _, content := range want {
+		got, err := other.Get(store.DigestOf(content))
+		if err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("pulled blob: %q %v", got, err)
+		}
+	}
+
+	// Converged: both directions are free now.
+	for name, resync := range map[string]func() (store.SyncStats, error){
+		"push": func() (store.SyncStats, error) { return store.Push(ctx, local, peer) },
+		"pull": func() (store.SyncStats, error) { return store.Pull(ctx, other, peer) },
+	} {
+		st, err := resync()
+		if err != nil {
+			t.Fatalf("%s re-sync: %v", name, err)
+		}
+		if st != (store.SyncStats{}) {
+			t.Fatalf("%s re-sync of converged stores moved %+v, want zeros", name, st)
+		}
+	}
+}
+
+// TestStoreSyncChunksLargeBlobs round-trips a blob larger than two
+// chunk payloads, so both the upload staging (multiple store.put lines
+// in one POST) and the download loop (multiple store.fetch calls until
+// EOF) exercise their multi-chunk paths.
+func TestStoreSyncChunksLargeBlobs(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	hub, peer := newSyncHub(t)
+
+	big := make([]byte, 2*syncChunkBytes+12345)
+	for i := range big {
+		big[i] = byte(i*31 + i>>9)
+	}
+	d, err := peer.Put(ctx, big)
+	if err != nil {
+		t.Fatalf("chunked put: %v", err)
+	}
+	if d != store.DigestOf(big) {
+		t.Fatalf("put returned %s, want %s", d, store.DigestOf(big))
+	}
+	got, err := hub.Get(d)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("hub holds %d bytes (err %v), want %d intact", len(got), err, len(big))
+	}
+
+	back, err := peer.Fetch(ctx, d)
+	if err != nil {
+		t.Fatalf("chunked fetch: %v", err)
+	}
+	if !bytes.Equal(back, big) {
+		t.Fatalf("fetched %d bytes, differ from the %d uploaded", len(back), len(big))
+	}
+}
+
+// TestStoreSyncRejectsLies: content that does not hash to its declared
+// digest must be refused at arrival, and a fetch of an unknown digest
+// must error rather than hang the chunk loop.
+func TestStoreSyncRejectsLies(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	hub, peer := newSyncHub(t)
+
+	bogus := store.DigestOf([]byte("claimed"))
+	err := peer.C.call(ctx, "store.put", StorePutParams{
+		Digest: bogus,
+		Data:   "bm90IHRoZSBjbGFpbWVkIGNvbnRlbnQ=", // "not the claimed content"
+		Last:   true,
+	}, nil)
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
+		t.Fatalf("lying upload: %v, want invalid-params error", err)
+	}
+	if hub.Len() != 0 {
+		t.Fatal("hub stored content that does not hash to its name")
+	}
+
+	if _, err := peer.Fetch(ctx, store.DigestOf([]byte("never uploaded"))); err == nil {
+		t.Fatal("fetch of unknown digest succeeded")
+	}
+
+	// Refs pointing at absent blobs are skipped, not applied.
+	applied, err := peer.SetRefs(ctx, map[string]string{"oras/tag/study/ghost": bogus})
+	if err != nil {
+		t.Fatalf("refs: %v", err)
+	}
+	if applied != 0 || len(hub.Refs()) != 0 {
+		t.Fatalf("dangling ref applied (applied=%d refs=%v)", applied, hub.Refs())
+	}
+}
+
+// TestStoreMethodsWithoutStore: a daemon started without -store has no
+// sync surface — every store.* verb answers CodeNoStore and initialize
+// advertises store:false.
+func TestStoreMethodsWithoutStore(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	srv := &Server{Drain: DrainCancel}
+	if srv.hasStore() {
+		t.Fatal("store-less server claims a store capability")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		ts.Close()
+	})
+	peer := StorePeer{C: &Client{URL: ts.URL}}
+	_, err := peer.Inventory(ctx)
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeNoStore {
+		t.Fatalf("inventory on store-less daemon: %v, want code %d", err, CodeNoStore)
+	}
+	if _, err := store.Push(ctx, store.NewMemory(), peer); err == nil {
+		t.Fatal("push into a store-less daemon succeeded")
+	}
+}

@@ -3,8 +3,10 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -87,6 +89,16 @@ func (s *Disk) loadIndex() error {
 	if err := json.Unmarshal(data, &idx); err != nil {
 		// A torn or damaged index is recoverable: the blobs are the truth,
 		// the refs are lost. Rebuild rather than refuse to open.
+		return nil
+	}
+	if idx.Version != indexVersion {
+		// An index written by an unknown (future) schema must not be
+		// parsed as v1: its refs may mean something else entirely. Treat
+		// it like a damaged index — the blob scan recovers the content,
+		// the refs are lost — so the format can evolve without corrupting
+		// old readers.
+		log.Printf("store: %s: index version %d (this build reads v%d); rebuilding refs from the blob scan",
+			s.indexPath(), idx.Version, indexVersion)
 		return nil
 	}
 	if idx.Refs != nil {
@@ -187,6 +199,11 @@ func (s *Disk) Put(data []byte) (string, error) {
 }
 
 // Get implements BlobStore: reads and re-verifies the blob end to end.
+// A blob that turns out unservable — the file vanished under us, or its
+// bytes no longer hash to the digest — is evicted from the inventory, so
+// Has stops answering true and SetRef refuses to point new refs at it.
+// Without the eviction a sync manifest would keep advertising content
+// this store can never deliver.
 func (s *Disk) Get(digest string) ([]byte, error) {
 	h, err := parseDigest(digest)
 	if err != nil {
@@ -194,15 +211,36 @@ func (s *Disk) Get(digest string) ([]byte, error) {
 	}
 	data, err := os.ReadFile(s.blobPath(h))
 	if os.IsNotExist(err) {
+		s.evict(digest)
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: reading %s: %w", digest, err)
 	}
 	if DigestOf(data) != digest {
+		// Leave the damaged file for Put's self-healing rewrite, but stop
+		// advertising it: a federation peer must see the truthful
+		// inventory, and the next Put of this digest restores both.
+		s.evict(digest)
 		return nil, fmt.Errorf("%w: %s", ErrCorrupt, digest)
 	}
 	return data, nil
+}
+
+// evict drops a digest from the in-memory inventory along with any refs
+// pointing at it (mirroring Open's reconcile). The index file is not
+// rewritten: eviction is cache coherence, not durable state — the next
+// Open's blob scan and ref reconcile reach the same conclusion from the
+// directory itself.
+func (s *Disk) evict(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, digest)
+	for name, d := range s.refs {
+		if d == digest {
+			delete(s.refs, name)
+		}
+	}
 }
 
 // Has implements BlobStore.
@@ -218,6 +256,18 @@ func (s *Disk) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.blobs)
+}
+
+// Digests implements BlobStore.
+func (s *Disk) Digests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.blobs))
+	for d := range s.blobs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SetRef implements BlobStore. Re-pointing a ref at the digest it

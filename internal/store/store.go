@@ -43,6 +43,14 @@ func DigestOf(data []byte) string {
 	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
+// ValidDigest reports whether d is a well-formed "sha256:<hex>" content
+// address — the early guard wire handlers apply before staging any
+// payload under the name.
+func ValidDigest(d string) bool {
+	_, err := parseDigest(d)
+	return err == nil
+}
+
 // parseDigest validates a digest and returns its hex part.
 func parseDigest(d string) (string, error) {
 	hexPart, ok := strings.CutPrefix(d, "sha256:")
@@ -73,6 +81,9 @@ type BlobStore interface {
 	Has(digest string) bool
 	// Len reports the number of stored blobs.
 	Len() int
+	// Digests returns every stored blob digest, sorted — the inventory
+	// half of a sync manifest (see TakeInventory).
+	Digests() []string
 	// SetRef points name at an existing digest (ErrNotFound otherwise).
 	SetRef(name, digest string) error
 	// SetRefs points several names at existing digests with at most one
@@ -159,6 +170,18 @@ func (m *Memory) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.blobs)
+}
+
+// Digests implements BlobStore.
+func (m *Memory) Digests() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.blobs))
+	for d := range m.blobs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SetRef implements BlobStore.

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedStore fills a store with n deterministic blobs (seed-keyed
+// content) and a ref per blob, returning the digests in Put order.
+func seedStore(t *testing.T, s BlobStore, seed int64, n int) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	digests := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		data := make([]byte, 16+rng.Intn(64))
+		rng.Read(data)
+		d, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetRef(fmt.Sprintf("study/%d-%d", seed, i), d); err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	return digests
+}
+
+// assertConverged asserts two stores are identical: same refs resolving
+// to the same digests, same blob count, byte-identical blobs.
+func assertConverged(t *testing.T, a, b BlobStore) {
+	t.Helper()
+	if got, want := a.Len(), b.Len(); got != want {
+		t.Fatalf("Len: %d vs %d", got, want)
+	}
+	ar, br := a.Refs(), b.Refs()
+	if len(ar) != len(br) {
+		t.Fatalf("Refs: %d vs %d (%v vs %v)", len(ar), len(br), ar, br)
+	}
+	for i, name := range ar {
+		if br[i] != name {
+			t.Fatalf("ref name %d: %q vs %q", i, name, br[i])
+		}
+		da, _ := a.Ref(name)
+		db, _ := b.Ref(name)
+		if da != db {
+			t.Fatalf("ref %q: %s vs %s", name, da, db)
+		}
+	}
+	for _, d := range a.Digests() {
+		ba, err := a.Get(d)
+		if err != nil {
+			t.Fatalf("a.Get(%s): %v", d, err)
+		}
+		bb, err := b.Get(d)
+		if err != nil {
+			t.Fatalf("b.Get(%s): %v", d, err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("blob %s differs between converged stores", d)
+		}
+	}
+}
+
+// TestSyncPushIdempotent pins the cheap-no-op property: a Push into an
+// empty peer transfers everything, a re-Push of converged stores
+// transfers zero blobs and zero refs, and Pull in the converged state
+// is equally free.
+func TestSyncPushIdempotent(t *testing.T) {
+	t.Parallel()
+	both(t, func(t *testing.T, src BlobStore) {
+		ctx := context.Background()
+		seedStore(t, src, 1, 8)
+		dst := NewMemory()
+
+		st, err := Push(ctx, src, Local{dst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BlobsSent != 8 || st.RefsApplied != 8 || st.BlobsSkipped != 0 {
+			t.Fatalf("first push moved %+v, want 8 blobs and 8 refs", st)
+		}
+		assertConverged(t, src, dst)
+
+		for i, resync := range []func() (SyncStats, error){
+			func() (SyncStats, error) { return Push(ctx, src, Local{dst}) },
+			func() (SyncStats, error) { return Pull(ctx, src, Local{dst}) },
+			func() (SyncStats, error) { return Push(ctx, dst, Local{src}) },
+		} {
+			st, err := resync()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != (SyncStats{}) {
+				t.Fatalf("re-sync %d of converged stores moved %+v, want all zeros", i, st)
+			}
+		}
+	})
+}
+
+// TestSyncBidirectionalConvergence is the convergence property test:
+// two stores populated from divergent (partially overlapping) content,
+// reconciled by interleaved bidirectional syncs, converge to identical
+// Refs()/Len() with byte-identical blobs — and the converged state is a
+// fixed point.
+func TestSyncBidirectionalConvergence(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			a, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := NewMemory()
+			seedStore(t, a, 100+seed, 5) // a-only content
+			seedStore(t, b, 200+seed, 7) // b-only content
+			shared := seedStore(t, a, 300+seed, 3)
+			for i, d := range shared { // overlap: same blobs, same ref names
+				data, _ := a.Get(d)
+				if _, err := b.Put(data); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.SetRef(fmt.Sprintf("study/%d-%d", 300+seed, i), d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// A divergent ref: same name, different targets on each side.
+			// LWW means whoever syncs into a store last owns the name; the
+			// final exchange below makes both sides agree.
+			da, _ := a.Ref(fmt.Sprintf("study/%d-0", 100+seed))
+			db, _ := b.Ref(fmt.Sprintf("study/%d-0", 200+seed))
+			if err := a.SetRef("unit/divergent", da); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.SetRef("unit/divergent", db); err != nil {
+				t.Fatal(err)
+			}
+
+			// Interleaved bidirectional exchange.
+			if _, err := Push(ctx, a, Local{b}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Pull(ctx, a, Local{b}); err != nil {
+				t.Fatal(err)
+			}
+			// After a→b then b→a, "unit/divergent" holds b's value in both
+			// stores... except the pull also rewrote a. One more a→b push
+			// settles any name the pull flipped; convergence must follow.
+			if st, err := Push(ctx, a, Local{b}); err != nil || st.BlobsSent != 0 {
+				t.Fatalf("settling push moved blobs (%+v, err %v); blobs were already converged", st, err)
+			}
+			assertConverged(t, a, b)
+
+			// Fixed point: nothing moves in either direction anymore.
+			st1, err := Push(ctx, a, Local{b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := Pull(ctx, a, Local{b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st1 != (SyncStats{}) || st2 != (SyncStats{}) {
+				t.Fatalf("converged stores still transferred: push %+v pull %+v", st1, st2)
+			}
+		})
+	}
+}
+
+// TestSyncSkipsUnservableBlobs pins the federation half of the Disk.Get
+// eviction fix: a blob lost on disk after inventory is skipped, its ref
+// is withheld (the peer never gains a dangling name), and the source's
+// own manifest stops advertising it.
+func TestSyncSkipsUnservableBlobs(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	dir := t.TempDir()
+	src, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := seedStore(t, src, 42, 4)
+
+	// Lose one blob file out from under the open store.
+	lost := digests[2]
+	if err := os.Remove(filepath.Join(dir, "blobs", lost[len("sha256:"):])); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewMemory()
+	st, err := Push(ctx, src, Local{dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlobsSent != 3 || st.BlobsSkipped != 1 {
+		t.Fatalf("push stats %+v, want 3 sent 1 skipped", st)
+	}
+	if dst.Has(lost) {
+		t.Fatal("peer received a blob the source could not serve")
+	}
+	if _, ok := dst.Ref("study/42-2"); ok {
+		t.Fatal("peer gained a ref whose blob was never transferred")
+	}
+	// The failed Get evicted the blob: the next inventory is truthful
+	// and a re-push moves nothing.
+	if src.Has(lost) {
+		t.Fatal("source still advertises the lost blob")
+	}
+	st, err = Push(ctx, src, Local{dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (SyncStats{}) {
+		t.Fatalf("re-push after eviction moved %+v, want zeros", st)
+	}
+}
+
+// TestTakeInventoryWithholdsDanglingRefs: a ref whose target blob is
+// absent must not be advertised, whatever store it came from.
+func TestTakeInventoryWithholdsDanglingRefs(t *testing.T) {
+	t.Parallel()
+	m := NewMemory()
+	d, err := m.Put([]byte("anchored"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRef("study/ok", d); err != nil {
+		t.Fatal(err)
+	}
+	// Reach in: drop the blob, leaving the ref dangling.
+	m.mu.Lock()
+	delete(m.blobs, d)
+	m.mu.Unlock()
+	inv := TakeInventory(m)
+	if len(inv.Digests) != 0 || len(inv.Refs) != 0 {
+		t.Fatalf("inventory advertises unservable content: %+v", inv)
+	}
+}
