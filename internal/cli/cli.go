@@ -1,10 +1,11 @@
 // Package cli deduplicates the study flag plumbing shared by the cmd/
 // mains (report, cloudbench, chaosbench, figures, trace, usability,
 // archive): the -seed, -workers, -chaos, -granularity, -spec, -store,
-// and -progress flags, the precedence rule that combines them into one
-// core.StudySpec, and the shared run harness (RunSpec: a core.Runner
-// session with SIGINT → graceful cancellation and the stderr progress
-// renderer). Before this package each main grew its own copy of the
+// -progress, -cpuprofile, and -memprofile flags, the precedence rule
+// that combines them into one core.StudySpec, and the shared run
+// harness (RunSpec: a core.Runner session with SIGINT → graceful
+// cancellation, the stderr progress renderer, and pprof profile
+// bracketing). Before this package each main grew its own copy of the
 // same flags and they drifted; now a main registers the set once,
 // resolves it once, and runs through one harness.
 package cli
@@ -27,6 +28,8 @@ type StudyFlags struct {
 	granularity *string
 	store       *string
 	progress    *string
+	cpuprofile  *string
+	memprofile  *string
 	chaosDflt   string
 
 	storeOpened bool
@@ -45,6 +48,8 @@ func Register(fs *flag.FlagSet, chaosDefault string) *StudyFlags {
 	f.granularity = fs.String("granularity", "", `work-partitioning unit: "env" or "env-app"; the dataset is identical for either`)
 	f.store = fs.String("store", "", "persistent result store directory: studies and (env, app) units are content-addressed there and reused across runs")
 	f.progress = fs.String("progress", "auto", `study progress feed on stderr: "auto" (only when stderr is a terminal), "on", or "off"`)
+	f.cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the study run to this file")
+	f.memprofile = fs.String("memprofile", "", "write a pprof heap profile taken after the study run to this file")
 	return f
 }
 

@@ -133,3 +133,44 @@ func TestOpenStore(t *testing.T) {
 		t.Fatalf("store directory not created: %v", err)
 	}
 }
+
+func TestStartProfilesWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+	}
+}
+
+func TestStartProfilesNoFlagsIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must not panic or create files
+}

@@ -1,0 +1,54 @@
+// The permanent form of the profiling hook the serialization and
+// compute optimization passes used ad hoc: every study main accepts
+// -cpuprofile and -memprofile and brackets its run with them, so "where
+// does the time/memory go" is one flag away on any workload instead of
+// a bench-harness-only capability.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles honours the -cpuprofile/-memprofile flags: when set, it
+// starts CPU profiling and returns a stop function that ends the CPU
+// profile and writes the heap profile. The stop function must run
+// before the process exits (RunSpec defers it ahead of any Fail), or
+// the profile files are empty. With neither flag set both start and
+// stop are no-ops.
+func (f *StudyFlags) StartProfiles() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpuprofile != "" {
+		cpuFile, err = os.Create(*f.cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	memPath := *f.memprofile
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			mf, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			// Collect garbage first so the heap profile shows the live
+			// set, not whatever the last GC cycle left uncollected.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			mf.Close()
+		}
+	}, nil
+}

@@ -27,6 +27,11 @@ import (
 func (f *StudyFlags) RunSpec(spec *core.StudySpec, configure func(*core.Options)) (*core.Results, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	stopProfiles, err := f.StartProfiles()
+	if err != nil {
+		return nil, err
+	}
+	defer stopProfiles()
 	r := &core.Runner{Configure: configure}
 	sess, err := r.Start(ctx, spec)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +46,7 @@ import (
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/containers"
 	"cloudhpc/internal/dataset"
+	"cloudhpc/internal/jsonl"
 	"cloudhpc/internal/oras"
 	"cloudhpc/internal/sim"
 	"cloudhpc/internal/store"
@@ -225,32 +227,44 @@ type studyMeta struct {
 
 // SaveStudy archives a complete study dataset under the resolved spec's
 // canonical hash. Saving is idempotent: identical datasets dedup to the
-// same blobs.
+// same blobs. The four bundle files encode concurrently — they read
+// disjoint, by-now-immutable parts of the results (runs, trace, ledger,
+// metadata), so the encodes are independent and the bundle bytes are
+// identical to a serial encode.
 func (rs *ResultStore) SaveStudy(r *ResolvedSpec, res *Results) error {
-	runs, err := dataset.MarshalJSONL(res.Records())
-	if err != nil {
-		return err
-	}
-	traceData, err := res.Log.MarshalJSONL()
-	if err != nil {
-		return err
-	}
-	meterData, err := res.Meter.MarshalCharges()
-	if err != nil {
-		return err
-	}
 	key := r.Hash()
-	metaData, err := json.Marshal(studyMeta{
+	var (
+		wg                                   sync.WaitGroup
+		runs, traceData, meterData, metaData []byte
+		runsErr, traceErr, meterErr, metaErr error
+	)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		runs, runsErr = dataset.MarshalJSONL(res.Records())
+	}()
+	go func() {
+		defer wg.Done()
+		traceData, traceErr = res.Log.MarshalJSONL()
+	}()
+	go func() {
+		defer wg.Done()
+		meterData, meterErr = res.Meter.MarshalCharges()
+	}()
+	metaData, metaErr = json.Marshal(studyMeta{
 		Version: storeSchemaVersion, Hash: key, Seed: r.Seed,
 		Runs:    len(res.Runs),
 		ClockNs: int64(res.Meter.Now()),
 		ECCOn:   res.ECCOn, Hookups: res.Hookups, Findings: res.Findings,
 		Incidents: res.Incidents, Recovery: res.Recovery, Builds: res.Builds,
 	})
-	if err != nil {
-		return err
+	wg.Wait()
+	for _, err := range []error{runsErr, traceErr, meterErr, metaErr} {
+		if err != nil {
+			return err
+		}
 	}
-	_, err = rs.reg.Push("study/"+key, dataset.StudyBundleType,
+	_, err := rs.reg.Push("study/"+key, dataset.StudyBundleType,
 		map[string][]byte{
 			"meta.json":   metaData,
 			"runs.jsonl":  runs,
@@ -302,7 +316,10 @@ func (rs *ResultStore) loadStudyVia(r *ResolvedSpec, logf func(format string, ar
 // decodeStudy rebuilds a Results from a study bundle's files. The meter
 // is reconstructed against a fresh simulation advanced to the archived
 // end-of-study clock, so lag-dependent views (ReportedSpend) read
-// exactly as they did when the dataset was saved.
+// exactly as they did when the dataset was saved. The three JSONL files
+// decode concurrently once the metadata validates — they are
+// independent inputs, so the rebuilt Results is identical to a serial
+// decode.
 func decodeStudy(r *ResolvedSpec, key string, files map[string][]byte) (*Results, error) {
 	// Every bundle file must be present: a missing runs.jsonl would
 	// otherwise decode as a plausible-looking empty dataset (JSONL of
@@ -322,20 +339,32 @@ func decodeStudy(r *ResolvedSpec, key string, files map[string][]byte) (*Results
 	if meta.Hash != key {
 		return nil, fmt.Errorf("bundle hash %s under tag study/%s", meta.Hash, key)
 	}
-	recs, err := dataset.UnmarshalJSONL(files["runs.jsonl"])
-	if err != nil {
-		return nil, err
+	var (
+		wg         sync.WaitGroup
+		recs       []dataset.Record
+		lg         *trace.Log
+		chargeRecs []cloud.ChargeRecord
+		traceErr   error
+		meterErr   error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		lg, traceErr = trace.UnmarshalJSONL(files["trace.jsonl"])
+	}()
+	go func() {
+		defer wg.Done()
+		chargeRecs, meterErr = cloud.UnmarshalCharges(files["meter.jsonl"])
+	}()
+	recs, runsErr := dataset.UnmarshalJSONL(files["runs.jsonl"])
+	wg.Wait()
+	for _, err := range []error{runsErr, traceErr, meterErr} {
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(recs) != meta.Runs {
 		return nil, fmt.Errorf("bundle holds %d runs, metadata says %d", len(recs), meta.Runs)
-	}
-	lg, err := trace.UnmarshalJSONL(files["trace.jsonl"])
-	if err != nil {
-		return nil, err
-	}
-	chargeRecs, err := cloud.UnmarshalCharges(files["meter.jsonl"])
-	if err != nil {
-		return nil, err
 	}
 
 	s := sim.New(meta.Seed)
@@ -430,12 +459,13 @@ func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterat
 		rs.logvia(logf, "core: result store: unit/%s unreadable (%v); recomputing", key, err)
 		return nil, false
 	}
-	meta, recs, err := dataset.UnmarshalUnit(files)
+	meta, cur, err := dataset.UnitCursor(files)
 	if err == nil && (meta.Version != storeSchemaVersion || meta.Key != key || meta.Env != env.Key || meta.App != app) {
 		err = fmt.Errorf("unit metadata %s/%s v%d under key %s", meta.Env, meta.App, meta.Version, key)
 	}
+	var u *unitPlan
 	if err == nil {
-		err = validateUnitSchedule(env, app, iterations, recs)
+		u, err = decodeUnitPlan(env, app, iterations, meta, cur)
 	}
 	if err != nil {
 		rs.corrupt.Add(1)
@@ -443,23 +473,21 @@ func (rs *ResultStore) loadUnit(key string, env apps.EnvSpec, app string, iterat
 		rs.logvia(logf, "core: result store: unit/%s undecodable (%v); recomputing", key, err)
 		return nil, false
 	}
-	u := &unitPlan{runs: make([]plannedRun, 0, len(recs))}
-	for _, rec := range recs {
-		u.runs = append(u.runs, plannedRun{
-			nodes: rec.Nodes, iter: rec.Iter,
-			result: apps.Result{FOM: rec.FOM, Unit: rec.Unit, Wall: rec.Wall, Err: runErr(rec.Error)},
-			hookup: rec.Hookup,
-		})
-	}
 	rs.unitHits.Add(1)
 	return u, true
 }
 
-// validateUnitSchedule checks that archived unit records visit exactly
-// the (nodes, iter) sequence planUnit would plan today — the same loop
-// shape, so the two can never drift apart silently.
-func validateUnitSchedule(env apps.EnvSpec, app string, iterations int, recs []dataset.Record) error {
-	idx := 0
+// decodeUnitPlan drains a unit artifact's record cursor into a unit
+// plan in one streaming pass: each record is validated against the
+// exact (nodes, iter) schedule planUnit would plan today as it decodes
+// — the same loop shape, so the planned schedule and its archived form
+// can never drift apart silently — and converted straight into its
+// planned-run slot, with no intermediate record slice. A stale artifact
+// that still decodes (a draw-schedule change not captured by the key or
+// a schema bump) must fail here, because once handed to the assembly an
+// out-of-step plan fails the whole study.
+func decodeUnitPlan(env apps.EnvSpec, app string, iterations int, meta dataset.UnitMeta, cur *jsonl.Decoder[dataset.Record]) (*unitPlan, error) {
+	u := &unitPlan{runs: make([]plannedRun, 0, meta.Records)}
 	maxNodes := apps.MaxNodesFor(env)
 	for _, nodes := range env.Scales {
 		if nodes > maxNodes {
@@ -467,16 +495,29 @@ func validateUnitSchedule(env apps.EnvSpec, app string, iterations int, recs []d
 		}
 		iters := itersFor(env, nodes, app, iterations)
 		for it := 0; it < iters; it++ {
-			if idx >= len(recs) || recs[idx].Nodes != nodes || recs[idx].Iter != it {
-				return fmt.Errorf("stale draw schedule at record %d (want nodes=%d iter=%d)", idx, nodes, it)
+			rec, ok, err := cur.Next()
+			if err != nil {
+				return nil, err
 			}
-			idx++
+			if !ok || rec.Nodes != nodes || rec.Iter != it {
+				return nil, fmt.Errorf("stale draw schedule at record %d (want nodes=%d iter=%d)", len(u.runs), nodes, it)
+			}
+			u.runs = append(u.runs, plannedRun{
+				nodes: rec.Nodes, iter: rec.Iter,
+				result: apps.Result{FOM: rec.FOM, Unit: rec.Unit, Wall: rec.Wall, Err: runErr(rec.Error)},
+				hookup: rec.Hookup,
+			})
 		}
 	}
-	if idx != len(recs) {
-		return fmt.Errorf("stale draw schedule: %d records, expected %d", len(recs), idx)
+	if rec, ok, err := cur.Next(); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("stale draw schedule: record (nodes=%d iter=%d) beyond the %d planned", rec.Nodes, rec.Iter, len(u.runs))
 	}
-	return nil
+	if len(u.runs) != meta.Records {
+		return nil, fmt.Errorf("unit holds %d records, metadata says %d", len(u.runs), meta.Records)
+	}
+	return u, nil
 }
 
 // unitRecords converts a unit plan's draws to archived records (CostUSD

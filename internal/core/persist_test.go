@@ -1,9 +1,11 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -488,5 +490,68 @@ func TestResultStoreGCReclaimsSupersededBundles(t *testing.T) {
 	}
 	if _, ok := rs.LoadStudy(r); !ok {
 		t.Fatal("gc broke the live study bundle")
+	}
+}
+
+// TestParallelCodecArtifactsSha256Identical pins the serialization
+// rework at the artifact level: bundle files encode concurrently,
+// units encode/decode as independent pool tasks at any granularity, and
+// none of that may move a single byte — every stored artifact (the
+// study bundle and each unit artifact) must hash identically across
+// worker counts 1, 4, and 32. The dataset-level sweep above proves the
+// decoded views agree; this proves the stored bytes themselves do.
+func TestParallelCodecArtifactsSha256Identical(t *testing.T) {
+	t.Parallel()
+	artifactSums := func(rs *ResultStore) map[string]string {
+		sums := make(map[string]string)
+		for _, tag := range rs.Registry().Tags() {
+			files, err := rs.Registry().Pull(tag)
+			if err != nil {
+				t.Fatalf("pull %s: %v", tag, err)
+			}
+			names := make([]string, 0, len(files))
+			for n := range files {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			h := sha256.New()
+			for _, n := range names {
+				fmt.Fprintf(h, "%s %d\n", n, len(files[n]))
+				h.Write(files[n])
+			}
+			sums[tag] = fmt.Sprintf("%x", h.Sum(nil))
+		}
+		return sums
+	}
+
+	var golden map[string]string
+	goldenWorkers := 0
+	for _, w := range []int{1, 4, 32} {
+		spec := &StudySpec{Seed: 2025, Workers: w}
+		rs, _ := quietStore(t)
+		st, r := storedStudy(t, spec, rs)
+		res, err := st.RunFull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.SaveStudy(r, res); err != nil {
+			t.Fatal(err)
+		}
+		sums := artifactSums(rs)
+		if len(sums) < 2 {
+			t.Fatalf("workers=%d: only %d artifacts stored; expected a study bundle plus units", w, len(sums))
+		}
+		if golden == nil {
+			golden, goldenWorkers = sums, w
+			continue
+		}
+		if len(sums) != len(golden) {
+			t.Fatalf("workers=%d stored %d artifacts, workers=%d stored %d", w, len(sums), goldenWorkers, len(golden))
+		}
+		for tag, sum := range sums {
+			if golden[tag] != sum {
+				t.Errorf("workers=%d: artifact %s sha256 %s != workers=%d's %s", w, tag, sum, goldenWorkers, golden[tag])
+			}
+		}
 	}
 }

@@ -246,7 +246,14 @@ func (st *Study) runSession(ctx context.Context, sess *Session) (*Results, error
 	// whole plan and completion is tracked by counting tasks, not by
 	// closing the channel early.
 	total := len(shards)
-	unitized := gran == GranularityEnvApp
+	// Units are dispatched as their own pool tasks at GranularityEnvApp
+	// (the fine-grained policy) and whenever a result store is attached:
+	// a store forces drawPlanned at any granularity, and dispatching the
+	// store's per-unit encode (cold) and decode (warm) across the worker
+	// pool keeps the serialization off the environments' critical path
+	// instead of running it as a serial per-shard loop. Byte-identity
+	// across granularities makes the outputs indistinguishable.
+	unitized := gran == GranularityEnvApp || (st.Store != nil && !st.Opts.LegacyRunStreams)
 	if unitized {
 		for _, sh := range shards {
 			if sh.spec.Unavailable == "" {
@@ -364,6 +371,11 @@ func (st *Study) merge(shards []*shard) (*Results, error) {
 		ECCOn:   make(map[string]float64),
 		Hookups: make(map[string]map[int]time.Duration),
 	}
+	totalRuns := 0
+	for _, sh := range shards {
+		totalRuns += len(sh.res.Runs)
+	}
+	res.Runs = make([]RunRecord, 0, totalRuns)
 	var offset time.Duration
 	var firstErr error
 	for _, sh := range shards {

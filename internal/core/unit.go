@@ -74,7 +74,11 @@ type unitPlan struct {
 	next int
 }
 
-// take consumes the next planned run, asserting its coordinates.
+// take consumes the next planned run, asserting its coordinates. Taking
+// the last run releases the plan's backing slice: the assembly consumes
+// units strictly in order, so an exhausted plan's decoded records are
+// dead weight — dropping them as the merge streams through keeps the
+// study's peak footprint at one unit, not every shard's full output.
 func (u *unitPlan) take(app string, nodes, iter int) (plannedRun, error) {
 	if u.next >= len(u.runs) {
 		return plannedRun{}, fmt.Errorf("core: unit %s exhausted at nodes=%d iter=%d", app, nodes, iter)
@@ -85,6 +89,9 @@ func (u *unitPlan) take(app string, nodes, iter int) (plannedRun, error) {
 			app, pr.nodes, pr.iter, nodes, iter)
 	}
 	u.next++
+	if u.next == len(u.runs) {
+		u.runs, u.next = nil, 0
+	}
 	return pr, nil
 }
 

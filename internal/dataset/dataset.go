@@ -92,9 +92,13 @@ func MarshalUnit(meta UnitMeta, recs []Record) (map[string][]byte, error) {
 	return map[string][]byte{"unit.json": mj, "runs.jsonl": rj}, nil
 }
 
-// UnmarshalUnit decodes a unit artifact's files, validating the record
-// count against the metadata.
-func UnmarshalUnit(files map[string][]byte) (UnitMeta, []Record, error) {
+// UnitCursor decodes a unit artifact's metadata and returns a streaming
+// cursor over its draw records, so a consumer can validate and convert
+// each record in a single pass instead of materializing the full record
+// slice first. The metadata's record count is not pre-validated here —
+// the cursor has not seen the records yet; callers confirm it as they
+// drain (UnmarshalUnit does exactly that).
+func UnitCursor(files map[string][]byte) (UnitMeta, *jsonl.Decoder[Record], error) {
 	var meta UnitMeta
 	mj, ok := files["unit.json"]
 	if !ok {
@@ -107,9 +111,26 @@ func UnmarshalUnit(files map[string][]byte) (UnitMeta, []Record, error) {
 	if !ok {
 		return meta, nil, fmt.Errorf("dataset: unit artifact has no runs.jsonl")
 	}
-	recs, err := UnmarshalJSONL(rj)
+	return meta, jsonl.NewDecoder[Record]("dataset", rj), nil
+}
+
+// UnmarshalUnit decodes a unit artifact's files, validating the record
+// count against the metadata.
+func UnmarshalUnit(files map[string][]byte) (UnitMeta, []Record, error) {
+	meta, cur, err := UnitCursor(files)
 	if err != nil {
 		return meta, nil, err
+	}
+	recs := make([]Record, 0, meta.Records)
+	for {
+		rec, ok, err := cur.Next()
+		if err != nil {
+			return meta, nil, err
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
 	}
 	if len(recs) != meta.Records {
 		return meta, nil, fmt.Errorf("dataset: unit %s/%s holds %d records, metadata says %d",

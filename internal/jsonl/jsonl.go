@@ -1,47 +1,136 @@
 // Package jsonl is the one JSON-lines codec behind every archived wire
-// form — dataset records, trace events, billing charges. One encoder
-// loop and one scanner (blank lines skipped, 16 MiB line cap, malformed
-// lines reported with their 1-based number) instead of a drifting copy
-// per package.
+// form — dataset records, trace events, billing charges, the store's
+// ref journal. One encoder loop and one splitter (blank lines skipped,
+// malformed lines reported with their 1-based number) instead of a
+// drifting copy per package.
+//
+// The codec is built for the store hot path, where the three wire forms
+// are encoded and decoded hundreds of times per study:
+//
+//   - Marshal encodes through a pooled buffer (sync.Pool) and returns
+//     one right-sized copy, so repeated megabyte encodes stop paying
+//     the doubling-growth allocations.
+//   - Unmarshal slices the input in place (no bufio.Scanner, no copy of
+//     any line, no fixed 1 MiB scratch buffer) and preallocates the
+//     result from a newline count, so decoding allocates the output
+//     slice once plus whatever encoding/json needs per record.
+//   - Decoder is the streaming form: records decode one at a time
+//     through a cursor, which is what lets the executor's units→env
+//     merge consume stored draws without materializing an intermediate
+//     record slice per artifact.
 package jsonl
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 )
 
-// Marshal encodes items as JSON lines, one per item, in order.
+// encBufs pools encode buffers across Marshal calls. Buffers that grew
+// past maxPooledBuf are dropped on the floor rather than pinned forever.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps the capacity a returned pool buffer may retain
+// (16 MiB — comfortably above the largest study artifact, small enough
+// that one outlier encode cannot pin tens of megabytes).
+const maxPooledBuf = 16 << 20
+
+// Marshal encodes items as JSON lines, one per item, in order. The
+// returned slice is exactly sized and owned by the caller; the encode
+// scratch is pooled across calls.
 func Marshal[T any](items []T) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, it := range items {
-		if err := enc.Encode(it); err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			buf.Reset()
+			encBufs.Put(buf)
+		}
+	}()
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	for i := range items {
+		if err := enc.Encode(items[i]); err != nil {
 			return nil, err
 		}
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Unmarshal decodes JSON lines into values of T. Blank lines are
 // skipped; a malformed line fails with its 1-based line number prefixed
-// by errPrefix (the owning package's name).
+// by errPrefix (the owning package's name). The input is split in place
+// — no per-line copies, no scratch buffer — and the output slice is
+// preallocated from a newline count, so a second growth allocation
+// never happens.
 func Unmarshal[T any](errPrefix string, data []byte) ([]T, error) {
 	var out []T
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
+	if n := Lines(data); n > 0 {
+		out = make([]T, 0, n)
+	}
+	d := NewDecoder[T](errPrefix, data)
+	for {
+		v, ok, err := d.Next()
+		if err != nil {
+			return nil, err
 		}
-		var v T
-		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
-			return nil, fmt.Errorf("%s: line %d: %w", errPrefix, line, err)
+		if !ok {
+			return out, nil
 		}
 		out = append(out, v)
 	}
-	return out, sc.Err()
+}
+
+// Lines counts the newline-terminated lines of data (a trailing
+// unterminated line counts as one). It is the preallocation hint
+// Unmarshal sizes its output with — an upper bound when blank lines are
+// present, exact otherwise.
+func Lines(data []byte) int {
+	n := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// Decoder is a streaming cursor over a JSON-lines byte slice: each Next
+// decodes exactly one record, in order, without materializing the whole
+// record set. The executor's store-warm unit path consumes draw records
+// through one of these instead of holding every artifact's full decoded
+// slice in memory simultaneously.
+type Decoder[T any] struct {
+	prefix string
+	rest   []byte
+	line   int
+}
+
+// NewDecoder returns a cursor over data. The decoder keeps a reference
+// to data (it slices, never copies); the caller must not mutate it
+// while decoding.
+func NewDecoder[T any](errPrefix string, data []byte) *Decoder[T] {
+	return &Decoder[T]{prefix: errPrefix, rest: data}
+}
+
+// Next decodes the next record. It returns ok=false when the input is
+// exhausted; a malformed line fails with its 1-based line number.
+func (d *Decoder[T]) Next() (v T, ok bool, err error) {
+	for len(d.rest) > 0 {
+		line := d.rest
+		if i := bytes.IndexByte(d.rest, '\n'); i >= 0 {
+			line, d.rest = d.rest[:i], d.rest[i+1:]
+		} else {
+			d.rest = nil
+		}
+		d.line++
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &v); err != nil {
+			return v, false, fmt.Errorf("%s: line %d: %w", d.prefix, d.line, err)
+		}
+		return v, true, nil
+	}
+	return v, false, nil
 }

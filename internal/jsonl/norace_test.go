@@ -1,0 +1,5 @@
+//go:build !race
+
+package jsonl
+
+const raceEnabled = false

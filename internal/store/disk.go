@@ -9,46 +9,70 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"cloudhpc/internal/jsonl"
 )
 
 // Disk is the on-disk BlobStore. Layout under the root directory:
 //
 //	blobs/<hex>    one file per blob, named by its sha256
-//	index.json     refs (name → digest); blobs are inventoried by scan
+//	index.json     ref snapshot (name → digest); blobs inventoried by scan
+//	refs.jsonl     append-only ref journal since the snapshot
 //
-// Every write goes through a temporary file and an atomic rename, so
-// readers never observe a partial file and a crash mid-write leaves at
-// worst an orphan temp file. Writes are not fsynced (the store is a
-// cache; recompute covers loss), so a power loss can tear a
-// recently-renamed blob — torn content is caught by Get's digest
-// verification and healed by the next Put of the same digest, and an
-// orphan blob (crash before any index write) is adopted by Open's
-// directory rescan: content addressing means an orphan is never wrong,
-// only unindexed.
+// Every blob and snapshot write goes through a temporary file and an
+// atomic rename, so readers never observe a partial file and a crash
+// mid-write leaves at worst an orphan temp file. Ref mutations do not
+// rewrite the snapshot — they append one journal line, so an N-artifact
+// ingest costs O(N) journal bytes instead of the O(N²) it would pay
+// rewriting a growing index per push. Open replays the journal over the
+// snapshot and compacts (fresh snapshot, journal removed); a torn
+// trailing journal line just truncates the replay there. Writes are not
+// fsynced (the store is a cache; recompute covers loss), so a power
+// loss can tear a recently-renamed blob — torn content is caught by
+// Get's digest verification and healed by the next Put of the same
+// digest, and an orphan blob (crash before any ref write) is adopted by
+// Open's directory rescan: content addressing means an orphan is never
+// wrong, only unindexed.
 //
 // A Disk store is safe for concurrent use within one process. Sharing one
 // directory between processes is safe for blobs (idempotent, atomic) but
-// last-writer-wins for refs; the study tooling treats that as acceptable
-// because every writer stores the same content under the same keys.
+// not for refs — concurrent journal appends interleave safely (O_APPEND),
+// but a second Open compacts and may drop entries the first process
+// appends afterwards; the study tooling treats that as acceptable because
+// every writer stores the same content under the same keys.
 type Disk struct {
 	dir string
 
-	mu    sync.Mutex
-	blobs map[string]int64  // digest → size
-	refs  map[string]string // name → digest
+	mu         sync.Mutex
+	blobs      map[string]int64  // digest → size
+	refs       map[string]string // name → digest
+	journalLen int               // entries appended since the last snapshot
 }
 
-// indexFile is the persisted form of the store's mutable state: just the
-// refs. The blob inventory is deliberately not persisted — the blobs
-// directory is the truth and Open rebuilds the inventory by scanning it —
-// so Put never has to rewrite the index (an N-blob ingest would otherwise
-// rewrite a growing index N times under the store mutex).
+// indexFile is the persisted snapshot of the refs. The blob inventory is
+// deliberately not persisted — the blobs directory is the truth and Open
+// rebuilds the inventory by scanning it — and ref mutations between
+// snapshots live in the journal, so neither Put nor SetRefs ever rewrites
+// this file on the hot path.
 type indexFile struct {
 	Version int               `json:"version"`
 	Refs    map[string]string `json:"refs"`
 }
 
 const indexVersion = 1
+
+// refJournalEntry is one line of refs.jsonl: refs to set and refs to
+// delete, applied in order during replay. A batched SetRefs is one entry.
+type refJournalEntry struct {
+	Set map[string]string `json:"set,omitempty"`
+	Del []string          `json:"del,omitempty"`
+}
+
+// journalCompactAt bounds journal growth for long-lived stores (daemons):
+// once the journal holds this many entries AND dwarfs the live ref set,
+// the next mutation folds it into a fresh snapshot. High enough that a
+// full cold study (a few hundred ref batches) never compacts mid-run.
+const journalCompactAt = 1024
 
 // Open opens (creating if needed) a disk store rooted at dir.
 func Open(dir string) (*Disk, error) {
@@ -60,8 +84,12 @@ func Open(dir string) (*Disk, error) {
 		blobs: make(map[string]int64),
 		refs:  make(map[string]string),
 	}
-	if err := s.loadIndex(); err != nil {
+	replay, err := s.loadIndex()
+	if err != nil {
 		return nil, err
+	}
+	if replay {
+		s.replayJournal()
 	}
 	if err := s.reconcile(); err != nil {
 		return nil, err
@@ -73,38 +101,46 @@ func Open(dir string) (*Disk, error) {
 func (s *Disk) Dir() string { return s.dir }
 
 func (s *Disk) indexPath() string        { return filepath.Join(s.dir, "index.json") }
+func (s *Disk) journalPath() string      { return filepath.Join(s.dir, "refs.jsonl") }
 func (s *Disk) blobPath(h string) string { return filepath.Join(s.dir, "blobs", h) }
 
-// loadIndex reads index.json; a missing index is an empty store (the
-// blobs directory scan in reconcile recovers any existing content).
-func (s *Disk) loadIndex() error {
+// loadIndex reads the index.json snapshot. A missing or damaged
+// snapshot is an empty baseline (the blobs directory scan in reconcile
+// recovers any existing content, and the journal — written by this
+// schema — is still worth replaying over it). The returned bool says
+// whether the journal may be replayed: false only when the snapshot
+// carries an unknown version, because then the journal was plausibly
+// written by that same future build and cannot be trusted either.
+func (s *Disk) loadIndex() (replayJournal bool, err error) {
 	data, err := os.ReadFile(s.indexPath())
 	if os.IsNotExist(err) {
-		return nil
+		return true, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: reading index: %w", err)
+		return false, fmt.Errorf("store: reading index: %w", err)
 	}
 	var idx indexFile
 	if err := json.Unmarshal(data, &idx); err != nil {
-		// A torn or damaged index is recoverable: the blobs are the truth,
-		// the refs are lost. Rebuild rather than refuse to open.
-		return nil
+		// A torn or damaged snapshot is recoverable: the blobs are the
+		// truth and the journal holds every ref written since the last
+		// good snapshot. Rebuild rather than refuse to open.
+		return true, nil
 	}
 	if idx.Version != indexVersion {
 		// An index written by an unknown (future) schema must not be
-		// parsed as v1: its refs may mean something else entirely. Treat
-		// it like a damaged index — the blob scan recovers the content,
-		// the refs are lost — so the format can evolve without corrupting
+		// parsed as v1 — its refs may mean something else entirely — and
+		// neither may the journal that build left behind. Treat both
+		// like damaged state: the blob scan recovers the content, the
+		// refs are lost, and the format can evolve without corrupting
 		// old readers.
 		log.Printf("store: %s: index version %d (this build reads v%d); rebuilding refs from the blob scan",
 			s.indexPath(), idx.Version, indexVersion)
-		return nil
+		return false, nil
 	}
 	if idx.Refs != nil {
 		s.refs = idx.Refs
 	}
-	return nil
+	return true, nil
 }
 
 // reconcile makes the in-memory inventory agree with the blobs directory:
@@ -136,7 +172,77 @@ func (s *Disk) reconcile() error {
 			delete(s.refs, name)
 		}
 	}
-	return s.persistIndexLocked()
+	return s.compactRefsLocked()
+}
+
+// replayJournal applies refs.jsonl on top of the snapshot loadIndex
+// read. Replay stops at the first malformed line — a torn trailing
+// append loses only that entry; the refs are cache metadata and the
+// recompute path covers anything dropped.
+func (s *Disk) replayJournal() {
+	data, err := os.ReadFile(s.journalPath())
+	if err != nil {
+		return
+	}
+	d := jsonl.NewDecoder[refJournalEntry]("store: ref journal", data)
+	for {
+		e, ok, err := d.Next()
+		if err != nil {
+			log.Printf("store: %s: %v; dropping the journal tail", s.journalPath(), err)
+			return
+		}
+		if !ok {
+			return
+		}
+		for name, digest := range e.Set {
+			s.refs[name] = digest
+		}
+		for _, name := range e.Del {
+			delete(s.refs, name)
+		}
+	}
+}
+
+// appendRefsLocked journals one ref mutation (already applied to
+// s.refs): a single O_APPEND write instead of a whole-snapshot rewrite.
+// When the journal has grown far past the live ref set it is folded
+// into a fresh snapshot. Callers hold s.mu.
+func (s *Disk) appendRefsLocked(e refJournalEntry) error {
+	if s.journalLen >= journalCompactAt && s.journalLen >= 4*len(s.refs) {
+		return s.compactRefsLocked()
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening ref journal: %w", err)
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: appending ref journal: %w", werr)
+	}
+	s.journalLen++
+	return nil
+}
+
+// compactRefsLocked folds the journal into a fresh snapshot: write
+// index.json, then remove refs.jsonl. A crash between the two replays
+// already-snapshotted entries on the next Open — harmless, the replay
+// is idempotent. Callers hold s.mu (or have exclusive access in Open).
+func (s *Disk) compactRefsLocked() error {
+	if err := s.persistIndexLocked(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.journalPath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: removing ref journal: %w", err)
+	}
+	s.journalLen = 0
+	return nil
 }
 
 // persistIndexLocked atomically rewrites index.json. Callers hold s.mu
@@ -271,8 +377,8 @@ func (s *Disk) Digests() []string {
 }
 
 // SetRef implements BlobStore. Re-pointing a ref at the digest it
-// already holds — every warm re-push does this — skips the index write
-// entirely, so only genuinely new refs pay the rewrite.
+// already holds — every warm re-push does this — skips the journal
+// append entirely, so only genuinely new refs pay a write.
 func (s *Disk) SetRef(name, digest string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -283,11 +389,11 @@ func (s *Disk) SetRef(name, digest string) error {
 		return nil
 	}
 	s.refs[name] = digest
-	return s.persistIndexLocked()
+	return s.appendRefsLocked(refJournalEntry{Set: map[string]string{name: digest}})
 }
 
 // SetRefs implements BlobStore: all targets validated up front, all
-// refs applied, one index write (none if nothing changed).
+// refs applied, one journal append (none if nothing changed).
 func (s *Disk) SetRefs(refs map[string]string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -296,17 +402,17 @@ func (s *Disk) SetRefs(refs map[string]string) error {
 			return fmt.Errorf("%w: ref %q target %s", ErrNotFound, name, digest)
 		}
 	}
-	changed := false
+	changed := make(map[string]string, len(refs))
 	for name, digest := range refs {
 		if s.refs[name] != digest {
 			s.refs[name] = digest
-			changed = true
+			changed[name] = digest
 		}
 	}
-	if !changed {
+	if len(changed) == 0 {
 		return nil
 	}
-	return s.persistIndexLocked()
+	return s.appendRefsLocked(refJournalEntry{Set: changed})
 }
 
 // Ref implements BlobStore.
@@ -332,25 +438,25 @@ func (s *Disk) DeleteRef(name string) error {
 		return nil
 	}
 	delete(s.refs, name)
-	return s.persistIndexLocked()
+	return s.appendRefsLocked(refJournalEntry{Del: []string{name}})
 }
 
-// DeleteRefs implements BlobStore: all removals, one index write (none
-// if nothing was present).
+// DeleteRefs implements BlobStore: all removals, one journal append
+// (none if nothing was present).
 func (s *Disk) DeleteRefs(names []string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	changed := false
+	var removed []string
 	for _, name := range names {
 		if _, ok := s.refs[name]; ok {
 			delete(s.refs, name)
-			changed = true
+			removed = append(removed, name)
 		}
 	}
-	if !changed {
+	if len(removed) == 0 {
 		return nil
 	}
-	return s.persistIndexLocked()
+	return s.appendRefsLocked(refJournalEntry{Del: removed})
 }
 
 // GC implements BlobStore: sweeps blobs that are neither in live nor the

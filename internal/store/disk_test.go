@@ -134,3 +134,78 @@ func TestDiskLoadIndexRejectsUnknownVersion(t *testing.T) {
 		t.Fatalf("rewritten v1 index did not round-trip: %q %v", got, ok)
 	}
 }
+
+func TestDiskJournalTornTrailingLine(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := s.Put([]byte("survives"))
+	d2, _ := s.Put([]byte("also survives"))
+	if err := s.SetRef("study/a", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef("study/b", d2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a power loss mid-append: a torn, half-written trailing
+	// journal line. Replay must keep every complete entry before it.
+	f, err := os.OpenFile(filepath.Join(dir, "refs.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"set":{"study/torn":"sha`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open over a torn journal: %v", err)
+	}
+	if got, ok := re.Ref("study/a"); !ok || got != d1 {
+		t.Fatalf("complete entry lost to the torn tail: %q %v", got, ok)
+	}
+	if got, ok := re.Ref("study/b"); !ok || got != d2 {
+		t.Fatalf("complete entry lost to the torn tail: %q %v", got, ok)
+	}
+	if _, ok := re.Ref("study/torn"); ok {
+		t.Fatal("torn entry must not be adopted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "refs.jsonl")); !os.IsNotExist(err) {
+		t.Fatal("Open should compact the journal into a fresh snapshot")
+	}
+}
+
+func TestDiskJournalDeleteReplay(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Put([]byte("ref churn"))
+	if err := s.SetRef("study/keep", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef("study/drop", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteRef("study/drop"); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Ref("study/drop"); ok {
+		t.Fatal("journaled delete not replayed")
+	}
+	if got, ok := re.Ref("study/keep"); !ok || got != d {
+		t.Fatalf("surviving ref lost: %q %v", got, ok)
+	}
+}

@@ -24,7 +24,7 @@ note="${2:-full-study executor wall-clock baseline; ns_per_op medians move with 
 # escapes) and is JSON-escaped before interpolation.
 BENCH_NOTE="$note"
 export BENCH_NOTE
-go test -run XXX -bench "$pattern" -benchtime=10x 2>/dev/null |
+go test -run XXX -bench "$pattern" -benchtime=10x -benchmem 2>/dev/null |
 awk '
 BEGIN {
 	note = ENVIRON["BENCH_NOTE"]
@@ -42,11 +42,20 @@ BEGIN {
 	first = 1
 }
 /^Benchmark/ {
+	# With -benchmem every line carries a B/op and allocs/op column —
+	# the memory axis ROADMAP asks for rides along on every data point.
+	# Custom metrics (ReportMetric: "runs", "units") shift the columns,
+	# so locate each value by the unit token that follows it.
 	name = $1
 	sub(/-[0-9]+$/, "", name)
+	bytes = 0; allocs = 0
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
 	if (!first) printf ",\n"
 	first = 0
-	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, bytes, allocs
 }
 END {
 	printf "\n  ]\n}\n"
