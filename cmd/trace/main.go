@@ -40,18 +40,19 @@ func main() {
 	}
 
 	filtered := trace.NewLog()
-	for _, e := range res.Log.Events() {
+	res.Log.All(func(e trace.Event) bool {
 		if *env != "" && e.Env != *env {
-			continue
+			return true
 		}
 		if e.Severity < minSev {
-			continue
+			return true
 		}
 		if *category != "" && string(e.Category) != *category {
-			continue
+			return true
 		}
 		filtered.Add(e)
-	}
+		return true
+	})
 
 	if *asJSON {
 		data, err := filtered.MarshalJSONL()

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"strconv"
 
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/sim"
@@ -41,13 +42,21 @@ type Report struct {
 	Sysbench   float64
 }
 
-// Collect produces the inventory of one provisioned node.
+// Collect produces the inventory of one provisioned node. The audit runs
+// it against every node of an environment's largest fleet, so the summary
+// strings are append-built ("%s (%s)" and "Machine: %d cores, %d GPUs").
 func Collect(n *cloud.Node, rng *sim.Stream) Report {
+	var a [64]byte
+	b := append(a[:0], "Machine: "...)
+	b = strconv.AppendInt(b, int64(n.VisibleCores), 10)
+	b = append(b, " cores, "...)
+	b = strconv.AppendInt(b, int64(n.VisibleGPUs), 10)
+	b = append(b, " GPUs"...)
 	return Report{
 		NodeID:     n.ID,
 		Processors: n.VisibleCores,
-		DMI:        fmt.Sprintf("%s (%s)", n.Type.Name, n.Type.Processor),
-		Topology:   fmt.Sprintf("Machine: %d cores, %d GPUs", n.VisibleCores, n.VisibleGPUs),
+		DMI:        n.Type.Name + " (" + n.Type.Processor + ")",
+		Topology:   string(b),
 		Sysbench:   rng.Jitter(float64(n.VisibleCores)*n.Type.ClockGHz*95, 0.02),
 	}
 }

@@ -1,7 +1,7 @@
 package chaos
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -151,10 +151,18 @@ func (e *Engine) Stockout(nodes, attempt int) (time.Duration, bool) {
 		return 0, false
 	}
 	backoff := r.Backoff << (attempt - 1)
+	// Hand-built "capacity stockout for %d nodes (attempt %d); backing off %v".
+	var a [96]byte
+	b := append(a[:0], "capacity stockout for "...)
+	b = strconv.AppendInt(b, int64(nodes), 10)
+	b = append(b, " nodes (attempt "...)
+	b = strconv.AppendInt(b, int64(attempt), 10)
+	b = append(b, "); backing off "...)
+	b = append(b, backoff.String()...)
 	e.record(Incident{
 		Kind:   Stockout,
-		Detail: fmt.Sprintf("capacity stockout for %d nodes (attempt %d); backing off %v", nodes, attempt, backoff),
-	}, func(a *Accounting) { a.Stockouts++ })
+		Detail: string(b),
+	}, func(acct *Accounting) { acct.Stockouts++ })
 	return backoff, true
 }
 
@@ -178,14 +186,24 @@ func (e *Engine) JobFault(name string, nodes int, dur time.Duration) (frac float
 	if requeue {
 		requeued = 1
 	}
+	// Hand-built "spot reclaim killed job %q at %d%% on %d nodes (requeue=%v)".
+	var a [112]byte
+	b := append(a[:0], "spot reclaim killed job "...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, " at "...)
+	b = strconv.AppendInt(b, int64(r.Frac*100), 10)
+	b = append(b, "% on "...)
+	b = strconv.AppendInt(b, int64(nodes), 10)
+	b = append(b, " nodes (requeue="...)
+	b = strconv.AppendBool(b, requeue)
+	b = append(b, ')')
 	e.record(Incident{
-		Kind: SpotReclaim,
-		Detail: fmt.Sprintf("spot reclaim killed job %q at %d%% on %d nodes (requeue=%v)",
-			name, int(r.Frac*100), nodes, requeue),
+		Kind:            SpotReclaim,
+		Detail:          string(b),
 		LostNodeHours:   lost,
 		RequeuedJobs:    requeued,
 		BillingDeltaUSD: lost * e.rate,
-	}, func(a *Accounting) { a.Preemptions++ })
+	}, func(acct *Accounting) { acct.Preemptions++ })
 	return r.Frac, requeue, true
 }
 
@@ -203,11 +221,19 @@ func (e *Engine) QuotaRevocation(scaleNodes int) (revoke int, regrant time.Durat
 	if !found || !e.rng.Bernoulli(r.Prob) {
 		return 0, 0, false
 	}
+	// Hand-built "provider revoked %d nodes of granted quota before the
+	// %d-node scale; re-grant in %v".
+	var a [112]byte
+	b := append(a[:0], "provider revoked "...)
+	b = strconv.AppendInt(b, int64(r.Nodes), 10)
+	b = append(b, " nodes of granted quota before the "...)
+	b = strconv.AppendInt(b, int64(scaleNodes), 10)
+	b = append(b, "-node scale; re-grant in "...)
+	b = append(b, r.Regrant.String()...)
 	e.record(Incident{
-		Kind: QuotaRevoke,
-		Detail: fmt.Sprintf("provider revoked %d nodes of granted quota before the %d-node scale; re-grant in %v",
-			r.Nodes, scaleNodes, r.Regrant),
-	}, func(a *Accounting) { a.QuotaRevocations++ })
+		Kind:   QuotaRevoke,
+		Detail: string(b),
+	}, func(acct *Accounting) { acct.QuotaRevocations++ })
 	return r.Nodes, r.Regrant, true
 }
 
@@ -228,14 +254,30 @@ func (e *Engine) DegradeRun(nodes int, wall, hookup time.Duration) (time.Duratio
 	deg := network.Degradation{Latency: r.Latency, Bandwidth: r.Bandwidth}
 	newWall, newHookup := deg.ApplyBandwidth(wall), deg.ApplyLatency(hookup)
 	lost := float64(nodes) * (newWall - wall + newHookup - hookup).Hours()
+	// Hand-built "degraded interconnect (latency ×%g, bandwidth ÷%g):
+	// hookup %v→%v, wall %v→%v on %d nodes".
+	var a [160]byte
+	b := append(a[:0], "degraded interconnect (latency ×"...)
+	b = strconv.AppendFloat(b, r.Latency, 'g', -1, 64)
+	b = append(b, ", bandwidth ÷"...)
+	b = strconv.AppendFloat(b, r.Bandwidth, 'g', -1, 64)
+	b = append(b, "): hookup "...)
+	b = append(b, hookup.Round(time.Millisecond).String()...)
+	b = append(b, "→"...)
+	b = append(b, newHookup.Round(time.Millisecond).String()...)
+	b = append(b, ", wall "...)
+	b = append(b, wall.Round(time.Second).String()...)
+	b = append(b, "→"...)
+	b = append(b, newWall.Round(time.Second).String()...)
+	b = append(b, " on "...)
+	b = strconv.AppendInt(b, int64(nodes), 10)
+	b = append(b, " nodes"...)
 	e.record(Incident{
-		Kind: NetDegrade,
-		Detail: fmt.Sprintf("degraded interconnect (latency ×%g, bandwidth ÷%g): hookup %v→%v, wall %v→%v on %d nodes",
-			r.Latency, r.Bandwidth, hookup.Round(time.Millisecond), newHookup.Round(time.Millisecond),
-			wall.Round(time.Second), newWall.Round(time.Second), nodes),
+		Kind:            NetDegrade,
+		Detail:          string(b),
 		LostNodeHours:   lost,
 		BillingDeltaUSD: lost * e.rate,
-	}, func(a *Accounting) { a.DegradedRuns++ })
+	}, func(acct *Accounting) { acct.DegradedRuns++ })
 	return newWall, newHookup
 }
 
@@ -259,11 +301,31 @@ func (e *Engine) PullFault(tag string) (time.Duration, bool) {
 	}
 	e.pullFails[tag]++
 	backoff := r.Backoff << (e.pullFails[tag] - 1)
+	// Hand-built "registry pull of %q failed transiently (consecutive
+	// failure %d); backing off %v".
+	var a [128]byte
+	b := append(a[:0], "registry pull of "...)
+	b = strconv.AppendQuote(b, tag)
+	b = append(b, " failed transiently (consecutive failure "...)
+	b = strconv.AppendInt(b, int64(e.pullFails[tag]), 10)
+	b = append(b, "); backing off "...)
+	b = append(b, backoff.String()...)
 	e.record(Incident{
 		Kind:   PullFail,
-		Detail: fmt.Sprintf("registry pull of %q failed transiently (consecutive failure %d); backing off %v", tag, e.pullFails[tag], backoff),
-	}, func(a *Accounting) { a.PullRetries++ })
+		Detail: string(b),
+	}, func(acct *Accounting) { acct.PullRetries++ })
 	return backoff, true
+}
+
+// IncidentCount reports the number of recorded incidents without copying
+// them — sizing information for the study merge's preallocation.
+func (e *Engine) IncidentCount() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.incidents)
 }
 
 // Incidents returns a copy of the injected incidents in injection order.

@@ -1,8 +1,8 @@
 package cloud
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -108,9 +108,21 @@ func (m *Meter) ChargeNodeHours(env string, it InstanceType, nodes int, d time.D
 	m.mu.Lock()
 	m.charges = append(m.charges, charge{at: m.sim.Now(), prov: it.Provider, env: env, amount: amount, note: note})
 	m.mu.Unlock()
+	// Hand-built "charge: %d × %s × %.2fh (%s)" — one per teardown,
+	// debug window, and reservation wait across the whole study.
+	var a [96]byte
+	b := append(a[:0], "charge: "...)
+	b = strconv.AppendInt(b, int64(nodes), 10)
+	b = append(b, " × "...)
+	b = append(b, it.Name...)
+	b = append(b, " × "...)
+	b = strconv.AppendFloat(b, d.Hours(), 'f', 2, 64)
+	b = append(b, "h ("...)
+	b = append(b, note...)
+	b = append(b, ')')
 	m.log.Add(trace.Event{
 		At: m.sim.Now(), Env: env, Category: trace.Billing, Severity: trace.Routine,
-		Msg:  fmt.Sprintf("charge: %d × %s × %.2fh (%s)", nodes, it.Name, d.Hours(), note),
+		Msg:  string(b),
 		Cost: amount,
 	})
 	return amount

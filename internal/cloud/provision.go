@@ -3,6 +3,7 @@ package cloud
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"cloudhpc/internal/sim"
@@ -169,7 +170,7 @@ func (p *Provisioner) Provision(req ProvisionRequest) (*Cluster, error) {
 	placement := p.placement.Request(req.Type.Provider, req.Env, req.Nodes, req.Kubernetes)
 
 	c := &Cluster{
-		Name:      fmt.Sprintf("%s-%d", req.Env, p.nextID()),
+		Name:      req.Env + "-" + strconv.Itoa(p.nextID()),
 		Type:      req.Type,
 		Placement: placement,
 		CreatedAt: p.sim.Now(),
@@ -206,16 +207,41 @@ func (p *Provisioner) Provision(req ProvisionRequest) (*Cluster, error) {
 			"brought up spare node %s and removed defective node", replacement.ID)
 	}
 
-	p.log.Addf(p.sim.Now(), req.Env, trace.Setup, trace.Routine,
-		"cluster %s up: %d × %s in %v", c.Name, c.Size(), req.Type.Name, boot.Round(time.Second))
+	// Hand-built "cluster %s up: %d × %s in %v" (one per deploy).
+	var a [96]byte
+	b := append(a[:0], "cluster "...)
+	b = append(b, c.Name...)
+	b = append(b, " up: "...)
+	b = strconv.AppendInt(b, int64(c.Size()), 10)
+	b = append(b, " × "...)
+	b = append(b, req.Type.Name...)
+	b = append(b, " in "...)
+	b = append(b, boot.Round(time.Second).String()...)
+	p.log.Add(trace.Event{At: p.sim.Now(), Env: req.Env,
+		Category: trace.Setup, Severity: trace.Routine, Msg: string(b)})
 	return c, nil
 }
 
 // newNode constructs one node with defect/ECC rolls applied.
 func (p *Provisioner) newNode(req ProvisionRequest, rng *sim.Stream, idx int) *Node {
 	p.counter++
+	// "%s-node-%04d": the counter is always positive, so the fmt zero-pad
+	// is plain leading zeros.
+	var a [48]byte
+	b := append(a[:0], req.Env...)
+	b = append(b, "-node-"...)
+	if p.counter < 1000 {
+		b = append(b, '0')
+		if p.counter < 100 {
+			b = append(b, '0')
+			if p.counter < 10 {
+				b = append(b, '0')
+			}
+		}
+	}
+	b = strconv.AppendInt(b, int64(p.counter), 10)
 	n := &Node{
-		ID:           fmt.Sprintf("%s-node-%04d", req.Env, p.counter),
+		ID:           string(b),
 		Type:         req.Type,
 		Zone:         "zone-a",
 		BootedAt:     p.sim.Now(),

@@ -67,7 +67,7 @@ type Spec struct {
 
 // Tag returns the registry tag for the spec.
 func (s Spec) Tag() string {
-	return fmt.Sprintf("%s-%s-%s", s.App, s.Provider, s.Accelerator)
+	return s.App + "-" + string(s.Provider) + "-" + string(s.Accelerator)
 }
 
 // HasFlag reports whether the spec enables a flag.
@@ -189,7 +189,8 @@ func (b *Builder) Build(spec Spec) (Image, error) {
 		// application-setup effort in Table 3).
 		sev = trace.Blocking
 	}
-	b.log.Addf(b.sim.Now(), envOf(spec), trace.AppSetup, sev, "built container %s", spec.Tag())
+	b.log.Add(trace.Event{At: b.sim.Now(), Env: envOf(spec), Category: trace.AppSetup,
+		Severity: sev, Msg: "built container " + spec.Tag()})
 	b.Built = append(b.Built, img)
 	return img, nil
 }
@@ -215,7 +216,7 @@ func CorrectSpec(app string, p cloud.Provider, acc cloud.Accelerator) Spec {
 }
 
 func envOf(s Spec) string {
-	return fmt.Sprintf("%s-%s", s.Provider, s.Accelerator)
+	return string(s.Provider) + "-" + string(s.Accelerator)
 }
 
 // PullInjector decides transient registry-pull failures (the chaos

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +65,14 @@ type shard struct {
 	store    *ResultStore
 	computes *atomic.Int64
 	logf     func(format string, args ...any)
+
+	// runStreams caches the per-application draw streams (and legacyStream
+	// the shared pre-spec stream) so the inner loop stops re-deriving
+	// "core/run/<env>/<app>" — one string concat plus a map lookup per
+	// run. Simulation.Stream memoizes by name, so the cache returns the
+	// same stream object the name lookup would.
+	runStreams   []*sim.Stream
+	legacyStream *sim.Stream
 
 	// ctx is the run's cancellation context and sess its observing
 	// session (both may be nil on legacy paths); they are assigned by
@@ -139,10 +148,16 @@ func (st *Study) newShard(spec apps.EnvSpec) *shard {
 		iterations: st.Iterations,
 		mode:       mode,
 		res: &Results{
+			// Sized to the shard's full schedule (scale skips only leave
+			// slack); one backing array for the whole run set.
+			Runs:    make([]RunRecord, 0, len(st.Models)*len(spec.Scales)*st.Iterations),
 			ECCOn:   make(map[string]float64),
 			Hookups: make(map[string]map[int]time.Duration),
 		},
 	}
+	// Event capacity from the partition plan: a handful of events per run
+	// plus per-scale lifecycle chatter (provision, daemonsets, teardown).
+	log.Reserve(len(spec.Scales)*(len(st.Models)*st.Iterations*6+48) + 32)
 	if mode == drawPlanned {
 		sh.planned = make([]*unitPlan, len(sh.models))
 		sh.store = st.Store
@@ -452,7 +467,7 @@ func (sh *shard) runOnce(appIdx int, m apps.Model, nodes, iter int, scheduler *s
 		wall, hookup = sh.chaos.DegradeRun(nodes, wall, hookup)
 	}
 
-	job := &sched.Job{Name: fmt.Sprintf("%s-%d", m.Name(), iter), Nodes: nodes, Duration: wall, Hookup: hookup}
+	job := &sched.Job{Name: m.Name() + "-" + strconv.Itoa(iter), Nodes: nodes, Duration: wall, Hookup: hookup}
 	if err := scheduler.Submit(job); err != nil {
 		return RunRecord{EnvKey: spec.Key, App: m.Name(), Nodes: nodes, Iter: iter, Err: err, Unit: result.Unit}, nil
 	}
@@ -475,7 +490,7 @@ func (sh *shard) runOnce(appIdx int, m apps.Model, nodes, iter int, scheduler *s
 func (sh *shard) audit(cluster *cloud.Cluster) {
 	spec := sh.spec
 	rng := sh.sim.Stream("core/audit/" + spec.Key)
-	var reports []apps.Report
+	reports := make([]apps.Report, 0, len(cluster.Nodes))
 	for _, n := range cluster.Nodes {
 		reports = append(reports, apps.Collect(n, rng))
 	}

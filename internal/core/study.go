@@ -371,11 +371,21 @@ func (st *Study) merge(shards []*shard) (*Results, error) {
 		ECCOn:   make(map[string]float64),
 		Hookups: make(map[string]map[int]time.Duration),
 	}
-	totalRuns := 0
+	totalRuns, totalEvents, totalFindings, totalIncidents := 0, 0, 0, 0
 	for _, sh := range shards {
 		totalRuns += len(sh.res.Runs)
+		totalEvents += sh.log.Len()
+		totalFindings += len(sh.res.Findings)
+		totalIncidents += sh.chaos.IncidentCount()
 	}
 	res.Runs = make([]RunRecord, 0, totalRuns)
+	st.Log.Reserve(totalEvents)
+	if totalFindings > 0 {
+		res.Findings = make([]apps.Finding, 0, totalFindings)
+	}
+	if totalIncidents > 0 {
+		res.Incidents = make([]Incident, 0, totalIncidents)
+	}
 	var offset time.Duration
 	var firstErr error
 	for _, sh := range shards {
@@ -400,6 +410,10 @@ func (st *Study) merge(shards []*shard) (*Results, error) {
 			firstErr = sh.err
 		}
 		offset += sh.sim.Now()
+		// A merged shard's private substrates are dead weight; dropping
+		// them as the merge streams through keeps the study's peak
+		// footprint near one shard's unmerged state, not the matrix's.
+		sh.log, sh.res, sh.meter, sh.prov, sh.build, sh.reg = nil, nil, nil, nil, nil, nil
 	}
 	// Leave the study clock at end-of-study so lag-dependent views
 	// (ReportedSpend, UnreportedSpend) read as they would have at the end

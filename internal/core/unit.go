@@ -117,6 +117,13 @@ func planUnit(seed uint64, spec apps.EnvSpec, m apps.Model, iterations int, hook
 	rng := sm.Stream(runStreamName(spec.Key, m.Name()))
 	u := &unitPlan{}
 	maxNodes := apps.MaxNodesFor(spec)
+	total := 0
+	for _, nodes := range spec.Scales {
+		if nodes <= maxNodes {
+			total += itersFor(spec, nodes, m.Name(), iterations)
+		}
+	}
+	u.runs = make([]plannedRun, 0, total)
 	for _, nodes := range spec.Scales {
 		if nodes > maxNodes {
 			continue // the assembly skips this scale; no draws happen
@@ -219,14 +226,32 @@ func (sh *shard) draw(appIdx int, m apps.Model, nodes, iter int) (apps.Result, t
 		pr, err := sh.planned[appIdx].take(m.Name(), nodes, iter)
 		return pr.result, pr.hookup, err
 	case drawLegacy:
-		rng := sh.sim.Stream(legacyRunStreamName(spec.Key))
+		if sh.legacyStream == nil {
+			sh.legacyStream = sh.sim.Stream(legacyRunStreamName(spec.Key))
+		}
+		rng := sh.legacyStream
 		r := m.Run(spec.Env, nodes, rng)
 		hk := sh.hookup.Hookup(spec.Provider, spec.Acc, spec.Kubernetes, nodes, rng)
 		return r, hk, nil
 	default: // drawInline
-		rng := sh.sim.Stream(runStreamName(spec.Key, m.Name()))
+		rng := sh.runStream(appIdx)
 		r := m.Run(spec.Env, nodes, rng)
 		hk := sh.hookup.Hookup(spec.Provider, spec.Acc, spec.Kubernetes, nodes, rng)
 		return r, hk, nil
 	}
+}
+
+// runStream returns the shard's cached per-application draw stream,
+// deriving it on first use. The cache is pure memoization of
+// sim.Stream(runStreamName(...)) — same stream object, same state.
+func (sh *shard) runStream(appIdx int) *sim.Stream {
+	if sh.runStreams == nil {
+		sh.runStreams = make([]*sim.Stream, len(sh.models))
+	}
+	if s := sh.runStreams[appIdx]; s != nil {
+		return s
+	}
+	s := sh.sim.Stream(runStreamName(sh.spec.Key, sh.models[appIdx].Name()))
+	sh.runStreams[appIdx] = s
+	return s
 }

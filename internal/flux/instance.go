@@ -19,6 +19,18 @@ type Instance struct {
 	nextJobID uint64
 	allocs    map[uint64]*Allocation
 	queue     []*pending
+
+	// Allocation scratch, reused across Submit/Release cycles so the
+	// matcher's candidate walks stop allocating. The graph's vertex set is
+	// immutable after construction (allocations only flip allocatedTo), so
+	// the node list is computed once; the leaf/claim buffers only ever
+	// alias in-flight search state — durable outputs are copied out.
+	nodes        []*Resource
+	coreScratch  []*Resource
+	gpuScratch   []*Resource
+	claimScratch []*Resource
+	nodeEpochs   []uint32 // per-node "used in this allocation" marks
+	epoch        uint32
 }
 
 type pending struct {
@@ -125,26 +137,70 @@ func (in *Instance) Spawn(name string, alloc *Allocation) (*Instance, error) {
 	if len(alloc.Nodes) == 0 {
 		return nil, fmt.Errorf("flux: allocation for job %d holds no whole nodes", alloc.JobID)
 	}
-	sub := &Resource{Type: ClusterRes, Name: name}
 	// The child gets fresh vertices mirroring the granted nodes, so its
-	// allocations never race the parent's bookkeeping.
+	// allocations never race the parent's bookkeeping. Like NewCluster,
+	// the clone is carved from one Resource arena and one Children
+	// backing array (names are shared string headers), so spawning a
+	// MiniCluster costs O(1) allocations instead of one per vertex.
+	total := 0
 	for _, n := range alloc.Nodes {
-		sub.Children = append(sub.Children, cloneTree(n))
+		total += countVertices(n)
+	}
+	arena := make([]Resource, total)
+	childBacking := make([]*Resource, total)
+	c := &cloner{arena: arena, backing: childBacking}
+
+	sub := &Resource{Type: ClusterRes, Name: name}
+	sub.Children = childBacking[0:0:len(alloc.Nodes)]
+	c.cur = len(alloc.Nodes)
+	for _, n := range alloc.Nodes {
+		sub.Children = append(sub.Children, c.clone(n))
 	}
 	return &Instance{Name: name, Root: sub, parent: in, depth: in.depth + 1,
 		allocs: make(map[uint64]*Allocation)}, nil
 }
 
-// cloneTree deep-copies a resource subtree with allocations cleared.
-func cloneTree(r *Resource) *Resource {
-	c := &Resource{Type: r.Type, Name: r.Name}
-	if len(r.Children) > 0 {
-		c.Children = make([]*Resource, 0, len(r.Children))
+// countVertices sizes a subtree for the clone arena.
+func countVertices(r *Resource) int {
+	n := 1
+	for _, c := range r.Children {
+		n += countVertices(c)
+	}
+	return n
+}
+
+// cloner deep-copies resource subtrees into a pre-sized arena with
+// allocations cleared.
+type cloner struct {
+	arena   []Resource
+	backing []*Resource
+	next    int // arena cursor
+	cur     int // backing cursor
+}
+
+func (c *cloner) clone(r *Resource) *Resource {
+	v := &c.arena[c.next]
+	c.next++
+	v.Type, v.Name = r.Type, r.Name
+	if n := len(r.Children); n > 0 {
+		v.Children = c.backing[c.cur : c.cur : c.cur+n]
+		c.cur += n
 		for _, ch := range r.Children {
-			c.Children = append(c.Children, cloneTree(ch))
+			v.Children = append(v.Children, c.clone(ch))
 		}
 	}
-	return c
+	return v
+}
+
+// nodesUnder returns the instance's node vertices, computed once: the
+// vertex set of a graph never changes after construction, only the
+// allocatedTo marks do.
+func (in *Instance) nodesUnder() []*Resource {
+	if in.nodes == nil {
+		in.nodes = in.Root.nodesUnder()
+		in.nodeEpochs = make([]uint32, len(in.nodes))
+	}
+	return in.nodes
 }
 
 // satisfiable checks whether the spec could ever fit the whole graph.
@@ -152,7 +208,7 @@ func (in *Instance) satisfiable(spec Jobspec) bool {
 	if spec.NodeExclusive {
 		// Need NumSlots nodes each big enough for one slot.
 		fit := 0
-		for _, n := range in.Root.nodesUnder() {
+		for _, n := range in.nodesUnder() {
 			if n.Count(CoreRes) >= spec.CoresPerSlot && n.Count(GPURes) >= spec.GPUsPerSlot {
 				fit++
 			}
@@ -163,41 +219,58 @@ func (in *Instance) satisfiable(spec Jobspec) bool {
 		in.Root.Count(GPURes) >= spec.TotalGPUs()
 }
 
-// tryAllocate attempts a first-fit placement of every slot.
+// tryAllocate attempts a first-fit placement of every slot. The
+// candidate search runs entirely on instance-owned scratch (leaf
+// buffers, claim list, node-used epochs); only the granted slots are
+// copied into durable exact-size slices on the returned Allocation.
 func (in *Instance) tryAllocate(id uint64, spec Jobspec) (*Allocation, bool) {
 	alloc := &Allocation{JobID: id, Spec: spec}
-	var claimed []*Resource
-	undo := func() {
-		for _, v := range claimed {
-			v.allocatedTo = 0
-		}
-	}
+	nodes := in.nodesUnder()
+	in.epoch++
+	claimed := in.claimScratch[:0]
 
-	nodes := in.Root.nodesUnder()
-	nodeUsed := map[*Resource]bool{}
+	// One exact-size backing holds every slot's vertex list: slots are
+	// uniform (the spec's shape plus the node vertex when exclusive), so
+	// a successful allocation costs two slice allocations, not NumSlots.
+	slotSize := spec.CoresPerSlot + spec.GPUsPerSlot
+	if spec.NodeExclusive {
+		slotSize++
+	}
+	vertBacking := make([]*Resource, 0, spec.NumSlots*slotSize)
+	alloc.Slots = make([][]*Resource, 0, spec.NumSlots)
+
 	for slot := 0; slot < spec.NumSlots; slot++ {
 		placed := false
-		for _, node := range nodes {
+		for ni, node := range nodes {
 			if node.allocatedTo != 0 {
 				continue
 			}
-			if spec.NodeExclusive && nodeUsed[node] {
+			nodeUsed := in.nodeEpochs[ni] == in.epoch
+			if spec.NodeExclusive && nodeUsed {
 				continue
 			}
-			cores := freeLeaves(node, CoreRes, spec.CoresPerSlot)
-			gpus := freeLeaves(node, GPURes, spec.GPUsPerSlot)
-			if cores == nil || gpus == nil {
+			cores := in.coreScratch[:0]
+			cores, ok := freeLeaves(node, CoreRes, spec.CoresPerSlot, cores)
+			in.coreScratch = cores
+			if !ok {
 				continue
 			}
-			vertices := make([]*Resource, 0, len(cores)+len(gpus)+1)
-			vertices = append(vertices, cores...)
-			vertices = append(vertices, gpus...)
+			gpus := in.gpuScratch[:0]
+			gpus, ok = freeLeaves(node, GPURes, spec.GPUsPerSlot, gpus)
+			in.gpuScratch = gpus
+			if !ok {
+				continue
+			}
+			start := len(vertBacking)
+			vertBacking = append(vertBacking, cores...)
+			vertBacking = append(vertBacking, gpus...)
 			if spec.NodeExclusive {
 				// Claim the whole node vertex: nothing else may co-tenant.
 				node.allocatedTo = id
 				claimed = append(claimed, node)
-				vertices = append(vertices, node)
+				vertBacking = append(vertBacking, node)
 			}
+			vertices := vertBacking[start:len(vertBacking):len(vertBacking)]
 			for _, v := range vertices {
 				if v != node {
 					v.allocatedTo = id
@@ -205,44 +278,51 @@ func (in *Instance) tryAllocate(id uint64, spec Jobspec) (*Allocation, bool) {
 				}
 			}
 			alloc.Slots = append(alloc.Slots, vertices)
-			if !nodeUsed[node] {
-				nodeUsed[node] = true
+			if !nodeUsed {
+				in.nodeEpochs[ni] = in.epoch
 				alloc.Nodes = append(alloc.Nodes, node)
 			}
 			placed = true
 			break
 		}
 		if !placed {
-			undo()
+			for _, v := range claimed {
+				v.allocatedTo = 0
+			}
+			in.claimScratch = claimed
 			return nil, false
 		}
 	}
+	in.claimScratch = claimed
 	return alloc, true
 }
 
-// freeLeaves collects n free leaves of a type under a node, or nil if
-// fewer exist.
-func freeLeaves(node *Resource, t ResourceType, n int) []*Resource {
+// freeLeaves appends up to n free leaves of a type under a node to out.
+// The boolean reports whether n were found; fewer means the node cannot
+// host the slot. n == 0 trivially succeeds with no leaves.
+func freeLeaves(node *Resource, t ResourceType, n int, out []*Resource) ([]*Resource, bool) {
 	if n == 0 {
-		return []*Resource{}
+		return out, true
 	}
-	out := make([]*Resource, 0, n)
-	var walk func(v *Resource, busy bool)
-	walk = func(v *Resource, busy bool) {
+	out = collectFreeLeaves(node, t, n, false, out)
+	return out, len(out) >= n
+}
+
+// collectFreeLeaves is freeLeaves' recursive walk, a plain function so
+// the hot path allocates no closure.
+func collectFreeLeaves(v *Resource, t ResourceType, n int, busy bool, out []*Resource) []*Resource {
+	if len(out) >= n {
+		return out
+	}
+	busy = busy || v.allocatedTo != 0
+	if v.Type == t && !busy {
+		out = append(out, v)
+	}
+	for _, c := range v.Children {
+		out = collectFreeLeaves(c, t, n, busy, out)
 		if len(out) >= n {
-			return
-		}
-		busy = busy || v.allocatedTo != 0
-		if v.Type == t && !busy {
-			out = append(out, v)
-		}
-		for _, c := range v.Children {
-			walk(c, busy)
+			break
 		}
 	}
-	walk(node, false)
-	if len(out) < n {
-		return nil
-	}
-	return out[:n]
+	return out
 }

@@ -47,16 +47,46 @@ type Resource struct {
 // The graph is the unit of work behind every cluster deployment the study
 // performs (one per environment × scale), and a 256-node CPU cluster
 // holds ~30k leaf vertices — so construction sits on the executor's
-// critical path. Vertex names are therefore assembled with strconv
-// appends into exact-capacity slices rather than fmt.Sprintf (same
-// strings, a fraction of the allocations), and leaf vertices are carved
-// from one bulk allocation per socket.
+// critical path. The whole graph is therefore carved out of three bulk
+// allocations: one Resource arena for every vertex, one backing array
+// every Children slice is a sub-slice of, and one string all vertex
+// names alias (each name is a slice of the concatenation of all of
+// them). The per-vertex strings and slices fmt/append construction
+// would allocate — ~140k objects per full study — collapse to O(1)
+// allocations per cluster, byte-identical names included.
 func NewCluster(name string, nodes, socketsPerNode, coresPerSocket, gpusPerSocket int) *Resource {
 	if nodes <= 0 || socketsPerNode <= 0 {
 		panic(fmt.Sprintf("flux: invalid cluster shape %d nodes × %d sockets", nodes, socketsPerNode))
 	}
-	cluster := &Resource{Type: ClusterRes, Name: name, Children: make([]*Resource, 0, nodes)}
-	buf := make([]byte, 0, len(name)+32)
+	leavesPerSocket := coresPerSocket + gpusPerSocket
+	sockets := nodes * socketsPerNode
+	leaves := sockets * leavesPerSocket
+	total := 1 + nodes + sockets + leaves
+
+	arena := make([]Resource, total)
+	childBacking := make([]*Resource, nodes+sockets+leaves)
+	// Every non-root name, concatenated in construction order into one
+	// exactly-sized builder (String() hands over the backing array
+	// without a copy, so there is no oversized transient and no retained
+	// slack); ends[i] is the end offset of vertex i's name (vertex 0 —
+	// the root — keeps the caller's name string).
+	var nameBuf strings.Builder
+	nameBuf.Grow(clusterNameBytes(len(name), nodes, socketsPerNode, coresPerSocket, gpusPerSocket))
+	ends := make([]int32, total)
+
+	cur := 0 // childBacking cursor
+	carve := func(n int) []*Resource {
+		s := childBacking[cur : cur+n : cur+n]
+		cur += n
+		return s
+	}
+
+	cluster := &arena[0]
+	cluster.Type, cluster.Name = ClusterRes, name
+	cluster.Children = carve(nodes)[:0]
+
+	idx := 1
+	buf := make([]byte, 0, len(name)+32) // scratch for the vertex under construction
 	for n := 0; n < nodes; n++ {
 		// name + "-node%03d"
 		buf = append(buf[:0], name...)
@@ -68,33 +98,96 @@ func NewCluster(name string, nodes, socketsPerNode, coresPerSocket, gpusPerSocke
 			}
 		}
 		buf = strconv.AppendInt(buf, int64(n), 10)
-		node := &Resource{Type: NodeRes, Name: string(buf), Children: make([]*Resource, 0, socketsPerNode)}
+		node := &arena[idx]
+		nameBuf.Write(buf)
+		ends[idx] = int32(nameBuf.Len())
+		idx++
+		node.Type = NodeRes
+		node.Children = carve(socketsPerNode)[:0]
 		nodeLen := len(buf)
 		for s := 0; s < socketsPerNode; s++ {
 			buf = append(buf[:nodeLen], "-s"...)
 			buf = strconv.AppendInt(buf, int64(s), 10)
-			socket := &Resource{Type: SocketRes, Name: string(buf), Children: make([]*Resource, 0, coresPerSocket+gpusPerSocket)}
+			socket := &arena[idx]
+			nameBuf.Write(buf)
+			ends[idx] = int32(nameBuf.Len())
+			idx++
+			socket.Type = SocketRes
+			socket.Children = carve(leavesPerSocket)[:0]
 			socketLen := len(buf)
-			leaves := make([]Resource, coresPerSocket+gpusPerSocket)
 			for c := 0; c < coresPerSocket; c++ {
 				buf = append(buf[:socketLen], "-c"...)
 				buf = strconv.AppendInt(buf, int64(c), 10)
-				leaf := &leaves[c]
-				leaf.Type, leaf.Name = CoreRes, string(buf)
+				leaf := &arena[idx]
+				nameBuf.Write(buf)
+				ends[idx] = int32(nameBuf.Len())
+				idx++
+				leaf.Type = CoreRes
 				socket.Children = append(socket.Children, leaf)
 			}
 			for g := 0; g < gpusPerSocket; g++ {
 				buf = append(buf[:socketLen], "-g"...)
 				buf = strconv.AppendInt(buf, int64(g), 10)
-				leaf := &leaves[coresPerSocket+g]
-				leaf.Type, leaf.Name = GPURes, string(buf)
+				leaf := &arena[idx]
+				nameBuf.Write(buf)
+				ends[idx] = int32(nameBuf.Len())
+				idx++
+				leaf.Type = GPURes
 				socket.Children = append(socket.Children, leaf)
 			}
 			node.Children = append(node.Children, socket)
 		}
 		cluster.Children = append(cluster.Children, node)
 	}
+
+	allNames := nameBuf.String()
+	for i := 1; i < total; i++ {
+		arena[i].Name = allNames[ends[i-1]:ends[i]]
+	}
 	return cluster
+}
+
+// clusterNameBytes computes the exact byte length of every non-root
+// vertex name in a uniform cluster, concatenated — so NewCluster's name
+// builder never over- or under-grows. Name shapes: node = name +
+// "-node%03d", socket = node + "-s%d", leaf = socket + "-c%d"/"-g%d".
+func clusterNameBytes(nameLen, nodes, socketsPerNode, coresPerSocket, gpusPerSocket int) int {
+	leavesPerSocket := coresPerSocket + gpusPerSocket
+	sdig := digitsSum(socketsPerNode)
+	cdig := digitsSum(coresPerSocket)
+	gdig := digitsSum(gpusPerSocket)
+	total := 0
+	for n := 0; n < nodes; n++ {
+		nl := nameLen + 5 + 3 // "-node" + %03d
+		if n >= 1000 {
+			nl = nameLen + 5 + digits(n)
+		}
+		// Socket names for this node sum to S; each of the node's
+		// leavesPerSocket×socketsPerNode leaves repeats its socket's name
+		// plus a 2-byte "-c"/"-g" tag and its own index digits.
+		s := socketsPerNode*(nl+2) + sdig
+		total += nl + s + leavesPerSocket*s + socketsPerNode*(2*leavesPerSocket+cdig+gdig)
+	}
+	return total
+}
+
+// digits returns the decimal width of a non-negative int.
+func digits(i int) int {
+	n := 1
+	for i >= 10 {
+		i /= 10
+		n++
+	}
+	return n
+}
+
+// digitsSum returns Σ digits(i) for i in [0, k).
+func digitsSum(k int) int {
+	s := 0
+	for i := 0; i < k; i++ {
+		s += digits(i)
+	}
+	return s
 }
 
 // Walk visits every vertex depth-first.

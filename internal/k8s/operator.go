@@ -3,6 +3,7 @@ package k8s
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sort"
 
 	"cloudhpc/internal/flux"
@@ -146,12 +147,13 @@ func (op *Operator) Reconcile(mc *MiniClusterResource) error {
 		return fmt.Errorf("%w: %d free nodes", ErrInsufficientNodes, len(free))
 	}
 	for rank := 0; rank < spec.Size; rank++ {
+		rankStr := strconv.Itoa(rank)
 		pod := &Pod{
-			Name: fmt.Sprintf("%s-%d", spec.Name, rank),
+			Name: spec.Name + "-" + rankStr,
 			Labels: map[string]string{
 				"app":  "flux-minicluster",
 				"name": spec.Name,
-				"rank": fmt.Sprint(rank),
+				"rank": rankStr,
 			},
 			Request: ResourceRequest{Cores: min(1, cores)},
 		}

@@ -47,15 +47,30 @@ type PodScheduler struct {
 	commit   map[string]ResourceRequest // node ID → committed
 	pods     map[string]*Pod
 	sequence int
+
+	// sorted caches the ID-ordered view Schedule walks; rebuilt whenever
+	// the node list's length changes (the only way the package — or its
+	// tests — alters membership), so per-pod scheduling stops re-sorting
+	// a fresh copy of the fleet.
+	sorted []*cloud.Node
 }
 
 // NewPodScheduler builds a scheduler over provisioned nodes.
 func NewPodScheduler(nodes []*cloud.Node) *PodScheduler {
 	return &PodScheduler{
 		nodes:  nodes,
-		commit: make(map[string]ResourceRequest),
+		commit: make(map[string]ResourceRequest, len(nodes)),
 		pods:   make(map[string]*Pod),
 	}
+}
+
+// sortedNodes returns the fleet sorted by node ID, cached between calls.
+func (ps *PodScheduler) sortedNodes() []*cloud.Node {
+	if len(ps.sorted) != len(ps.nodes) {
+		ps.sorted = append(ps.sorted[:0], ps.nodes...)
+		sort.Slice(ps.sorted, func(i, j int) bool { return ps.sorted[i].ID < ps.sorted[j].ID })
+	}
+	return ps.sorted
 }
 
 // capacityOf reads a node's allocatable resources (visible, not SKU —
@@ -80,9 +95,7 @@ func (ps *PodScheduler) Schedule(pod *Pod) error {
 	if _, dup := ps.pods[pod.Name]; dup {
 		return fmt.Errorf("k8s: pod %q already exists", pod.Name)
 	}
-	sorted := append([]*cloud.Node(nil), ps.nodes...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
-	for _, n := range sorted {
+	for _, n := range ps.sortedNodes() {
 		if !n.Healthy || !ps.fits(n, pod.Request) {
 			continue
 		}
@@ -199,7 +212,7 @@ func (c *DaemonSetController) Reconcile() (created, removed int, err error) {
 		}
 		c.sequencePod(n.ID)
 		pod := &Pod{
-			Name:   fmt.Sprintf("%s-%s", c.Set.Name, n.ID),
+			Name:   c.Set.Name + "-" + n.ID,
 			Labels: map[string]string{"daemonset": c.Set.Name},
 			// Daemonset pods are lightweight agents.
 			Request: ResourceRequest{Cores: 0},

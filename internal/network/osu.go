@@ -35,7 +35,11 @@ func SamplePairs(totalNodes, sampleNodes, maxPairs int, rng *sim.Stream) [][2]in
 	}
 	perm := rng.Perm(totalNodes)[:sampleNodes]
 	sort.Ints(perm)
-	var pairs [][2]int
+	n := sampleNodes * (sampleNodes - 1) / 2
+	if n > maxPairs {
+		n = maxPairs
+	}
+	pairs := make([][2]int, 0, n)
 	for i := 0; i < len(perm) && len(pairs) < maxPairs; i++ {
 		for j := i + 1; j < len(perm) && len(pairs) < maxPairs; j++ {
 			pairs = append(pairs, [2]int{perm[i], perm[j]})

@@ -4,11 +4,23 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"cloudhpc/internal/sim"
 	"cloudhpc/internal/trace"
 )
+
+// jobEventName builds "<verb> job <id>" — the simulator event labels the
+// scheduler stamps on every deferred transition. One small allocation
+// instead of fmt's verb parse + boxing; the label bytes are unchanged.
+func jobEventName(verb string, id int) string {
+	var a [32]byte
+	b := append(a[:0], verb...)
+	b = append(b, " job "...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	return string(b)
+}
 
 // Kind names a workload manager flavour.
 type Kind string
@@ -79,6 +91,17 @@ type Scheduler struct {
 
 	// Completed and failed jobs, in finish order.
 	done []*Job
+
+	// finishScratch is headEarliestStart's reusable sort buffer; backfill
+	// runs once per scheduling round, so the buffer never aliases live data.
+	finishScratch []jobFinish
+}
+
+// jobFinish is one running job's projected completion, for backfill's
+// shadow-time estimate.
+type jobFinish struct {
+	at    time.Duration
+	nodes int
 }
 
 // New builds a scheduler over a node pool.
@@ -126,8 +149,19 @@ func (sc *Scheduler) Submit(j *Job) error {
 	j.State = Pending
 	j.SubmittedAt = sc.sim.Now()
 	sc.queue = append(sc.queue, j)
-	sc.log.Addf(sc.sim.Now(), sc.cfg.Env, trace.Info, trace.Routine,
-		"%s: submitted job %d %q (%d nodes)", sc.cfg.Kind, j.ID, j.Name, j.Nodes)
+	// Hand-built "%s: submitted job %d %q (%d nodes)" — the single
+	// hottest log line of a study (one per run plus retries).
+	var a [96]byte
+	b := append(a[:0], sc.cfg.Kind...)
+	b = append(b, ": submitted job "...)
+	b = strconv.AppendInt(b, int64(j.ID), 10)
+	b = append(b, ' ')
+	b = strconv.AppendQuote(b, j.Name)
+	b = append(b, " ("...)
+	b = strconv.AppendInt(b, int64(j.Nodes), 10)
+	b = append(b, " nodes)"...)
+	sc.log.Add(trace.Event{At: sc.sim.Now(), Env: sc.cfg.Env,
+		Category: trace.Info, Severity: trace.Routine, Msg: string(b)})
 	sc.trySchedule()
 	return nil
 }
@@ -155,7 +189,7 @@ func (sc *Scheduler) launch(j *Job) {
 	}
 	j.estEnd = sc.sim.Now() + wait + j.WrapperTime()
 	sc.running[j.ID] = j
-	sc.sim.After(wait, fmt.Sprintf("start job %d", j.ID), func() { sc.start(j) })
+	sc.sim.After(wait, jobEventName("start", j.ID), func() { sc.start(j) })
 }
 
 // backfill starts later queued jobs that cannot delay the blocked head:
@@ -187,14 +221,11 @@ func (sc *Scheduler) backfill() {
 // running jobs' completion times until enough nodes free up. Returns that
 // time and the free nodes available then.
 func (sc *Scheduler) headEarliestStart(head *Job) (time.Duration, int) {
-	type finish struct {
-		at    time.Duration
-		nodes int
-	}
-	var finishes []finish
+	finishes := sc.finishScratch[:0]
 	for _, j := range sc.running {
-		finishes = append(finishes, finish{at: j.estEnd, nodes: j.Nodes})
+		finishes = append(finishes, jobFinish{at: j.estEnd, nodes: j.Nodes})
 	}
+	sc.finishScratch = finishes
 	sort.Slice(finishes, func(i, k int) bool { return finishes[i].at < finishes[k].at })
 	free := sc.free
 	for _, f := range finishes {
@@ -213,7 +244,7 @@ func (sc *Scheduler) start(j *Job) {
 		j.State = Stalled
 		sc.log.Addf(sc.sim.Now(), sc.cfg.Env, trace.Manual, trace.Unexpected,
 			"%s: job %d %q stalled at start; monitoring required", sc.cfg.Kind, j.ID, j.Name)
-		sc.sim.After(sc.cfg.StallNoticeDelay, fmt.Sprintf("kick job %d", j.ID), func() {
+		sc.sim.After(sc.cfg.StallNoticeDelay, jobEventName("kick", j.ID), func() {
 			sc.log.Addf(sc.sim.Now(), sc.cfg.Env, trace.Manual, trace.Unexpected,
 				"%s: kicked stalled job %d", sc.cfg.Kind, j.ID)
 			sc.run(j)
@@ -235,7 +266,7 @@ func (sc *Scheduler) run(j *Job) {
 	if sc.cfg.BadNodeProb > 0 && sc.rng.Bernoulli(sc.cfg.BadNodeProb) {
 		// Job dies partway through on a bad node.
 		dur = time.Duration(sc.rng.Uniform(0.1, 0.9) * float64(dur))
-		sc.sim.After(dur, fmt.Sprintf("finish job %d", j.ID), func() {
+		sc.sim.After(dur, jobEventName("finish", j.ID), func() {
 			sc.finish(j, fmt.Errorf("sched: job %d died on a bad node", j.ID), true)
 		})
 		return
@@ -243,13 +274,13 @@ func (sc *Scheduler) run(j *Job) {
 	if sc.faults != nil {
 		if frac, requeue, ok := sc.faults.JobFault(j.Name, j.Nodes, dur); ok {
 			cut := time.Duration(frac * float64(dur))
-			sc.sim.After(cut, fmt.Sprintf("finish job %d", j.ID), func() {
+			sc.sim.After(cut, jobEventName("finish", j.ID), func() {
 				sc.finish(j, fmt.Errorf("%w: job %d %q", ErrPreempted, j.ID, j.Name), requeue)
 			})
 			return
 		}
 	}
-	sc.sim.After(dur, fmt.Sprintf("finish job %d", j.ID), func() { sc.finish(j, nil, false) })
+	sc.sim.After(dur, jobEventName("finish", j.ID), func() { sc.finish(j, nil, false) })
 }
 
 // finish completes or fails a job, freeing nodes and — when requeue is
@@ -265,8 +296,20 @@ func (sc *Scheduler) finish(j *Job, failure error, requeue bool) {
 		if errors.Is(failure, ErrPreempted) {
 			verb = "preempted by a node reclaim"
 		}
-		sc.log.Addf(sc.sim.Now(), sc.cfg.Env, trace.Manual, trace.Unexpected,
-			"%s: job %d %q %s (retry %d)", sc.cfg.Kind, j.ID, j.Name, verb, j.Retries)
+		// Hand-built "%s: job %d %q %s (retry %d)".
+		var a [112]byte
+		b := append(a[:0], sc.cfg.Kind...)
+		b = append(b, ": job "...)
+		b = strconv.AppendInt(b, int64(j.ID), 10)
+		b = append(b, ' ')
+		b = strconv.AppendQuote(b, j.Name)
+		b = append(b, ' ')
+		b = append(b, verb...)
+		b = append(b, " (retry "...)
+		b = strconv.AppendInt(b, int64(j.Retries), 10)
+		b = append(b, ')')
+		sc.log.Add(trace.Event{At: sc.sim.Now(), Env: sc.cfg.Env,
+			Category: trace.Manual, Severity: trace.Unexpected, Msg: string(b)})
 		if requeue && j.Retries < sc.cfg.MaxRetries {
 			retry := &Job{
 				Name: j.Name, Nodes: j.Nodes, Duration: j.Duration,

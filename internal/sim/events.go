@@ -42,12 +42,32 @@ func (h *eventHeap) Pop() any {
 type EventQueue struct {
 	h   eventHeap
 	seq int
+
+	// free recycles executed Event structs (Simulation.Step returns them
+	// via recycle once their Fn has run); a steady-state simulation then
+	// allocates one Event per level of queue depth, not one per schedule.
+	free []*Event
 }
 
 // Schedule enqueues fn to run at virtual time at.
 func (q *EventQueue) Schedule(at time.Duration, name string, fn func()) {
 	q.seq++
-	heap.Push(&q.h, &Event{At: at, Name: name, Fn: fn, seq: q.seq})
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e, q.free = q.free[n-1], q.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	*e = Event{At: at, Name: name, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+}
+
+// recycle returns an executed event to the freelist. Only safe once no
+// caller retains the pointer — Simulation.Step calls it after running Fn;
+// external Pop callers simply never feed the freelist.
+func (q *EventQueue) recycle(e *Event) {
+	*e = Event{}
+	q.free = append(q.free, e)
 }
 
 // Len reports the number of pending events.

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled gates the AllocsPerRun regression tests: race
+// instrumentation adds allocations of its own, so the hard per-op
+// ceilings only hold in non-race runs.
+const raceEnabled = true

@@ -90,8 +90,19 @@ func (s *Stream) Jitter(base, rel float64) float64 {
 func (s *Stream) Bernoulli(p float64) bool { return s.Float64() < p }
 
 // Perm returns a random permutation of [0, n).
-func (s *Stream) Perm(n int) []int {
-	p := make([]int, n)
+func (s *Stream) Perm(n int) []int { return s.PermInto(nil, n) }
+
+// PermInto writes a random permutation of [0, n) into buf's backing
+// array (growing it only when the capacity is short) and returns it —
+// the draw-scratch form for hot loops that permute repeatedly. The draw
+// sequence is identical to Perm's.
+func (s *Stream) PermInto(buf []int, n int) []int {
+	var p []int
+	if cap(buf) >= n {
+		p = buf[:n]
+	} else {
+		p = make([]int, n)
+	}
 	for i := range p {
 		p[i] = i
 	}

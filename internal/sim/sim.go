@@ -50,6 +50,7 @@ func (s *Simulation) Step() bool {
 	}
 	s.Clock.AdvanceTo(e.At)
 	e.Fn()
+	s.Queue.recycle(e)
 	return true
 }
 

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Allocation-regression pins for the hot-path rework: the shard inner
+// loop calls Add per event and the study merge calls AppendShifted per
+// shard, so their allocation behaviour is part of the executor's
+// performance contract. The ceilings are hard numbers, race-gated like
+// internal/jsonl's, because race instrumentation allocates on its own.
+
+func testLog(n int) *Log {
+	l := NewLog()
+	for i := 0; i < n; i++ {
+		l.Add(Event{At: time.Duration(i) * time.Second, Env: "aws-eks-gpu",
+			Category: Setup, Severity: Routine, Msg: "step"})
+	}
+	return l
+}
+
+func TestAddAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are off under -race")
+	}
+	l := NewLog()
+	l.Reserve(1000)
+	ev := Event{Env: "e", Category: Info, Severity: Routine, Msg: "m"}
+	if got := testing.AllocsPerRun(500, func() { l.Add(ev) }); got > 0 {
+		t.Errorf("Add into reserved capacity allocates %.1f/op, want 0", got)
+	}
+}
+
+func TestSnapshotReadAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are off under -race")
+	}
+	l := testLog(256)
+	if got := testing.AllocsPerRun(100, func() { l.TotalCost("") }); got > 0 {
+		t.Errorf("TotalCost allocates %.1f/op, want 0 (snapshot read)", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		l.All(func(Event) bool { return true })
+	}); got > 0 {
+		t.Errorf("All allocates %.1f/op, want 0 (snapshot read)", got)
+	}
+}
+
+func TestAppendShiftedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are off under -race")
+	}
+	src := testLog(128)
+	dst := NewLog()
+	dst.Reserve(128 * 200)
+	// One grow already done: merging into reserved capacity is alloc-free.
+	if got := testing.AllocsPerRun(100, func() { dst.AppendShifted(src, time.Hour) }); got > 0 {
+		t.Errorf("AppendShifted into reserved capacity allocates %.1f/op, want 0", got)
+	}
+}
+
+func TestSeverityStringAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are off under -race")
+	}
+	sevs := []Severity{Routine, Unexpected, Blocking}
+	if got := testing.AllocsPerRun(100, func() {
+		for _, s := range sevs {
+			_ = s.String()
+		}
+	}); got > 0 {
+		t.Errorf("Severity.String allocates %.1f/op on valid values, want 0", got)
+	}
+}
+
+func TestRenderMatchesFmtLayout(t *testing.T) {
+	// The hand-built Render must stay byte-identical to the historical
+	// fmt form; pin a representative sample, including an over-width env
+	// (fmt pads but never truncates) and a cost suffix.
+	l := NewLog()
+	l.Add(Event{At: 90 * time.Second, Env: "gce-gke-gpu", Category: Setup, Severity: Routine, Msg: "cluster up"})
+	l.Add(Event{At: 3*time.Hour + 250*time.Millisecond, Env: "a-very-long-environment-key-over-24",
+		Category: Manual, Severity: Blocking, Msg: "stuck"})
+	l.Add(Event{At: time.Minute, Env: "aws-eks-cpu", Category: Billing, Severity: Routine,
+		Msg: "charge", Cost: 12.5})
+	got := l.Render()
+	want := strings.Join([]string{
+		"     1m30s  gce-gke-gpu              setup                routine    cluster up",
+		" 3h0m0.25s  a-very-long-environment-key-over-24 manual-intervention  blocking   stuck",
+		"      1m0s  aws-eks-cpu              billing              routine    charge ($12.50)",
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("Render drifted from the fmt layout:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func BenchmarkTraceLogAdd(b *testing.B) {
+	l := NewLog()
+	l.Reserve(b.N)
+	ev := Event{Env: "aws-eks-gpu", Category: Setup, Severity: Routine, Msg: "step"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(ev)
+	}
+}
+
+func BenchmarkTraceLogAppendShifted(b *testing.B) {
+	src := testLog(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := NewLog()
+		dst.AppendShifted(src, time.Hour)
+	}
+}
+
+func BenchmarkTraceLogRender(b *testing.B) {
+	l := testLog(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Render()
+	}
+}

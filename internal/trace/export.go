@@ -40,7 +40,7 @@ func (s *severityName) UnmarshalJSON(b []byte) error {
 
 // MarshalJSONL encodes the log as JSON lines in insertion order.
 func (l *Log) MarshalJSONL() ([]byte, error) {
-	events := l.Events()
+	events := l.snapshot()
 	out := make([]eventJSON, len(events))
 	for i, e := range events {
 		out[i] = eventJSON{

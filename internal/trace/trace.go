@@ -13,7 +13,9 @@ package trace
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -62,7 +64,7 @@ func (s Severity) String() string {
 	case Blocking:
 		return "blocking"
 	default:
-		return fmt.Sprintf("severity(%d)", int(s))
+		return "severity(" + strconv.Itoa(int(s)) + ")"
 	}
 }
 
@@ -104,23 +106,57 @@ func (l *Log) Addf(at time.Duration, env string, cat Category, sev Severity, for
 // starting at zero, and the merger lays the shards end to end by passing
 // the accumulated duration of all earlier shards as shift. src is read via
 // its own lock, so a quiescent shard log may be merged while other shards
-// are still writing to theirs.
+// are still writing to theirs. The destination grows exactly once and the
+// shift is applied as the events are copied in — no intermediate copy of
+// src is taken.
 func (l *Log) AppendShifted(src *Log, shift time.Duration) {
-	events := src.Events()
+	events := src.snapshot()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.events = slices.Grow(l.events, len(events))
 	for _, e := range events {
 		e.At += shift
 		l.events = append(l.events, e)
 	}
 }
 
-// Events returns a copy of all events in insertion order.
-func (l *Log) Events() []Event {
+// Reserve grows the log's capacity so at least n more events can be added
+// without reallocating. Shard executors call it with the partition plan's
+// event estimate before the inner loop starts.
+func (l *Log) Reserve(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	l.events = slices.Grow(l.events, n)
+}
+
+// snapshot returns the current events without copying. The log is
+// append-only and no method mutates a published element in place, so the
+// prefix returned here is immutable: later Adds may only write beyond its
+// length (the capacity is clipped so appends by the caller cannot either).
+// This is the read path every accessor shares; only the exported Events
+// pays for a defensive copy.
+func (l *Log) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events[:len(l.events):len(l.events)]
+}
+
+// All calls yield for every event in insertion order, stopping early if
+// yield returns false. It reads a locked snapshot and holds no lock while
+// iterating, so yield may itself use the log.
+func (l *Log) All(yield func(Event) bool) {
+	for _, e := range l.snapshot() {
+		if !yield(e) {
+			return
+		}
+	}
+}
+
+// Events returns a copy of all events in insertion order.
+func (l *Log) Events() []Event {
+	snap := l.snapshot()
+	out := make([]Event, len(snap))
+	copy(out, snap)
 	return out
 }
 
@@ -134,7 +170,7 @@ func (l *Log) Len() int {
 // ByEnv returns events for one environment, in insertion order.
 func (l *Log) ByEnv(env string) []Event {
 	var out []Event
-	for _, e := range l.Events() {
+	for _, e := range l.snapshot() {
 		if e.Env == env {
 			out = append(out, e)
 		}
@@ -145,7 +181,7 @@ func (l *Log) ByEnv(env string) []Event {
 // Filter returns events matching the predicate, in insertion order.
 func (l *Log) Filter(keep func(Event) bool) []Event {
 	var out []Event
-	for _, e := range l.Events() {
+	for _, e := range l.snapshot() {
 		if keep(e) {
 			out = append(out, e)
 		}
@@ -156,7 +192,7 @@ func (l *Log) Filter(keep func(Event) bool) []Event {
 // Envs returns the sorted set of environment keys present in the log.
 func (l *Log) Envs() []string {
 	set := map[string]bool{}
-	for _, e := range l.Events() {
+	for _, e := range l.snapshot() {
 		if e.Env != "" {
 			set[e.Env] = true
 		}
@@ -173,7 +209,7 @@ func (l *Log) Envs() []string {
 // single environment ("" means all).
 func (l *Log) TotalCost(env string) float64 {
 	var sum float64
-	for _, e := range l.Events() {
+	for _, e := range l.snapshot() {
 		if env == "" || e.Env == env {
 			sum += e.Cost
 		}
@@ -181,15 +217,45 @@ func (l *Log) TotalCost(env string) float64 {
 	return sum
 }
 
-// Render formats the log as a human-readable transcript, one event per line.
+// Render formats the log as a human-readable transcript, one event per
+// line. The layout is hand-built but byte-identical to the historical
+// fmt form "%10s  %-24s %-20s %-10s %s" (plus " ($%.2f)" when a cost is
+// attached): fmt's %Ns pads with spaces and never truncates.
 func (l *Log) Render() string {
+	events := l.snapshot()
 	var b strings.Builder
-	for _, e := range l.Events() {
-		fmt.Fprintf(&b, "%10s  %-24s %-20s %-10s %s", e.At, e.Env, e.Category, e.Severity, e.Msg)
+	size := 0
+	for _, e := range events {
+		size += 64 + len(e.Env) + len(e.Msg)
+	}
+	b.Grow(size)
+	for _, e := range events {
+		at := e.At.String()
+		for i := len(at); i < 10; i++ {
+			b.WriteByte(' ')
+		}
+		b.WriteString(at)
+		b.WriteString("  ")
+		writePadded(&b, e.Env, 24)
+		writePadded(&b, string(e.Category), 20)
+		writePadded(&b, e.Severity.String(), 10)
+		b.WriteString(e.Msg)
 		if e.Cost != 0 {
-			fmt.Fprintf(&b, " ($%.2f)", e.Cost)
+			b.WriteString(" ($")
+			b.Write(strconv.AppendFloat(make([]byte, 0, 16), e.Cost, 'f', 2, 64))
+			b.WriteString(")")
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// writePadded writes s left-justified in a field of width w, followed by
+// a single separating space (the literal space between fmt verbs above).
+func writePadded(b *strings.Builder, s string, w int) {
+	b.WriteString(s)
+	for i := len(s); i < w; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte(' ')
 }

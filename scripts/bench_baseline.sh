@@ -9,6 +9,10 @@
 #	  'cold = full compute + serialize into a fresh on-disk store; warm = whole-study decode from the store, no simulation; compare the cold/warm ratio, not absolutes' \
 #	  > BENCH_store.json
 #
+# A third argument narrows (or widens) the package list; the default
+# covers the root executor benchmarks plus the hot-path microbenches
+# (trace log, draw streams) so the committed baseline pins both layers.
+#
 # Run from the repo root:
 #
 #	sh scripts/bench_baseline.sh > BENCH_baseline.json
@@ -17,14 +21,16 @@
 # numbers on purpose) and note the machine in the "host" field.
 set -e
 
-pattern="${1:-BenchmarkFullStudy\$|BenchmarkFullStudyGranularity|BenchmarkUnitPrecompute}"
+pattern="${1:-BenchmarkFullStudy\$|BenchmarkFullStudyGranularity|BenchmarkUnitPrecompute|BenchmarkTraceLog|BenchmarkStreamDraws}"
 note="${2:-full-study executor wall-clock baseline; ns_per_op medians move with hardware — compare shapes, not absolutes}"
+packages="${3:-. ./internal/trace ./internal/sim}"
 
 # The note reaches awk via the environment (awk -v mangles backslash
 # escapes) and is JSON-escaped before interpolation.
 BENCH_NOTE="$note"
 export BENCH_NOTE
-go test -run XXX -bench "$pattern" -benchtime=10x -benchmem 2>/dev/null |
+# $packages is intentionally unquoted: it is a space-separated list.
+go test -run XXX -bench "$pattern" -benchtime=10x -benchmem $packages 2>/dev/null |
 awk '
 BEGIN {
 	note = ENVIRON["BENCH_NOTE"]

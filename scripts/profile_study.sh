@@ -1,0 +1,29 @@
+#!/bin/sh
+# One-command profile of a full study run: builds cmd/report, runs it
+# with -cpuprofile/-memprofile (the cli-layer hooks), and prints the
+# pprof top tables for CPU and allocated space. Every perf PR starts
+# from this evidence — attack whatever is at the top, not a hunch.
+#
+# Usage (from the repo root):
+#
+#	sh scripts/profile_study.sh              # default study
+#	sh scripts/profile_study.sh -workers 4   # extra report flags pass through
+#
+# Profiles and the rendered report land in a temp directory that is
+# printed at the end, so `go tool pprof` can re-examine them
+# interactively (e.g. -http=:8080, or -top -sample_index=alloc_objects).
+set -e
+
+dir="$(mktemp -d "${TMPDIR:-/tmp}/profile_study.XXXXXX")"
+go build -o "$dir/report" ./cmd/report
+"$dir/report" -cpuprofile "$dir/cpu.out" -memprofile "$dir/mem.out" \
+	-o "$dir/report.md" "$@"
+
+echo
+echo "=== CPU (top 15) ==="
+go tool pprof -top -nodecount=15 "$dir/report" "$dir/cpu.out"
+echo
+echo "=== Allocated space (top 15) ==="
+go tool pprof -top -nodecount=15 -sample_index=alloc_space "$dir/report" "$dir/mem.out"
+echo
+echo "profiles: $dir/cpu.out $dir/mem.out (report: $dir/report.md)"
