@@ -11,13 +11,17 @@ package cloudhpc
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"cloudhpc/internal/apps"
 	"cloudhpc/internal/cloud"
 	"cloudhpc/internal/core"
+	"cloudhpc/internal/fleet"
 	"cloudhpc/internal/network"
 	"cloudhpc/internal/sim"
 	"cloudhpc/internal/trace"
@@ -36,6 +40,33 @@ func studyResults(b *testing.B) *core.Results {
 	return res
 }
 
+// reportPeakRSS attaches the process's peak resident set (VmHWM from
+// /proc/self/status, Linux only) as a custom metric, giving
+// scripts/bench_baseline.sh a memory axis without needing an external
+// time(1) binary. The high-water mark is process-wide and monotone, so
+// within one `go test -bench` invocation the value reflects the peak up
+// to the end of this benchmark — run benchmarks in isolation (as the
+// baseline script's regexes do) when the absolute number matters.
+func reportPeakRSS(b *testing.B) {
+	b.Helper()
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return // not Linux: skip the axis rather than fail the bench
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		rest, ok := strings.CutPrefix(line, "VmHWM:")
+		if !ok {
+			continue
+		}
+		if f := strings.Fields(rest); len(f) > 0 {
+			if kb, err := strconv.ParseFloat(f[0], 64); err == nil {
+				b.ReportMetric(kb, "peakRSS-kB")
+			}
+		}
+		return
+	}
+}
+
 // BenchmarkFullStudy times the entire 13-environment, 11-application,
 // 5-iteration study — the producer of every artifact below — at the
 // default worker count (one shard per environment over runtime.NumCPU()
@@ -52,6 +83,7 @@ func BenchmarkFullStudy(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(res.Runs)), "runs")
 	}
+	reportPeakRSS(b)
 }
 
 // BenchmarkFullStudyWorkers sweeps the executor's worker count. The
@@ -106,6 +138,7 @@ func BenchmarkFullStudyGranularity(b *testing.B) {
 					}
 					b.ReportMetric(float64(len(res.Runs)), "runs")
 				}
+				reportPeakRSS(b)
 			})
 		}
 	}
@@ -135,6 +168,7 @@ func BenchmarkUnitPrecompute(b *testing.B) {
 		}
 		b.ReportMetric(float64(units), "units")
 	}
+	reportPeakRSS(b)
 }
 
 // --- Tables ---
@@ -535,6 +569,7 @@ func BenchmarkStudyStoreCold(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportPeakRSS(b)
 }
 
 func BenchmarkStudyStoreWarm(b *testing.B) {
@@ -559,6 +594,7 @@ func BenchmarkStudyStoreWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportPeakRSS(b)
 }
 
 // BenchmarkRunnerStudyCold and BenchmarkRunnerStudySubscribed quantify
@@ -618,4 +654,40 @@ func benchRunnerStudy(b *testing.B, subscribe bool) {
 		}
 		b.ReportMetric(float64(len(res.Runs)), "runs")
 	}
+	reportPeakRSS(b)
+}
+
+// BenchmarkFleetLocalFallback is BenchmarkRunnerStudyCold's workload
+// with a fleet coordinator attached but no workers registered: every
+// unit's offload takes the zero-live-workers fast path and computes
+// locally. The acceptance bar is parity within noise (≤2%) of the
+// runner-cold number — an attached-but-empty fleet must cost one mutex
+// acquisition per unit, nothing more. scripts/bench_baseline.sh turns
+// the pair into BENCH_fleet.json.
+func BenchmarkFleetLocalFallback(b *testing.B) {
+	defer core.SetDefaultResultStore(nil)
+	defer core.FlushCachedRuns()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rs, err := core.OpenResultStore(filepath.Join(b.TempDir(), fmt.Sprintf("store-%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.Logf = nil
+		core.FlushCachedRuns()
+		co := fleet.New(fleet.Options{}, rs)
+		r := &core.Runner{Store: rs, Fleet: co}
+		b.StartTimer()
+		res, err := r.Run(context.Background(), core.DefaultSpec(2025))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s := co.Stats()
+		co.Close()
+		b.StartTimer()
+		b.ReportMetric(float64(len(res.Runs)), "runs")
+		b.ReportMetric(float64(s.Fallbacks), "fallbacks")
+	}
+	reportPeakRSS(b)
 }

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -169,9 +170,31 @@ func ServeSync(ctx context.Context, url, dir string, logf func(format string, ar
 }
 
 // ServeShutdown asks a running daemon to drain and exit, returning once
-// the drain has completed.
-func ServeShutdown(ctx context.Context, url string) error {
-	return (&rpc.Client{URL: url}).Shutdown(ctx)
+// the drain has completed. The daemon's post-drain health snapshot —
+// its closing session and fleet tallies — is printed to out as JSON.
+func ServeShutdown(ctx context.Context, url string, out io.Writer) error {
+	res, err := (&rpc.Client{URL: url}).Shutdown(ctx)
+	if err != nil {
+		return err
+	}
+	if res.Health != nil && out != nil {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Health); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeWorker is cmd/serve's -worker mode: a remote unit worker that
+// registers with a coordinating daemon and loops claim → compute → push
+// until interrupted. SIGTERM and SIGINT drain: the in-flight unit (if
+// any) finishes and is delivered before the process exits 0.
+func ServeWorker(url string, info rpc.Implementation, logf func(format string, args ...any)) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return rpc.RunWorker(ctx, &rpc.Client{URL: url}, info, logf)
 }
 
 // IsInterruptOrClosed extends IsInterrupt for client streams cut by a

@@ -1,0 +1,672 @@
+// Package fleet is the coordination half of distributed unit execution:
+// a lease table between the executor's unit dispatch (core.FleetDelegate)
+// and a fleet of remote worker processes speaking the rpc layer's
+// fleet.* method family.
+//
+// The shape is deliberately simple — the hard determinism problems are
+// already solved below this layer. UnitKey makes a unit a pure function
+// of its work tuple, the result store's content addressing makes
+// duplicate completions dedup to identical bytes, and AcceptUnit
+// verifies every pushed artifact against the exact draw schedule before
+// a ref lands. What is left for the coordinator is pure liveness
+// bookkeeping:
+//
+//	pending ──claim──▶ leased ──complete──▶ done
+//	   ▲                 │
+//	   └──requeue────────┘  (expiry, nack, rejected artifact;
+//	        capped attempts, jittered backoff; cap ⇒ failed)
+//
+// Every path out of the table degrades to local compute — a study with a
+// fleet attached can stall on it for at most the straggler deadline per
+// unit, and a dead fleet (zero live workers) is bypassed per unit with
+// one mutex acquisition, which is why an attached-but-empty fleet costs
+// ~nothing over plain local execution (BenchmarkFleetLocalFallback).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cloudhpc/internal/core"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultLeaseTTL     = 15 * time.Second
+	DefaultMaxAttempts  = 3
+	DefaultStraggler    = time.Minute
+	DefaultRequeueDelay = 500 * time.Millisecond
+	DefaultMaxClaimWait = 30 * time.Second
+)
+
+// Coordinator errors, mapped onto the lease-protocol RPC codes by the
+// rpc layer.
+var (
+	ErrClosed        = errors.New("fleet: coordinator closed")
+	ErrUnknownWorker = errors.New("fleet: unknown worker")
+	ErrUnknownLease  = errors.New("fleet: unknown lease")
+)
+
+// Options tunes the lease table. The zero value uses the defaults above.
+type Options struct {
+	// LeaseTTL is how long a claimed unit stays leased without a
+	// heartbeat before it re-queues.
+	LeaseTTL time.Duration
+	// MaxAttempts caps how many leases one unit may burn (expiries,
+	// nacks, rejected artifacts) before the coordinator gives up on the
+	// fleet and the waiting shard computes the unit locally.
+	MaxAttempts int
+	// Straggler is the longest one Offload call blocks waiting for a
+	// remote result before falling back to local compute — the bound
+	// that guarantees a wedged fleet can never wedge a study. An
+	// abandoned unit stays in the table: a late verified completion
+	// still lands and warms the store for the next study.
+	Straggler time.Duration
+	// RequeueDelay is the base of the jittered exponential backoff a
+	// re-queued unit waits before it may be claimed again.
+	RequeueDelay time.Duration
+	// MaxClaimWait caps a claim long-poll server-side, whatever the
+	// worker asks for.
+	MaxClaimWait time.Duration
+	// LivenessWindow is how recently a worker must have spoken (register,
+	// claim, heartbeat, complete) to count as live. Zero derives it from
+	// the claim-poll cadence: max(4×LeaseTTL, 2×MaxClaimWait).
+	LivenessWindow time.Duration
+}
+
+func (o Options) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (o Options) straggler() time.Duration {
+	if o.Straggler > 0 {
+		return o.Straggler
+	}
+	return DefaultStraggler
+}
+
+func (o Options) requeueDelay() time.Duration {
+	if o.RequeueDelay > 0 {
+		return o.RequeueDelay
+	}
+	return DefaultRequeueDelay
+}
+
+func (o Options) maxClaimWait() time.Duration {
+	if o.MaxClaimWait > 0 {
+		return o.MaxClaimWait
+	}
+	return DefaultMaxClaimWait
+}
+
+func (o Options) livenessWindow() time.Duration {
+	if o.LivenessWindow > 0 {
+		return o.LivenessWindow
+	}
+	w := 4 * o.leaseTTL()
+	if m := 2 * o.maxClaimWait(); m > w {
+		w = m
+	}
+	return w
+}
+
+// Acceptor verifies and admits one pushed unit artifact — implemented by
+// core.ResultStore.AcceptUnit. An error refuses the artifact and
+// re-queues the lease.
+type Acceptor interface {
+	AcceptUnit(work core.UnitWork, manifestDigest string) error
+}
+
+// Stats is a point-in-time snapshot of the lease table, the fleet half
+// of the daemon's /healthz report.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	LiveWorkers int   `json:"liveWorkers"`
+	Pending     int   `json:"pending"`
+	Leased      int   `json:"leased"`
+	Completed   int64 `json:"completed"`
+	Requeued    int64 `json:"requeued"`
+	Expired     int64 `json:"expired"`
+	Nacked      int64 `json:"nacked"`
+	Rejected    int64 `json:"rejected"`
+	Fallbacks   int64 `json:"fallbacks"`
+}
+
+// Assignment is one claimed unit: the work tuple plus its lease.
+type Assignment struct {
+	Work  core.UnitWork
+	Lease string
+	TTL   time.Duration
+}
+
+// Registration is the coordinator's half of the fleet.register
+// handshake.
+type Registration struct {
+	Worker string
+	// TTL is the lease TTL; Heartbeat the suggested heartbeat cadence
+	// (TTL/3); MaxWait the server-side claim long-poll cap.
+	TTL, Heartbeat, MaxWait time.Duration
+}
+
+type unitState int
+
+const (
+	statePending unitState = iota
+	stateLeased
+	stateDone
+)
+
+// waiter is one blocked Offload call: a buffered outcome channel plus
+// the session-observation callback for lease-lifecycle events.
+type waiter struct {
+	ch      chan bool
+	observe func(core.EventKind)
+}
+
+type unit struct {
+	work      core.UnitWork
+	state     unitState
+	attempts  int
+	notBefore time.Time // backoff gate while pending
+	waiters   []*waiter
+	lease     string
+	worker    string
+	deadline  time.Time
+	expire    *time.Timer
+}
+
+func (u *unit) observeAll(kind core.EventKind) {
+	for _, w := range u.waiters {
+		if w.observe != nil {
+			w.observe(kind)
+		}
+	}
+}
+
+type workerInfo struct {
+	name     string
+	version  string
+	lastSeen time.Time
+}
+
+// Coordinator is the lease table. Safe for concurrent use by any number
+// of Offload callers (executor shards) and RPC connections (workers).
+type Coordinator struct {
+	opts   Options
+	accept Acceptor
+
+	mu         sync.Mutex
+	closed     bool
+	units      map[string]*unit
+	queue      []string          // pending unit keys, claim order
+	leases     map[string]string // lease ID → unit key
+	workers    map[string]*workerInfo
+	wake       chan struct{} // closed+replaced on new work and on Close
+	nextWorker int
+	nextLease  int
+	rng        *rand.Rand
+
+	completed, requeued, expired, nacked, rejected, fallbacks int64
+}
+
+// New builds a coordinator that admits artifacts through accept
+// (normally the daemon store's AcceptUnit).
+func New(opts Options, accept Acceptor) *Coordinator {
+	return &Coordinator{
+		opts:    opts,
+		accept:  accept,
+		units:   make(map[string]*unit),
+		leases:  make(map[string]string),
+		workers: make(map[string]*workerInfo),
+		wake:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// wakeLocked wakes every parked claim long-poll.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	window := c.opts.livenessWindow()
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= window {
+			n++
+		}
+	}
+	return n
+}
+
+// Register admits one worker after a version handshake (done at the rpc
+// layer) and returns its identity and the protocol timings.
+func (c *Coordinator) Register(name, version string) (Registration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Registration{}, ErrClosed
+	}
+	c.nextWorker++
+	id := fmt.Sprintf("W%d", c.nextWorker)
+	c.workers[id] = &workerInfo{name: name, version: version, lastSeen: time.Now()}
+	// New capacity: pending units parked behind a zero-live-worker fleet
+	// are now claimable, and parked claimants are none — but an Offload
+	// arriving after this sees the worker immediately.
+	ttl := c.opts.leaseTTL()
+	return Registration{Worker: id, TTL: ttl, Heartbeat: ttl / 3, MaxWait: c.opts.maxClaimWait()}, nil
+}
+
+// Offload implements core.FleetDelegate: publish the unit, wait for a
+// verified remote completion, or report false so the caller computes
+// locally. False is always prompt-ish: the straggler deadline bounds the
+// wait, a closed coordinator or a fleet with zero live workers answers
+// in one mutex acquisition, and ctx cancellation unblocks immediately.
+func (c *Coordinator) Offload(ctx context.Context, work core.UnitWork, observe func(core.EventKind)) bool {
+	c.mu.Lock()
+	now := time.Now()
+	if c.closed || c.liveWorkersLocked(now) == 0 {
+		c.fallbacks++
+		c.mu.Unlock()
+		return false
+	}
+	u, ok := c.units[work.Key]
+	if !ok {
+		u = &unit{work: work, state: statePending}
+		c.units[work.Key] = u
+		c.queue = append(c.queue, work.Key)
+		c.wakeLocked()
+	} else if u.state == stateDone {
+		// Another study's shard already completed this key remotely.
+		c.mu.Unlock()
+		return true
+	}
+	w := &waiter{ch: make(chan bool, 1), observe: observe}
+	u.waiters = append(u.waiters, w)
+	c.mu.Unlock()
+
+	straggler := time.NewTimer(c.opts.straggler())
+	defer straggler.Stop()
+	select {
+	case ok := <-w.ch:
+		if !ok {
+			c.mu.Lock()
+			c.fallbacks++
+			c.mu.Unlock()
+		}
+		return ok
+	case <-straggler.C:
+	case <-ctx.Done():
+	}
+	// Straggler deadline or cancellation: detach this waiter and fall
+	// back. The unit stays in the table — a late verified completion
+	// still lands in the store for the next study.
+	c.mu.Lock()
+	if u := c.units[work.Key]; u != nil {
+		for i, other := range u.waiters {
+			if other == w {
+				u.waiters = append(u.waiters[:i], u.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	c.fallbacks++
+	c.mu.Unlock()
+	// The outcome may have been delivered while we were detaching.
+	select {
+	case ok := <-w.ch:
+		return ok
+	default:
+		return false
+	}
+}
+
+// Claim hands the worker one pending unit, long-polling up to wait
+// (capped by MaxClaimWait) when the table is empty. A nil Assignment
+// with nil error means the poll elapsed with nothing to do — poll again.
+// ErrClosed means the coordinator shut down and the worker should drain.
+func (c *Coordinator) Claim(ctx context.Context, workerID string, wait time.Duration) (*Assignment, error) {
+	if max := c.opts.maxClaimWait(); wait <= 0 || wait > max {
+		wait = max
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		w, ok := c.workers[workerID]
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownWorker, workerID)
+		}
+		now := time.Now()
+		w.lastSeen = now
+		u, backoff := c.popLocked(now)
+		if u != nil {
+			a := c.leaseLocked(u, workerID, now)
+			c.mu.Unlock()
+			return a, nil
+		}
+		wake := c.wake
+		c.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		sleep := remaining
+		if backoff > 0 && backoff < sleep {
+			sleep = backoff
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// popLocked dequeues the first claimable pending unit. When every
+// pending unit is still inside its backoff window it returns the
+// shortest remaining backoff so the claimant sleeps just long enough.
+func (c *Coordinator) popLocked(now time.Time) (*unit, time.Duration) {
+	var backoff time.Duration
+	keep := c.queue[:0]
+	var picked *unit
+	for i, key := range c.queue {
+		if picked != nil {
+			keep = append(keep, c.queue[i:]...)
+			break
+		}
+		u := c.units[key]
+		if u == nil || u.state != statePending {
+			continue // stale queue entry (completed elsewhere, failed, re-queued later in line)
+		}
+		if d := u.notBefore.Sub(now); d > 0 {
+			if backoff == 0 || d < backoff {
+				backoff = d
+			}
+			keep = append(keep, key)
+			continue
+		}
+		picked = u
+	}
+	c.queue = keep
+	return picked, backoff
+}
+
+// leaseLocked moves a pending unit to leased under a fresh lease.
+func (c *Coordinator) leaseLocked(u *unit, workerID string, now time.Time) *Assignment {
+	c.nextLease++
+	ttl := c.opts.leaseTTL()
+	u.state = stateLeased
+	u.lease = fmt.Sprintf("L%d", c.nextLease)
+	u.worker = workerID
+	u.deadline = now.Add(ttl)
+	c.leases[u.lease] = u.work.Key
+	key, lease := u.work.Key, u.lease
+	u.expire = time.AfterFunc(ttl, func() { c.expireLease(key, lease) })
+	u.observeAll(core.EventUnitLeased)
+	return &Assignment{Work: u.work, Lease: u.lease, TTL: ttl}
+}
+
+// expireLease fires when a lease's TTL elapses. A heartbeat may have
+// pushed the deadline past the timer — re-arm instead of expiring, so a
+// lease held alive costs one timer rather than one goroutine.
+func (c *Coordinator) expireLease(key, lease string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	u := c.units[key]
+	if u == nil || u.state != stateLeased || u.lease != lease {
+		return
+	}
+	if now := time.Now(); now.Before(u.deadline) {
+		u.expire = time.AfterFunc(u.deadline.Sub(now), func() { c.expireLease(key, lease) })
+		return
+	}
+	c.expired++
+	u.observeAll(core.EventUnitLeaseExpired)
+	c.requeueLocked(u)
+}
+
+// requeueLocked returns a leased unit to the pending queue with a
+// jittered exponential backoff, or fails it when its attempts are
+// exhausted (every waiter then falls back to local compute).
+func (c *Coordinator) requeueLocked(u *unit) {
+	delete(c.leases, u.lease)
+	u.lease, u.worker = "", ""
+	if u.expire != nil {
+		u.expire.Stop()
+		u.expire = nil
+	}
+	u.attempts++
+	if u.attempts >= c.opts.maxAttempts() {
+		c.failLocked(u)
+		return
+	}
+	base := c.opts.requeueDelay() << (u.attempts - 1)
+	if cap := 16 * c.opts.requeueDelay(); base > cap {
+		base = cap
+	}
+	// Jitter to [base/2, base): re-queued units from one incident don't
+	// stampede back in lockstep.
+	u.notBefore = time.Now().Add(base/2 + time.Duration(c.rng.Int63n(int64(base/2)+1)))
+	u.state = statePending
+	c.queue = append(c.queue, u.work.Key)
+	c.requeued++
+	// Wake claimants once the backoff gate opens (plus the immediate wake
+	// for pollers computing their own sleep from popLocked's backoff).
+	c.wakeLocked()
+}
+
+// failLocked drops a unit whose attempts are exhausted: waiters fall
+// back to local compute and the key is forgotten, so a later study may
+// try the fleet again from a clean slate.
+func (c *Coordinator) failLocked(u *unit) {
+	for _, w := range u.waiters {
+		w.ch <- false
+	}
+	u.waiters = nil
+	delete(c.units, u.work.Key)
+}
+
+// Heartbeat extends a live lease by one TTL and returns the remaining
+// time. ErrUnknownLease means the lease already expired or its unit
+// completed — the worker should abandon the unit (a completed push for
+// it would still be accepted and deduped).
+func (c *Coordinator) Heartbeat(workerID, lease string) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	w, ok := c.workers[workerID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownWorker, workerID)
+	}
+	now := time.Now()
+	w.lastSeen = now
+	key, ok := c.leases[lease]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownLease, lease)
+	}
+	u := c.units[key]
+	if u == nil || u.state != stateLeased || u.lease != lease {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownLease, lease)
+	}
+	u.deadline = now.Add(c.opts.leaseTTL())
+	return c.opts.leaseTTL(), nil
+}
+
+// Nack is a worker's explicit failure report for a claimed unit: the
+// lease re-queues immediately (still counting an attempt).
+func (c *Coordinator) Nack(workerID, lease, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	w, ok := c.workers[workerID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, workerID)
+	}
+	w.lastSeen = time.Now()
+	key, ok := c.leases[lease]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLease, lease)
+	}
+	u := c.units[key]
+	if u == nil || u.state != stateLeased || u.lease != lease {
+		return fmt.Errorf("%w: %q", ErrUnknownLease, lease)
+	}
+	c.nacked++
+	c.requeueLocked(u)
+	return nil
+}
+
+// Complete admits one pushed artifact: verify through the Acceptor
+// (schedule validation + first-write-wins tag), then release every
+// waiter. duplicate reports a unit already completed — harmless by
+// construction, acknowledged as success. A verification failure refuses
+// the artifact, re-queues the lease (when it is still current), and
+// returns the error. Acceptance does not require a current lease: a
+// worker whose lease expired mid-push still lands a verified artifact,
+// which warms the store even if the waiting shard already fell back.
+func (c *Coordinator) Complete(workerID, lease, key, manifestDigest string) (duplicate bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false, ErrClosed
+	}
+	w, ok := c.workers[workerID]
+	if !ok {
+		c.mu.Unlock()
+		return false, fmt.Errorf("%w: %q", ErrUnknownWorker, workerID)
+	}
+	w.lastSeen = time.Now()
+	u := c.units[key]
+	if u == nil || u.state == stateDone {
+		c.mu.Unlock()
+		return true, nil
+	}
+	work := u.work
+	c.mu.Unlock()
+
+	// Verification happens outside the table lock: it reads blobs and
+	// decodes records, and claims/heartbeats must not stall behind it.
+	// Concurrent completes for one key are safe — AcceptUnit's tag is
+	// first-write-wins, and the table transition below re-checks state.
+	acceptErr := c.accept.AcceptUnit(work, manifestDigest)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, ErrClosed
+	}
+	u = c.units[key]
+	if acceptErr != nil {
+		c.rejected++
+		if u != nil && u.state == stateLeased && u.lease == lease {
+			// A stale or malformed artifact is a failed attempt, exactly
+			// like a nack: re-queue (or fail over to local compute).
+			c.requeueLocked(u)
+		}
+		return false, acceptErr
+	}
+	if u == nil || u.state == stateDone {
+		return true, nil
+	}
+	if u.expire != nil {
+		u.expire.Stop()
+		u.expire = nil
+	}
+	delete(c.leases, u.lease)
+	u.lease, u.worker = "", ""
+	u.state = stateDone
+	c.completed++
+	for _, w := range u.waiters {
+		w.ch <- true
+	}
+	u.waiters = nil
+	// The artifact is tagged in the store now, so every future study hits
+	// the store tier before ever asking the fleet; dropping the entry
+	// keeps the table bounded by in-flight work, not daemon lifetime.
+	delete(c.units, key)
+	return false, nil
+}
+
+// Close shuts the table down: every waiter falls back to local compute,
+// every parked claim returns ErrClosed, and every lease timer stops. The
+// server closes the coordinator before draining sessions, so studies
+// blocked on Offload unblock and the drain completes.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for key, u := range c.units {
+		if u.expire != nil {
+			u.expire.Stop()
+			u.expire = nil
+		}
+		for _, w := range u.waiters {
+			w.ch <- false
+		}
+		u.waiters = nil
+		delete(c.units, key)
+	}
+	c.queue = nil
+	c.leases = make(map[string]string)
+	c.wakeLocked()
+}
+
+// Stats snapshots the table for /healthz.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Workers:     len(c.workers),
+		LiveWorkers: c.liveWorkersLocked(time.Now()),
+		Completed:   c.completed,
+		Requeued:    c.requeued,
+		Expired:     c.expired,
+		Nacked:      c.nacked,
+		Rejected:    c.rejected,
+		Fallbacks:   c.fallbacks,
+	}
+	for _, u := range c.units {
+		switch u.state {
+		case statePending:
+			s.Pending++
+		case stateLeased:
+			s.Leased++
+		}
+	}
+	return s
+}

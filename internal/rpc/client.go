@@ -136,9 +136,12 @@ func (c *Client) Cancel(ctx context.Context, session string) (CancelResult, erro
 }
 
 // Shutdown asks the server to drain and exit; it returns once the drain
-// has completed (the server acknowledges only then).
-func (c *Client) Shutdown(ctx context.Context) error {
-	return c.call(ctx, "shutdown", struct{}{}, nil)
+// has completed (the server acknowledges only then). The result carries
+// the server's post-drain health snapshot — its closing tallies.
+func (c *Client) Shutdown(ctx context.Context) (ShutdownResult, error) {
+	var res ShutdownResult
+	err := c.call(ctx, "shutdown", struct{}{}, &res)
+	return res, err
 }
 
 // Subscribe attaches to a session's event stream after the given cursor

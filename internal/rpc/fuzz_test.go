@@ -8,8 +8,10 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"cloudhpc/internal/core"
+	"cloudhpc/internal/fleet"
 	"cloudhpc/internal/store"
 )
 
@@ -85,6 +87,74 @@ func FuzzRPCDecode(f *testing.F) {
 // impossible offsets, ref batches at phantom blobs — the daemon must
 // not panic, must never store content that does not hash to its name,
 // and every reply line must be well-formed JSON-RPC 2.0.
+// FuzzFleetDecode throws arbitrary bytes at the fleet.* wire handlers:
+// whatever a hostile or confused worker sends — phantom workers and
+// leases, malformed digests, bad protocol versions, claims with absurd
+// waits — the daemon must not panic, must never tag an artifact that
+// fails unit verification, and every reply line must be well-formed
+// JSON-RPC 2.0. The coordinator's claim long-poll is capped tiny so a
+// fuzzed claim cannot stall the serial request loop.
+func FuzzFleetDecode(f *testing.F) {
+	f.Add(`{"jsonrpc":"2.0","id":5,"method":"fleet.register","params":{"protocolVersion":"1","worker":{"name":"w","version":"1"}}}`)
+	f.Add(`{"jsonrpc":"2.0","id":6,"method":"fleet.register","params":{"protocolVersion":"99"}}`)
+	f.Add(`{"jsonrpc":"2.0","id":7,"method":"fleet.claim","params":{"worker":"W1","waitMs":9007199254740993}}`)
+	f.Add(`{"jsonrpc":"2.0","id":8,"method":"fleet.claim","params":{"worker":"","waitMs":-5}}`)
+	f.Add(`{"jsonrpc":"2.0","id":9,"method":"fleet.heartbeat","params":{"worker":"W1","lease":"L1"}}`)
+	f.Add(`{"jsonrpc":"2.0","id":10,"method":"fleet.complete","params":{"worker":"W1","lease":"L1","key":"k","manifest":"sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"}}`)
+	f.Add(`{"jsonrpc":"2.0","id":11,"method":"fleet.complete","params":{"worker":"W1","lease":"L1","key":"","manifest":"../../etc/passwd"}}`)
+	f.Add(`{"jsonrpc":"2.0","id":12,"method":"fleet.nack","params":{"worker":7,"lease":[]}}`)
+	f.Add(`{"jsonrpc":"2.0","method":"fleet.complete","params":"not an object"}`)
+	f.Fuzz(func(t *testing.T, line string) {
+		bs := store.NewMemory()
+		rs := core.NewResultStore(bs)
+		co := fleet.New(fleet.Options{MaxClaimWait: 10 * time.Millisecond}, rs)
+		defer co.Close()
+		srv := &Server{Drain: DrainCancel, Runner: &core.Runner{Store: rs}, Fleet: co}
+		var in bytes.Buffer
+		in.WriteString(initLine + "\n")
+		in.WriteString(line + "\n")
+		in.WriteString(`{"jsonrpc":"2.0","id":99,"method":"shutdown"}` + "\n")
+
+		var out bytes.Buffer
+		if err := srv.ServeConn(context.Background(), &in, &out); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("serve: %v", err)
+		}
+		srv.Shutdown()
+
+		// No fuzzed completion can plant a unit ref: every accepted unit
+		// passes schedule verification, and no real unit was ever computed
+		// here — so the ref table must hold no unit/ entries at all.
+		for name := range rs.Registry().SyncInventory().Refs {
+			if strings.HasPrefix(name, "unit/") {
+				t.Fatalf("fuzzed input planted a unit ref %q", name)
+			}
+		}
+
+		for _, ln := range bytes.Split(out.Bytes(), []byte("\n")) {
+			ln = bytes.TrimSpace(ln)
+			if len(ln) == 0 {
+				continue
+			}
+			var msg struct {
+				JSONRPC string          `json:"jsonrpc"`
+				Method  string          `json:"method"`
+				ID      json.RawMessage `json:"id"`
+				Result  json.RawMessage `json:"result"`
+				Error   *Error          `json:"error"`
+			}
+			if err := json.Unmarshal(ln, &msg); err != nil {
+				t.Fatalf("server wrote an unparseable line %q: %v", ln, err)
+			}
+			if msg.JSONRPC != "2.0" {
+				t.Fatalf("server wrote a non-2.0 line %q", ln)
+			}
+			if msg.Method == "" && msg.Result == nil && msg.Error == nil {
+				t.Fatalf("server wrote a line that is neither response nor notification: %q", ln)
+			}
+		}
+	})
+}
+
 func FuzzSyncDecode(f *testing.F) {
 	f.Add(`{"jsonrpc":"2.0","id":5,"method":"store.inventory"}`)
 	f.Add(`{"jsonrpc":"2.0","id":6,"method":"store.fetch","params":{"digest":"sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"}}`)

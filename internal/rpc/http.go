@@ -1,7 +1,7 @@
 package rpc
 
 import (
-	"io"
+	"encoding/json"
 	"net/http"
 )
 
@@ -12,7 +12,11 @@ import (
 //	               carrying a study.subscribe keeps its response open
 //	               until the subscribed sessions end — the streaming
 //	               transport — and each line is flushed as it is written.
-//	GET  /healthz  liveness probe ("ok").
+//	GET  /healthz  structured health report (Health as JSON): session
+//	               tallies, store presence, and — with a fleet attached —
+//	               the lease-table counters. Always HTTP 200 so probes
+//	               distinguish "unreachable" from "draining" by body, and
+//	               `curl -sf` liveness checks keep working.
 //
 // Each POST is its own connection and starts initialized: the handshake
 // is per stdio connection, not per HTTP request, or the streamable
@@ -22,7 +26,10 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Health())
 	})
 	mux.HandleFunc("/rpc", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

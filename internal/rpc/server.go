@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cloudhpc/internal/core"
+	"cloudhpc/internal/fleet"
 )
 
 // DefaultServerReplay is the replay-ring bound the server configures on
@@ -53,6 +54,13 @@ type Server struct {
 	// Info is the serverInfo reported by initialize; a zero value is
 	// filled with the module's name.
 	Info Implementation
+	// Fleet, when non-nil, serves the fleet.* worker family: remote
+	// workers register, claim leased units, and push artifacts back. The
+	// same coordinator should be attached to the Runner (Runner.Fleet) so
+	// studies offload to it. Shutdown closes the coordinator before
+	// draining sessions — blocked offloads fall back to local compute, so
+	// the drain always completes.
+	Fleet *fleet.Coordinator
 
 	mu       sync.Mutex
 	runner   *core.Runner
@@ -210,6 +218,12 @@ func (s *Server) Shutdown() {
 	drained := s.drained
 	s.mu.Unlock()
 	s.shutOnce.Do(func() {
+		// Close the fleet first: every parked worker claim returns closed,
+		// and every study blocked on an offload falls back to local compute
+		// — a draining daemon never waits on remote workers.
+		if s.Fleet != nil {
+			s.Fleet.Close()
+		}
 		if s.drainPolicy() == DrainCancel {
 			for _, ss := range sessions {
 				ss.sess.Cancel()
@@ -232,4 +246,43 @@ func (s *Server) Drained() <-chan struct{} {
 	defer s.mu.Unlock()
 	s.ensureLocked()
 	return s.drained
+}
+
+// Health snapshots the server for GET /healthz and the shutdown reply:
+// session tallies by state, whether a store is attached, and — with a
+// coordinator attached — the fleet's lease-table counters.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	s.ensureLocked()
+	h := Health{Status: "ok", Store: s.hasStore(), Server: s.Info}
+	if s.down {
+		h.Status = "draining"
+	}
+	sessions := make([]*studySession, 0, len(s.byID))
+	for _, ss := range s.byID {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	if h.Server.Name == "" {
+		h.Server.Name = "cloudhpc-serve"
+	}
+	h.Sessions.Total = len(sessions)
+	for _, ss := range sessions {
+		// state() may call Wait on a finished session; never under s.mu.
+		switch state, _ := ss.state(); state {
+		case "running":
+			h.Sessions.Running++
+		case "done":
+			h.Sessions.Done++
+		case "cancelled":
+			h.Sessions.Cancelled++
+		case "failed":
+			h.Sessions.Failed++
+		}
+	}
+	if s.Fleet != nil {
+		st := s.Fleet.Stats()
+		h.Fleet = &st
+	}
+	return h
 }

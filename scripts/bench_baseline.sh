@@ -9,6 +9,20 @@
 #	  'cold = full compute + serialize into a fresh on-disk store; warm = whole-study decode from the store, no simulation; compare the cold/warm ratio, not absolutes' \
 #	  > BENCH_store.json
 #
+# and the fleet local-fallback overhead point (an attached-but-empty
+# coordinator must sit within noise of the plain runner) is:
+#
+#	sh scripts/bench_baseline.sh \
+#	  'BenchmarkRunnerStudyCold$|BenchmarkFleetLocalFallback$' \
+#	  'fallback = runner-cold workload with a fleet coordinator attached and zero workers registered; every unit offload takes the no-live-workers fast path; compare against runner-cold, acceptance is <2% overhead' \
+#	  > BENCH_fleet.json
+#
+# Each entry carries a peak_rss_kb axis (the bench process's VmHWM, via
+# reportPeakRSS in bench_test.go; 0 where a benchmark does not report
+# it). VmHWM is process-wide and monotone, so the number is only
+# meaningful for benchmarks run in isolation — which is exactly how the
+# regexes above slice them.
+#
 # A third argument narrows (or widens) the package list; the default
 # covers the root executor benchmarks plus the hot-path microbenches
 # (trace log, draw streams) so the committed baseline pins both layers.
@@ -54,14 +68,15 @@ BEGIN {
 	# so locate each value by the unit token that follows it.
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	bytes = 0; allocs = 0
+	bytes = 0; allocs = 0; rss = 0
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "B/op") bytes = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "peakRSS-kB") rss = $i
 	}
 	if (!first) printf ",\n"
 	first = 0
-	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, bytes, allocs
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"peak_rss_kb\": %s}", name, $2, $3, bytes, allocs, rss
 }
 END {
 	printf "\n  ]\n}\n"
